@@ -1,0 +1,1 @@
+bench/e10_pointwise_or.ml: Array Exp_util List Prob Protocols

@@ -1,0 +1,1 @@
+bench/e11_internal_external.ml: Exact Exp_util Float List Prob Proto Protocols

@@ -1,0 +1,1 @@
+bench/e12_oneshot.ml: Array Compress Exact Exp_util List Prob Proto Protocols

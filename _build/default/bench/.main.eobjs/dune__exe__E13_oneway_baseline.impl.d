@@ -1,0 +1,1 @@
+bench/e13_oneway_baseline.ml: Array Coding Exp_util Float Infotheory List Prob

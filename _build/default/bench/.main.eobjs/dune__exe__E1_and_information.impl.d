@@ -1,0 +1,1 @@
+bench/e1_and_information.ml: Exact Exp_util Float List Proto Protocols

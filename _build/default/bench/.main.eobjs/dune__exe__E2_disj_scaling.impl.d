@@ -1,0 +1,1 @@
+bench/e2_disj_scaling.ml: Exp_util List Prob Protocols

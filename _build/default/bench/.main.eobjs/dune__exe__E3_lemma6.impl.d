@@ -1,0 +1,1 @@
+bench/e3_lemma6.ml: Exp_util List Lowerbound

@@ -1,0 +1,1 @@
+bench/e4_batched_accounting.ml: Exp_util List Prob Protocols

@@ -1,0 +1,1 @@
+bench/e5_compression_gap.ml: Exp_util Float List Prob Proto Protocols

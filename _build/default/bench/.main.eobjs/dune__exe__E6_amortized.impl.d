@@ -1,0 +1,1 @@
+bench/e6_amortized.ml: Compress Exact Exp_util List Proto Protocols

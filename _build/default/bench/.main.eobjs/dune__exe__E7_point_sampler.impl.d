@@ -1,0 +1,1 @@
+bench/e7_point_sampler.ml: Array Coding Compress Exp_util Float List Prob

@@ -1,0 +1,1 @@
+bench/e8_product_tightness.ml: Compress Exact Exp_util List Prob Proto Protocols

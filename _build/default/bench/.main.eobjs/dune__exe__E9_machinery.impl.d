@@ -1,0 +1,1 @@
+bench/e9_machinery.ml: Array Exact Exp_util Float List Lowerbound Printf Proto Protocols String

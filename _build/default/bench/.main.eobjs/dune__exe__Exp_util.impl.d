@@ -1,0 +1,1 @@
+bench/exp_util.ml: Float List Printf String

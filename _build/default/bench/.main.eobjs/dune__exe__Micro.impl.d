@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Coding Compress Exact Exp_util Hashtbl Instance List Measure Printf Prob Proto Protocols Staged String Test Time Toolkit

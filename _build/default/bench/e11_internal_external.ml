@@ -1,0 +1,75 @@
+(** E11 — internal vs external information (two players).
+
+    Section 6 compresses to {e external} information and remarks that
+    (a) for two players external information is bounded below by
+    internal information — so the paper's amortized result does not
+    improve on Braverman-Rao for [k = 2] — and (b) the internal notion
+    does not extend to the broadcast model beyond two players. This
+    experiment computes both quantities exactly for [k = 2] protocols
+    over several distributions: [internal <= external] throughout, with
+    equality exactly on product distributions. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+
+let distributions =
+  [
+    ("product uniform", D.iid 2 (D.uniform [ 0; 1 ]), true);
+    ( "product biased 1/4",
+      D.iid 2 (D.of_weighted [ (0, R.of_ints 1 4); (1, R.of_ints 3 4) ]),
+      true );
+    ("hard mu (Sec 4.1)", Protocols.Hard_dist.mu_and ~k:2, false);
+    ( "correlated 80/20",
+      D.of_weighted
+        [
+          ([| 0; 0 |], R.of_ints 2 5);
+          ([| 1; 1 |], R.of_ints 2 5);
+          ([| 0; 1 |], R.of_ints 1 10);
+          ([| 1; 0 |], R.of_ints 1 10);
+        ],
+      false );
+    ("perfectly correlated", D.uniform [ [| 0; 0 |]; [| 1; 1 |] ], false);
+  ]
+
+let protocols =
+  [
+    ("sequential AND_2", Protocols.And_protocols.sequential 2);
+    ("broadcast-all", Protocols.And_protocols.broadcast_all 2);
+    ( "noisy 1/10",
+      Protocols.And_protocols.noisy_sequential ~k:2 ~noise:(R.of_ints 1 10) );
+  ]
+
+let run () =
+  Exp_util.heading "E11"
+    "Two players: internal vs external information cost (Section 6 remark)";
+  let rows =
+    List.concat_map
+      (fun (pname, tree) ->
+        List.map
+          (fun (dname, mu, is_product) ->
+            let internal = Proto.Information.internal_ic_two_party tree mu in
+            let external_ = Proto.Information.external_ic tree mu in
+            Exp_util.
+              [
+                S pname;
+                S dname;
+                F internal;
+                F external_;
+                B (internal <= external_ +. 1e-9);
+                B
+                  ((not is_product)
+                  || Float.abs (internal -. external_) < 1e-9);
+              ])
+          distributions)
+      protocols
+  in
+  Exp_util.table
+    ~header:
+      [ "protocol"; "distribution"; "internal"; "external"; "int<=ext";
+        "eq on product" ]
+    rows;
+  Exp_util.note
+    "Expected: internal <= external always; equality iff the distribution is a";
+  Exp_util.note
+    "product (so compressing to external, as the paper does for general k,";
+  Exp_util.note "matches Braverman-Rao only on product distributions at k = 2)."

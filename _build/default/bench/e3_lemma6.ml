@@ -1,0 +1,46 @@
+(** E3 — Lemma 6: [CC_eps(AND_k) = Omega(k)].
+
+    For the truncated sequential protocol with [m] speakers we compute
+    the exact distributional error under the Lemma-6 distribution and
+    compare it with the fooling-argument prediction
+    [(1 - eps') (1 - m/k)]. Any deterministic protocol in which fewer
+    than [c k] players speak errs with constant probability — so every
+    low-error protocol communicates [Omega(k)] bits (each speaker writes
+    at least one bit). *)
+
+let run () =
+  Exp_util.heading "E3" "Lemma 6: protocols with few speakers must err";
+  let k = 16 in
+  let eps' = 0.2 in
+  let rows =
+    List.map
+      (fun m ->
+        let _, predicted, exact = Lowerbound.Fooling.truncated_row ~k ~m ~eps' in
+        Exp_util.[ I m; F predicted; F exact; B (exact +. 1e-12 >= predicted) ])
+      [ 0; 2; 4; 6; 8; 10; 12; 14; 15; 16 ]
+  in
+  Exp_util.table
+    ~header:[ "speakers m"; "predicted err >=" ; "exact error"; "holds" ]
+    rows;
+  Exp_util.note "k = %d, eps' = %.2f; the full protocol (m = k) has error 0." k eps';
+  Exp_util.note
+    "Expected: to reach error <= eps, need m >= (1 - eps/(1-eps')) k = Omega(k) speakers,";
+  Exp_util.note "hence Omega(k) bits; combined with E1 this gives Theta(n log k + k).";
+
+  (* Scaling in k: minimum speakers needed to reach 10% error. *)
+  Exp_util.heading "E3b" "Minimum speakers for error <= 0.1 as k grows";
+  let rows =
+    List.map
+      (fun k ->
+        let rec find m =
+          if m > k then k
+          else
+            let _, _, exact = Lowerbound.Fooling.truncated_row ~k ~m ~eps' in
+            if exact <= 0.1 then m else find (m + 1)
+        in
+        let m_min = find 0 in
+        Exp_util.[ I k; I m_min; F2 (float_of_int m_min /. float_of_int k) ])
+      [ 4; 8; 16; 32; 64 ]
+  in
+  Exp_util.table ~header:[ "k"; "min speakers"; "fraction of k" ] rows;
+  Exp_util.note "Expected: the fraction column is constant — the Omega(k) bound."

@@ -1,0 +1,125 @@
+(** E9 — the Section-4.1 machinery, run exactly: good-transcript masses
+    (Lemma 5), the alpha-sum inequality (eq. 6), the pointing property,
+    Lemma-2 superadditivity, the eq.(4) chain, and the Lemma-1
+    direct-sum embedding. *)
+
+let run () =
+  Exp_util.heading "E9a"
+    "Lemma 5: good-transcript masses and pointing (noisy sequential AND)";
+  let noise = Exact.Rational.of_ints 1 50 in
+  let c_constant = 4. in
+  let rows =
+    List.map
+      (fun k ->
+        let tree = Protocols.And_protocols.noisy_sequential ~k ~noise in
+        let rep = Lowerbound.Transcripts.analyze tree ~k ~c_constant in
+        let minmax = rep.Lowerbound.Transcripts.min_max_alpha_on_l' in
+        Exp_util.
+          [
+            I k;
+            F2 rep.Lowerbound.Transcripts.mass_b1;
+            F2 rep.Lowerbound.Transcripts.mass_b0;
+            F2 rep.Lowerbound.Transcripts.mass_l;
+            F2 rep.Lowerbound.Transcripts.mass_l';
+            (if minmax = infinity then S "inf" else F2 minmax);
+            (if minmax = infinity then S "inf"
+             else F2 (minmax /. float_of_int k));
+          ])
+      [ 3; 4; 5; 6; 7; 8 ]
+  in
+  Exp_util.table
+    ~header:
+      [ "k"; "pi2(B1)"; "pi2(B0)"; "pi2(L)"; "pi2(L')";
+        "min max_i alpha"; "alpha/k" ]
+    rows;
+  Exp_util.note "protocol error rate per player: %.2f; C = %.0f"
+    (Exact.Rational.to_float noise) c_constant;
+  Exp_util.note
+    "Expected (Lemma 5): pi2(L') = Omega(1) and every L' transcript points at a";
+  Exp_util.note "player with alpha = Omega(k) — the alpha/k column is bounded below.";
+
+  Exp_util.heading "E9b" "eq. (6): alpha sums on good transcripts (k = 6)";
+  let k = 6 in
+  let tree = Protocols.And_protocols.noisy_sequential ~k ~noise in
+  let rep = Lowerbound.Transcripts.analyze tree ~k ~c_constant in
+  let good =
+    List.filter
+      (fun e -> e.Lowerbound.Transcripts.in_l')
+      rep.Lowerbound.Transcripts.entries
+  in
+  let finite_sums =
+    List.filter_map
+      (fun e ->
+        let s = e.Lowerbound.Transcripts.alpha_sum in
+        if s = infinity then None else Some s)
+      good
+  in
+  let bound = Float.sqrt c_constant /. 2. *. float_of_int k in
+  Exp_util.table
+    ~header:[ "quantity"; "value" ]
+    Exp_util.
+      [
+        [ S "|L'| transcripts"; I (List.length good) ];
+        [ S "with infinite alpha-sum"; I (List.length good - List.length finite_sums) ];
+        [ S "min finite alpha-sum";
+          (match finite_sums with
+          | [] -> S "-"
+          | _ -> F2 (List.fold_left Float.min infinity finite_sums)) ];
+        [ S "eq.(6) bound sqrt(C)/2 * k"; F2 bound ];
+      ];
+  Exp_util.note
+    "Expected: every L' transcript has alpha-sum >= sqrt(C)/2 * k (eq. 6).";
+
+  Exp_util.heading "E9c" "Lemma 2 superadditivity and the eq.(4) chain";
+  let rows =
+    List.map
+      (fun k ->
+        let tree = Protocols.And_protocols.noisy_sequential ~k ~noise in
+        let mu = Protocols.Hard_dist.mu_and_with_aux ~k in
+        let cic = Proto.Information.conditional_ic tree mu in
+        let rhs, _ = Lowerbound.Bounds.lemma2_rhs tree mu ~k in
+        Exp_util.[ I k; F cic; F rhs; B (cic +. 1e-9 >= rhs) ])
+      [ 3; 4; 5; 6 ]
+  in
+  Exp_util.table
+    ~header:[ "k"; "I(T;X|Z)"; "sum_i E D(post_i||prior_i)"; "holds" ]
+    rows;
+  let rows =
+    List.map
+      (fun (p, k) ->
+        let exact, middle, crude = Lowerbound.Bounds.eq4_chain ~p ~k in
+        Exp_util.[ F2 p; I k; F exact; F middle; F crude ])
+      [ (0.5, 16); (0.9, 64); (0.99, 1024) ]
+  in
+  Exp_util.table
+    ~header:[ "p"; "k"; "exact D"; "p lg k - H(p)"; "p lg k - 1" ]
+    rows;
+
+  Exp_util.heading "E9d" "Lemma 1: direct-sum embedding on a DISJ protocol";
+  let rows =
+    List.map
+      (fun (n, k) ->
+        let disj_tree = Protocols.Disj_trees.sequential ~n ~k in
+        let total, per = Lowerbound.Direct_sum.direct_sum_check ~disj_tree ~n ~k in
+        let sum = Array.fold_left ( +. ) 0. per in
+        Exp_util.
+          [
+            I n;
+            I k;
+            F total;
+            F sum;
+            S
+              (String.concat " "
+                 (Array.to_list (Array.map (Printf.sprintf "%.3f") per)));
+            B (sum <= total +. 1e-6);
+          ])
+      [ (1, 3); (2, 2); (2, 3); (3, 2); (2, 4) ]
+  in
+  Exp_util.table
+    ~header:
+      [ "n"; "k"; "CIC(DISJ)"; "sum_j CIC(embed_j)"; "per-coordinate"; "holds" ]
+    rows;
+  Exp_util.note
+    "Expected: sum over coordinates of the embedded AND protocols' CIC never";
+  Exp_util.note
+    "exceeds the DISJ protocol's CIC — the additive decomposition behind Cor. 1."

@@ -1,0 +1,54 @@
+(** Table rendering and small helpers shared by the experiment
+    harnesses. Each experiment prints a titled, fixed-width table whose
+    rows regenerate one of the paper's quantitative claims. *)
+
+let heading id title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "==================================================================\n"
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+type cell = S of string | I of int | F of float | F2 of float | B of bool
+
+let render_cell = function
+  | S s -> s
+  | I n -> string_of_int n
+  | F x ->
+      if Float.is_integer x && Float.abs x < 1e15 then
+        Printf.sprintf "%.0f" x
+      else Printf.sprintf "%.4f" x
+  | F2 x -> Printf.sprintf "%.2f" x
+  | B b -> if b then "yes" else "no"
+
+let table ~header rows =
+  let rows = List.map (List.map render_cell) rows in
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all)
+  in
+  let print_row row =
+    print_string "  ";
+    List.iteri
+      (fun c v ->
+        Printf.printf "%*s" (List.nth widths c) v;
+        if c < cols - 1 then print_string "  ")
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_string "  ";
+  print_string (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  print_newline ();
+  List.iter print_row rows
+
+(** Least-squares slope of y against x through the origin — used to
+    report "measured = c * model" fits. *)
+let fit_ratio xs ys =
+  let num = List.fold_left2 (fun acc x y -> acc +. (x *. y)) 0. xs ys in
+  let den = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+  num /. den
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

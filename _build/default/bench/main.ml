@@ -1,0 +1,45 @@
+(** Experiment harness: regenerates every quantitative claim of
+    Braverman & Oshman (PODC 2015) as a printed table (see DESIGN.md's
+    experiment index and EXPERIMENTS.md for paper-vs-measured), then
+    runs the bechamel micro-benchmarks.
+
+    Usage: [main.exe] runs everything; [main.exe E2 E7] runs a subset;
+    [main.exe --list] lists experiment ids. *)
+
+let experiments =
+  [
+    ("E1", E1_and_information.run);
+    ("E2", E2_disj_scaling.run);
+    ("E2-ABL", E2_disj_scaling.run_ablations);
+    ("E3", E3_lemma6.run);
+    ("E4", E4_batched_accounting.run);
+    ("E5", E5_compression_gap.run);
+    ("E6", E6_amortized.run);
+    ("E7", E7_point_sampler.run);
+    ("E8", E8_product_tightness.run);
+    ("E9", E9_machinery.run);
+    ("E10", E10_pointwise_or.run);
+    ("E11", E11_internal_external.run);
+    ("E12", E12_oneshot.run);
+    ("E13", E13_oneway_baseline.run);
+    ("MICRO", Micro.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ "--list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
+  | [] ->
+      Printf.printf
+        "Reproduction: On Information Complexity in the Broadcast Model \
+         (Braverman & Oshman, PODC 2015)\n";
+      List.iter (fun (_, run) -> run ()) experiments
+  | ids ->
+      List.iter
+        (fun id ->
+          match List.assoc_opt (String.uppercase_ascii id) experiments with
+          | Some run -> run ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" id;
+              exit 1)
+        ids

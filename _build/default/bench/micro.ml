@@ -1,0 +1,85 @@
+(** Bechamel micro-benchmarks of the library's hot kernels. These are
+    engineering benchmarks (throughput of the building blocks), separate
+    from the paper-reproduction experiment tables E1-E9. *)
+
+open Bechamel
+open Toolkit
+
+let tests () =
+  let rng = Prob.Rng.of_int_seed 31337 in
+  let inst_small =
+    Protocols.Disj_common.random_disjoint_single_zero rng ~n:1024 ~k:16
+  in
+  let inst_large =
+    Protocols.Disj_common.random_disjoint_single_zero rng ~n:16384 ~k:64
+  in
+  let subset =
+    List.init 64 (fun i -> i * 7) (* 64-subset of [0, 448) *)
+  in
+  let eta = Array.init 64 (fun i -> if i = 0 then 0.6 else 0.4 /. 63.) in
+  let nu = Array.make 64 (1. /. 64.) in
+  let and_tree6 = Protocols.And_protocols.sequential 6 in
+  let mu6 = Protocols.Hard_dist.mu_and ~k:6 in
+  [
+    Test.make ~name:"bigint-mul-256bit"
+      (Staged.stage
+         (let a = Exact.Bigint.of_string (String.make 70 '7') in
+          let b = Exact.Bigint.of_string (String.make 70 '3') in
+          fun () -> ignore (Exact.Bigint.mul a b)));
+    Test.make ~name:"binomial-1024-512"
+      (Staged.stage (fun () -> ignore (Exact.Bigint.binomial 1024 512)));
+    Test.make ~name:"subset-rank-64-of-448"
+      (Staged.stage (fun () -> ignore (Coding.Subset_codec.rank ~z:448 subset)));
+    Test.make ~name:"disj-batched-n1024-k16"
+      (Staged.stage (fun () -> ignore (Protocols.Disj_batched.solve inst_small)));
+    Test.make ~name:"disj-batched-n16384-k64"
+      (Staged.stage (fun () -> ignore (Protocols.Disj_batched.solve inst_large)));
+    Test.make ~name:"disj-naive-n1024-k16"
+      (Staged.stage (fun () -> ignore (Protocols.Disj_naive.solve inst_small)));
+    Test.make ~name:"point-sampler-u64"
+      (Staged.stage
+         (let counter = ref 0 in
+          fun () ->
+            incr counter;
+            let r = Prob.Rng.of_int_seed !counter in
+            let w = Coding.Bitbuf.Writer.create () in
+            ignore (Compress.Point_sampler.transmit ~rng:r ~eta ~nu w)));
+    Test.make ~name:"exact-ic-and6"
+      (Staged.stage (fun () ->
+           ignore (Proto.Information.external_ic and_tree6 mu6)));
+  ]
+
+let run () =
+  Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run, OLS fit)";
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"kernels" (tests ()))
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name res ->
+      match Analyze.OLS.estimates res with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  let rows = List.sort (fun (_, a) (_, b) -> compare a b) !rows in
+  Exp_util.table
+    ~header:[ "kernel"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let pretty =
+           if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         Exp_util.[ S name; S pretty ])
+       rows)

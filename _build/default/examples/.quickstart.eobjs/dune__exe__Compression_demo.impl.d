@@ -1,0 +1,1 @@
+examples/compression_demo.ml: Array Coding Compress Float List Printf Prob Proto Protocols String

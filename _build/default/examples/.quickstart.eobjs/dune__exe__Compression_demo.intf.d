@@ -1,0 +1,1 @@
+examples/compression_demo.mli:

@@ -1,0 +1,1 @@
+examples/disjointness_scaling.ml: List Printf Prob Protocols String

@@ -1,0 +1,1 @@
+examples/disjointness_scaling.mli:

@@ -1,0 +1,1 @@
+examples/lowerbound_tour.ml: Array Exact Float List Lowerbound Printf Proto Protocols String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Blackboard Exact Float Format Printf Proto Protocols String

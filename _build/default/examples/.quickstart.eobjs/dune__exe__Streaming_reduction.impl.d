@@ -1,0 +1,1 @@
+examples/streaming_reduction.ml: Array Blackboard Coding Float List Printf Prob Protocols

@@ -1,0 +1,1 @@
+examples/wireless_channels.ml: Array List Printf Prob Protocols

@@ -1,0 +1,67 @@
+(** Example: interactive compression, end to end.
+
+    Walks through one round of the Lemma-7 point-sampling protocol with
+    a small universe so every step is visible (the behavioural analogue
+    of the paper's Figure 1), then compresses many parallel copies of a
+    protocol and shows the per-copy cost marching down to the external
+    information cost (Theorem 3).
+
+    Run with: [dune exec examples/compression_demo.exe] *)
+
+let () =
+  Printf.printf "=== One round of the Lemma-7 sampling protocol ===\n\n";
+  (* Speaker's true next-message law eta vs the observers' prior nu. *)
+  let eta = [| 0.70; 0.10; 0.15; 0.05 |] in
+  let nu = [| 0.25; 0.25; 0.25; 0.25 |] in
+  let d =
+    Array.to_list eta
+    |> List.mapi (fun i p ->
+           if p > 0. then p *. Float.log2 (p /. nu.(i)) else 0.)
+    |> List.fold_left ( +. ) 0.
+  in
+  Printf.printf "eta = [%s], nu = uniform, D(eta||nu) = %.3f bits\n"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.2f") eta)))
+    d;
+  let rng = Prob.Rng.of_int_seed 2015 in
+  let round = Prob.Rng.split rng in
+  let decoder_rng = Prob.Rng.copy round in
+  let w = Coding.Bitbuf.Writer.create () in
+  let res = Compress.Point_sampler.transmit ~rng:round ~eta ~nu ~eps:0.01 w in
+  Printf.printf "speaker selected symbol %d (block %d, log-ratio s = %d)\n"
+    res.Compress.Point_sampler.sent res.Compress.Point_sampler.block
+    res.Compress.Point_sampler.log_ratio;
+  Printf.printf "bits on the board: %s  (%d bits)\n"
+    (Coding.Bitbuf.Writer.to_string w)
+    res.Compress.Point_sampler.bits;
+  let decoded =
+    Compress.Point_sampler.decode ~rng:decoder_rng ~nu ~u:4
+      ~max_blocks:(Compress.Point_sampler.default_max_blocks 0.01)
+      (Coding.Bitbuf.Reader.of_writer w)
+  in
+  Printf.printf "observers decoded symbol %d — %s\n\n" decoded
+    (if decoded = res.Compress.Point_sampler.sent then "agreement"
+     else "DISAGREEMENT");
+
+  Printf.printf "=== Theorem 3: amortized compression of AND_4 ===\n\n";
+  let k = 4 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let ic = Proto.Information.external_ic tree mu in
+  let cc = Proto.Tree.communication_cost tree in
+  Printf.printf "protocol: sequential AND_%d; CC = %d bits, IC = %.3f bits\n\n"
+    k cc ic;
+  Printf.printf "%8s %14s %12s\n" "copies" "per-copy bits" "vs IC";
+  List.iter
+    (fun copies ->
+      let run, _ =
+        Compress.Amortized.compress_random ~seed:7 ~tree ~mu ~copies ()
+      in
+      Printf.printf "%8d %14.2f %+12.2f\n" copies
+        run.Compress.Amortized.per_copy_bits
+        (run.Compress.Amortized.per_copy_bits -. ic))
+    [ 1; 2; 4; 8; 16 ];
+  Printf.printf
+    "\nOne copy costs far more than the protocol itself (%d bits) — the\n" cc;
+  Printf.printf
+    "Section-6 gap says one-shot compression cannot work. Amortized, the\n";
+  Printf.printf "overhead is paid once per round, and per-copy cost -> IC.\n"

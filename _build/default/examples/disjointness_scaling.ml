@@ -1,0 +1,60 @@
+(** Example: set disjointness at scale — the Section-5 protocol against
+    the baselines on a realistic workload.
+
+    Scenario: [k] servers each hold a set of object ids (a shard of a
+    distributed store); an auditor wants to know whether some object is
+    replicated on {e every} server (i.e., whether the shards' sets
+    intersect). This is exactly multi-party set disjointness over the
+    id universe.
+
+    Run with: [dune exec examples/disjointness_scaling.exe] *)
+
+let run_one ~n ~k ~seed =
+  let rng = Prob.Rng.of_int_seed seed in
+  let inst = Protocols.Disj_common.random_disjoint_single_zero rng ~n ~k in
+  let batched = (Protocols.Disj_batched.solve inst).Protocols.Disj_batched.result in
+  let naive = Protocols.Disj_naive.solve inst in
+  let trivial = Protocols.Disj_trivial.solve inst in
+  (batched, naive, trivial)
+
+let () =
+  Printf.printf
+    "=== Auditing %s across k servers: is any object on all of them? ===\n\n"
+    "replicated objects";
+  Printf.printf "%8s %6s | %10s %10s %10s | %s\n" "objects" "k" "batched"
+    "naive" "trivial" "winner";
+  List.iter
+    (fun (n, k) ->
+      let b, nv, tv = run_one ~n ~k ~seed:((n * 17) + k) in
+      let open Protocols.Disj_common in
+      let winner =
+        List.sort compare
+          [ (b.bits, "batched"); (nv.bits, "naive"); (tv.bits, "trivial") ]
+        |> List.hd |> snd
+      in
+      Printf.printf "%8d %6d | %10d %10d %10d | %s\n" n k b.bits nv.bits
+        tv.bits winner)
+    [
+      (512, 8); (512, 64);
+      (4096, 8); (4096, 64);
+      (32768, 8); (32768, 64); (32768, 512);
+    ];
+  Printf.printf
+    "\nThe batched protocol (Theorem 2) pays ~log2(k) bits per object id\n";
+  Printf.printf
+    "instead of the naive log2(n): at n = 32768, k = 8 that is 3 bits vs 15.\n";
+
+  (* Show the witness-finding side: a non-disjoint instance. *)
+  let rng = Prob.Rng.of_int_seed 1 in
+  let inst =
+    Protocols.Disj_common.random_intersecting rng ~n:1000 ~k:16 ~witnesses:2
+  in
+  let r = (Protocols.Disj_batched.solve inst).Protocols.Disj_batched.result in
+  Printf.printf
+    "\nNon-disjoint instance (n=1000, k=16, 2 planted witnesses):\n";
+  Printf.printf "protocol says disjoint = %b in %d bits over %d cycles;\n"
+    r.Protocols.Disj_common.answer r.Protocols.Disj_common.bits
+    r.Protocols.Disj_common.cycles;
+  Printf.printf "ground-truth replicated objects: %s\n"
+    (String.concat ", "
+       (List.map string_of_int (Protocols.Disj_common.intersection inst)))

@@ -1,0 +1,123 @@
+(** Example: from broadcast communication to streaming memory — the
+    classical reduction the paper's introduction points to (Alon,
+    Matias & Szegedy).
+
+    A one-pass streaming algorithm using [S] bits of memory yields a
+    [k]-party broadcast protocol: the stream is split among the players,
+    player 1 runs the algorithm on its part and writes the memory state
+    on the blackboard, player 2 resumes from that state, and so on — a
+    total of [(k-1) * S] bits. Deciding whether the maximum frequency
+    [F_inf] of a stream of [k] sets reaches [k] is exactly set
+    disjointness, so the paper's [Omega(n log k + k)] bound forces
+    [S >= Omega((n log k) / k)] for exact one-pass [F_inf].
+
+    This example runs the reduction for real: an exact [F_inf] streaming
+    algorithm (a counter table — essentially memory-optimal for the
+    exact problem) is serialized through the blackboard with the
+    library's own codecs, and the induced protocol is checked against
+    ground truth and tabulated against the lower bound.
+
+    Run with: [dune exec examples/streaming_reduction.exe] *)
+
+(* A one-pass streaming algorithm with serializable state. *)
+type 'state algorithm = {
+  name : string;
+  init : n:int -> k:int -> 'state;
+  update : 'state -> int -> unit;  (** consume one stream element *)
+  frequency_reaches : 'state -> int -> bool;
+      (** does some element have frequency >= the threshold? *)
+  serialize : 'state -> Coding.Bitbuf.Writer.t;
+  deserialize : n:int -> k:int -> Coding.Bitbuf.Reader.t -> 'state;
+}
+
+(* Exact F_inf: a full table of per-element counters, each in
+   [0..k] stored in ceil(log2 (k+1)) bits — n log k memory, which is
+   what the lower bound says cannot be substantially beaten. *)
+let counter_table : int array algorithm =
+  {
+    name = "exact counter table";
+    init = (fun ~n ~k -> ignore k; Array.make n 0);
+    update = (fun st e -> st.(e) <- st.(e) + 1);
+    frequency_reaches = (fun st t -> Array.exists (fun c -> c >= t) st);
+    serialize =
+      (fun st ->
+        let w = Coding.Bitbuf.Writer.create () in
+        Array.iter (fun c -> Coding.Intcode.write_gamma0 w c) st;
+        w);
+    deserialize =
+      (fun ~n ~k:_ r ->
+        Array.init n (fun _ -> Coding.Intcode.read_gamma0 r));
+  }
+
+(* The induced broadcast protocol: split the stream by player, relay
+   the serialized state on the blackboard. *)
+let induced_protocol algo (inst : Protocols.Disj_common.instance) =
+  let k = Protocols.Disj_common.k_of inst in
+  let n = inst.Protocols.Disj_common.n in
+  let board = Blackboard.Board.create ~k in
+  let state = ref (algo.init ~n ~k) in
+  for player = 0 to k - 1 do
+    (* player resumes from the board (except player 0) *)
+    if player > 0 then begin
+      match Blackboard.Board.last_write board with
+      | None -> assert false
+      | Some wr ->
+          state :=
+            algo.deserialize ~n ~k (Blackboard.Board.reader_of_write wr)
+    end;
+    (* stream this player's elements *)
+    Array.iteri
+      (fun e present -> if present then algo.update !state e)
+      inst.Protocols.Disj_common.sets.(player);
+    (* post the state for the next player (the last player posts a
+       single answer bit instead) *)
+    if player < k - 1 then
+      Blackboard.Board.post board ~player ~label:"state" (algo.serialize !state)
+    else begin
+      let w = Coding.Bitbuf.Writer.create () in
+      Coding.Bitbuf.Writer.add_bit w (algo.frequency_reaches !state k);
+      Blackboard.Board.post board ~player ~label:"answer" w
+    end
+  done;
+  let non_disjoint = algo.frequency_reaches !state k in
+  (not non_disjoint, Blackboard.Board.total_bits board)
+
+let () =
+  Printf.printf
+    "=== Streaming memory lower bounds from broadcast communication ===\n\n";
+  Printf.printf
+    "Reduction: one-pass S-bit streaming algorithm for exact F_inf\n";
+  Printf.printf
+    "  => (k-1)*S + 1 bits of broadcast communication for DISJ_{n,k}\n";
+  Printf.printf
+    "  => S >= (n log2 k + k - 1) / (k - 1) by the paper's lower bound.\n\n";
+  let algo = counter_table in
+  Printf.printf "%8s %4s | %12s %14s | %10s %8s\n" "n" "k" "comm (bits)"
+    "S = state bits" "S bound" "correct";
+  List.iter
+    (fun (n, k) ->
+      let rng = Prob.Rng.of_int_seed ((n * 5) + k) in
+      let inst =
+        if k mod 2 = 0 then
+          Protocols.Disj_common.random_disjoint_single_zero rng ~n ~k
+        else Protocols.Disj_common.random_intersecting rng ~n ~k ~witnesses:1
+      in
+      let truth = Protocols.Disj_common.disjoint inst in
+      let answer, bits = induced_protocol algo inst in
+      let state_bits = bits / (k - 1) in
+      let bound =
+        ((float_of_int n *. Float.log2 (float_of_int k)) +. float_of_int k)
+        /. float_of_int (k - 1)
+      in
+      Printf.printf "%8d %4d | %12d %14d | %10.0f %8b\n" n k bits state_bits
+        (Float.ceil bound) (answer = truth))
+    [ (256, 4); (256, 8); (1024, 8); (1024, 16); (4096, 16); (4096, 64) ];
+  Printf.printf
+    "\nThe '%s' algorithm's relayed state costs about n bits per hop\n"
+    algo.name;
+  Printf.printf
+    "(gamma-coded counters, mostly zero/one), comfortably above the\n";
+  Printf.printf
+    "per-hop floor (n log2 k + k)/(k-1) that the DISJ bound imposes —\n";
+  Printf.printf
+    "no exact one-pass F_inf algorithm can relay asymptotically less.\n"

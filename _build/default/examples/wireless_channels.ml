@@ -1,0 +1,66 @@
+(** Example: single-hop wireless spectrum coordination.
+
+    The paper notes the broadcast model "can be viewed as an abstract
+    model of single-hop wireless networks". Here [k] radios each sense
+    which of [n] channels are free at their location; a channel is
+    usable for the whole cell only if it is free at {e every} radio.
+    Deciding whether such a channel exists is exactly the complement of
+    set disjointness on the free-channel sets, so the radios run the
+    Section-5 protocol over their (low-bandwidth, shared) control
+    channel.
+
+    Run with: [dune exec examples/wireless_channels.exe] *)
+
+let () =
+  let n = 2048 (* channels *) and k = 24 (* radios *) in
+  let rng = Prob.Rng.of_int_seed 77 in
+  Printf.printf "=== %d radios, %d channels: find a cell-wide free channel ===\n\n" k n;
+
+  (* Interference map: each channel is busy at a few random radios;
+     a handful of channels are free everywhere. *)
+  let make_scenario ~free_everywhere =
+    let busy_at = Array.init k (fun _ -> Array.make n false) in
+    for c = 0 to n - 1 do
+      let jammers = 1 + Prob.Rng.int rng 3 in
+      for _ = 1 to jammers do
+        busy_at.(Prob.Rng.int rng k).(c) <- true
+      done
+    done;
+    List.iter
+      (fun c ->
+        for r = 0 to k - 1 do
+          busy_at.(r).(c) <- false
+        done)
+      free_everywhere;
+    (* each radio's set of free channels *)
+    Protocols.Disj_common.make ~n
+      (Array.map (Array.map not) busy_at)
+  in
+
+  let run name inst =
+    let run = Protocols.Disj_batched.solve inst in
+    let r = run.Protocols.Disj_batched.result in
+    let usable = Protocols.Disj_common.intersection inst in
+    Printf.printf "%-28s: %-14s  %6d bits  %2d cycles  (truth: %s)\n" name
+      (if r.Protocols.Disj_common.answer then "no free channel"
+       else "channel exists")
+      r.Protocols.Disj_common.bits r.Protocols.Disj_common.cycles
+      (match usable with
+      | [] -> "none"
+      | cs ->
+          Printf.sprintf "%d usable, e.g. #%d" (List.length cs) (List.hd cs));
+    assert (r.Protocols.Disj_common.answer = (usable = []))
+  in
+
+  run "dense interference" (make_scenario ~free_everywhere:[]);
+  run "3 quiet channels" (make_scenario ~free_everywhere:[ 100; 1000; 2000 ]);
+  run "1 quiet channel" (make_scenario ~free_everywhere:[ 512 ]);
+
+  (* compare against shipping every radio's full sensing bitmap *)
+  Printf.printf
+    "\nShipping raw sensing bitmaps would cost n*k = %d bits; the batched\n"
+    (n * k);
+  Printf.printf
+    "protocol certifies the answer in O(n log k + k) — and when a quiet\n";
+  Printf.printf
+    "channel exists, a full pass-cycle detects it after O(k) bits.\n"

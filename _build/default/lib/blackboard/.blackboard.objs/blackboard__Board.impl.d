@@ -1,0 +1,1 @@
+lib/blackboard/board.ml: Array Coding Format List String

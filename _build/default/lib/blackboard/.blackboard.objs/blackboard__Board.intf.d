@@ -1,0 +1,1 @@
+lib/blackboard/board.mli: Coding Format

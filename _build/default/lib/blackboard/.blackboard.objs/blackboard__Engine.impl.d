@@ -1,0 +1,1 @@
+lib/blackboard/engine.ml: Array Board Coding

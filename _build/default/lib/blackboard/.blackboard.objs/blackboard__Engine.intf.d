@@ -1,0 +1,1 @@
+lib/blackboard/engine.mli: Board Coding

@@ -1,0 +1,1 @@
+lib/blackboard/runtime.ml: Array Board Prob

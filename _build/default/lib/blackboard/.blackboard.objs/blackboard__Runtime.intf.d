@@ -1,0 +1,1 @@
+lib/blackboard/runtime.mli: Board Prob

@@ -1,0 +1,42 @@
+type write = { player : int; bits : bool list; label : string }
+
+type t = {
+  k : int;
+  mutable rev_writes : write list;
+  mutable total : int;
+  by_player : int array;
+}
+
+let create ~k =
+  if k <= 0 then invalid_arg "Board.create: need at least one player";
+  { k; rev_writes = []; total = 0; by_player = Array.make k 0 }
+
+let players t = t.k
+
+let post_bits t ~player ?(label = "") bits =
+  if player < 0 || player >= t.k then invalid_arg "Board.post: bad player";
+  let n = List.length bits in
+  t.rev_writes <- { player; bits; label } :: t.rev_writes;
+  t.total <- t.total + n;
+  t.by_player.(player) <- t.by_player.(player) + n
+
+let post t ~player ?label w =
+  post_bits t ~player ?label (Coding.Bitbuf.Writer.to_bool_list w)
+
+let writes t = List.rev t.rev_writes
+let total_bits t = t.total
+let write_count t = List.length t.rev_writes
+let bits_by t i = t.by_player.(i)
+let last_write t = match t.rev_writes with [] -> None | w :: _ -> Some w
+let reader_of_write w = Coding.Bitbuf.Reader.of_bool_list w.bits
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>board (%d players, %d bits):@," t.k t.total;
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "  p%d%s: %s@," w.player
+        (if w.label = "" then "" else " [" ^ w.label ^ "]")
+        (String.concat ""
+           (List.map (fun b -> if b then "1" else "0") w.bits)))
+    (writes t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+(** The shared blackboard of the broadcast model (Section 3).
+
+    An append-only log of bit-string writes. Every player can read the
+    whole board for free; writing is charged per bit. The experiment
+    harnesses read the communication cost of a run straight off the
+    board, so no protocol can under-count its own communication. *)
+
+type t
+
+type write = {
+  player : int;  (** who wrote *)
+  bits : bool list;  (** the payload, in board order *)
+  label : string;  (** free-form tag for traces ("pass", "batch", ...) *)
+}
+
+val create : k:int -> t
+(** A fresh board for [k] players. *)
+
+val players : t -> int
+
+val post : t -> player:int -> ?label:string -> Coding.Bitbuf.Writer.t -> unit
+(** Append a write. @raise Invalid_argument for an out-of-range player. *)
+
+val post_bits : t -> player:int -> ?label:string -> bool list -> unit
+
+val writes : t -> write list
+(** All writes, oldest first. *)
+
+val total_bits : t -> int
+val write_count : t -> int
+val bits_by : t -> int -> int
+(** Bits contributed by one player. *)
+
+val last_write : t -> write option
+
+val reader_of_write : write -> Coding.Bitbuf.Reader.t
+(** Re-read a write's payload (what the other players do). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type player = {
+  speak : Board.t -> Coding.Bitbuf.Writer.t;
+  observe : Board.t -> unit;
+}
+
+type outcome = { board : Board.t; writes : int }
+
+let run ~k ~schedule ~players ?(max_writes = 1_000_000) () =
+  if Array.length players <> k then
+    invalid_arg "Engine.run: player array size mismatch";
+  let board = Board.create ~k in
+  let writes = ref 0 in
+  let rec loop () =
+    match schedule board with
+    | None -> ()
+    | Some i ->
+        if i < 0 || i >= k then invalid_arg "Engine.run: bad speaker index";
+        if !writes >= max_writes then
+          invalid_arg "Engine.run: max_writes exceeded";
+        let message = players.(i).speak board in
+        Board.post board ~player:i message;
+        incr writes;
+        Array.iter (fun p -> p.observe board) players;
+        loop ()
+  in
+  loop ();
+  { board; writes = !writes }
+
+let round_robin_n_writes ~k ~total board =
+  let done_ = Board.write_count board in
+  if done_ >= total then None else Some (done_ mod k)
+
+let one_pass ~k board =
+  let done_ = Board.write_count board in
+  if done_ >= k then None else Some done_

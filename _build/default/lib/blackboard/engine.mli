@@ -1,0 +1,46 @@
+(** A generic state-machine engine for operational broadcast protocols.
+
+    Section 3's discipline, enforced by types: at each point the
+    {e public board alone} determines whose turn it is (the [schedule]
+    function gets nothing else), and the chosen player produces its
+    message from its own closure state (input + private randomness) plus
+    the board. Every other player observes each write, so protocol
+    logic that "everyone tracks the covered set" lives in [observe]
+    callbacks rather than in shared mutable state.
+
+    The hand-written protocols in {!Protocols} inline this loop for
+    speed; the engine exists for protocols built at runtime and as the
+    reference discipline (tests check the inlined protocols against
+    engine-hosted reimplementations). *)
+
+type player = {
+  speak : Board.t -> Coding.Bitbuf.Writer.t;
+      (** called when scheduled; must not mutate the board directly *)
+  observe : Board.t -> unit;
+      (** called after every write (including the player's own) *)
+}
+
+type outcome = { board : Board.t; writes : int }
+
+val run :
+  k:int ->
+  schedule:(Board.t -> int option) ->
+  players:player array ->
+  ?max_writes:int ->
+  unit ->
+  outcome
+(** Drive the loop: while [schedule board] yields a player, let it
+    speak, post the write, notify all observers. Stops when the
+    schedule yields [None].
+    @raise Invalid_argument if the player array has the wrong size, a
+    scheduled index is out of range, or [max_writes] (default
+    [1_000_000]) is exceeded — runaway protection for buggy
+    schedules. *)
+
+(** {1 Ready-made schedules} *)
+
+val round_robin_n_writes : k:int -> total:int -> Board.t -> int option
+(** Players [0..k-1] in cyclic order until [total] writes occurred. *)
+
+val one_pass : k:int -> Board.t -> int option
+(** Each player speaks exactly once, in order. *)

@@ -1,0 +1,39 @@
+(** Driver utilities for operational protocol runs.
+
+    A protocol run is a loop in which, at each step, the current board
+    contents determine whose turn it is to speak; the chosen player
+    writes a message computed from its own input, its private
+    randomness, and the board. These helpers keep the concrete protocols
+    in {!Protocols} honest about that structure and collect run
+    statistics. *)
+
+type stats = {
+  bits : int;  (** total bits written on the board *)
+  messages : int;  (** number of writes *)
+  rounds : int;  (** protocol-defined cycles, if it reports them *)
+}
+
+let stats_of_board ?(rounds = 0) board =
+  { bits = Board.total_bits board; messages = Board.write_count board; rounds }
+
+(** Private randomness for [k] players, split deterministically from a
+    public seed so runs are reproducible and players' streams are
+    independent. *)
+let private_rngs ~seed ~k =
+  let master = Prob.Rng.of_int_seed seed in
+  Array.init k (fun _ -> Prob.Rng.split master)
+
+(** Public randomness stream shared by all players (and by the referee):
+    derived from the seed by a distinct split so it never collides with
+    a private stream. *)
+let public_rng ~seed =
+  let master = Prob.Rng.of_int_seed (seed lxor 0x5DEECE66D) in
+  Prob.Rng.split master
+
+(** [turn_robin ~k step] runs player-indexed steps [0, 1, ..., k-1] and
+    returns the first [Some] result, or [None] after a full cycle. *)
+let turn_robin ~k step =
+  let rec go i = if i = k then None else
+    match step i with Some r -> Some r | None -> go (i + 1)
+  in
+  go 0

@@ -1,0 +1,18 @@
+(** Driver utilities for operational protocol runs: reproducible
+    private/public randomness and small scheduling helpers. See
+    {!Engine} for the full state-machine driver. *)
+
+type stats = { bits : int; messages : int; rounds : int }
+
+val stats_of_board : ?rounds:int -> Board.t -> stats
+
+val private_rngs : seed:int -> k:int -> Prob.Rng.t array
+(** Independent per-player streams split deterministically from a
+    public seed. *)
+
+val public_rng : seed:int -> Prob.Rng.t
+(** The shared public-randomness stream; derived by a distinct split so
+    it never collides with a private stream. *)
+
+val turn_robin : k:int -> (int -> 'a option) -> 'a option
+(** Run player-indexed steps [0 .. k-1], returning the first [Some]. *)

@@ -1,0 +1,1 @@
+lib/coding/arith.ml: Array Bitbuf Float

@@ -1,0 +1,1 @@
+lib/coding/arith.mli: Bitbuf

@@ -1,0 +1,1 @@
+lib/coding/bitbuf.ml: Array Bytes Char Exact List String

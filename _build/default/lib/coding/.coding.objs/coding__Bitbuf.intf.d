@@ -1,0 +1,1 @@
+lib/coding/bitbuf.mli: Exact

@@ -1,0 +1,1 @@
+lib/coding/huffman.ml: Array Bitbuf Float List

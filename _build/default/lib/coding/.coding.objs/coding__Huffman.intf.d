@@ -1,0 +1,1 @@
+lib/coding/huffman.mli: Bitbuf

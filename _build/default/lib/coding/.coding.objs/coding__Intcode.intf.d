@@ -1,0 +1,1 @@
+lib/coding/intcode.mli: Bitbuf

@@ -1,0 +1,1 @@
+lib/coding/subset_codec.ml: Bitbuf Exact List

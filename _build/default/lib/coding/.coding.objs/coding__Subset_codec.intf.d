@@ -1,0 +1,1 @@
+lib/coding/subset_codec.mli: Bitbuf Exact

@@ -1,0 +1,151 @@
+(* Witten-Neal-Cleary integer arithmetic coder, 32-bit registers held in
+   OCaml ints (63-bit), most-significant-bit-first output. *)
+
+let code_bits = 32
+let top = (1 lsl code_bits) - 1
+let half = 1 lsl (code_bits - 1)
+let quarter = 1 lsl (code_bits - 2)
+let three_quarters = half + quarter
+let max_total = 1 lsl 16
+
+let check_freqs freqs symbol =
+  let n = Array.length freqs in
+  if symbol < 0 || symbol >= n then invalid_arg "Arith: bad symbol";
+  let total = Array.fold_left ( + ) 0 freqs in
+  if total <= 0 || total > max_total then invalid_arg "Arith: bad total";
+  Array.iter (fun f -> if f <= 0 then invalid_arg "Arith: zero frequency") freqs;
+  total
+
+let cum_range freqs symbol =
+  let lo = ref 0 in
+  for i = 0 to symbol - 1 do
+    lo := !lo + freqs.(i)
+  done;
+  (!lo, !lo + freqs.(symbol))
+
+module Encoder = struct
+  type t = {
+    out : Bitbuf.Writer.t;
+    mutable low : int;
+    mutable high : int;
+    mutable pending : int;
+    mutable finished : bool;
+  }
+
+  let create out = { out; low = 0; high = top; pending = 0; finished = false }
+
+  let emit t bit =
+    Bitbuf.Writer.add_bit t.out bit;
+    for _ = 1 to t.pending do
+      Bitbuf.Writer.add_bit t.out (not bit)
+    done;
+    t.pending <- 0
+
+  let encode t ~freqs symbol =
+    if t.finished then invalid_arg "Arith.Encoder: already finished";
+    let total = check_freqs freqs symbol in
+    let cum_lo, cum_hi = cum_range freqs symbol in
+    let range = t.high - t.low + 1 in
+    t.high <- t.low + (range * cum_hi / total) - 1;
+    t.low <- t.low + (range * cum_lo / total);
+    let continue = ref true in
+    while !continue do
+      if t.high < half then begin
+        emit t false;
+        t.low <- t.low * 2;
+        t.high <- (t.high * 2) + 1
+      end
+      else if t.low >= half then begin
+        emit t true;
+        t.low <- (t.low - half) * 2;
+        t.high <- ((t.high - half) * 2) + 1
+      end
+      else if t.low >= quarter && t.high < three_quarters then begin
+        t.pending <- t.pending + 1;
+        t.low <- (t.low - quarter) * 2;
+        t.high <- ((t.high - quarter) * 2) + 1
+      end
+      else continue := false
+    done
+
+  let finish t =
+    if t.finished then invalid_arg "Arith.Encoder: already finished";
+    t.finished <- true;
+    (* disambiguate the final interval: emit the quarter bit *)
+    t.pending <- t.pending + 1;
+    if t.low < quarter then emit t false else emit t true
+end
+
+module Decoder = struct
+  type t = {
+    input : Bitbuf.Reader.t;
+    mutable low : int;
+    mutable high : int;
+    mutable value : int;
+  }
+
+  let next_bit input =
+    if Bitbuf.Reader.remaining input > 0 then Bitbuf.Reader.read_bit input
+    else false
+
+  let create input =
+    let value = ref 0 in
+    for _ = 1 to code_bits do
+      value := (!value * 2) lor if next_bit input then 1 else 0
+    done;
+    { input; low = 0; high = top; value = !value }
+
+  let decode t ~freqs =
+    let total = Array.fold_left ( + ) 0 freqs in
+    let range = t.high - t.low + 1 in
+    (* scaled position of value within [low, high] *)
+    let scaled = (((t.value - t.low + 1) * total) - 1) / range in
+    (* find the symbol whose cumulative interval contains it *)
+    let symbol = ref 0 in
+    let cum = ref 0 in
+    while !cum + freqs.(!symbol) <= scaled do
+      cum := !cum + freqs.(!symbol);
+      incr symbol
+    done;
+    let cum_lo = !cum and cum_hi = !cum + freqs.(!symbol) in
+    t.high <- t.low + (range * cum_hi / total) - 1;
+    t.low <- t.low + (range * cum_lo / total);
+    let continue = ref true in
+    while !continue do
+      if t.high < half then begin
+        t.low <- t.low * 2;
+        t.high <- (t.high * 2) + 1;
+        t.value <- (t.value * 2) lor if next_bit t.input then 1 else 0
+      end
+      else if t.low >= half then begin
+        t.low <- (t.low - half) * 2;
+        t.high <- ((t.high - half) * 2) + 1;
+        t.value <-
+          (((t.value - half) * 2) lor if next_bit t.input then 1 else 0)
+      end
+      else if t.low >= quarter && t.high < three_quarters then begin
+        t.low <- (t.low - quarter) * 2;
+        t.high <- ((t.high - quarter) * 2) + 1;
+        t.value <-
+          (((t.value - quarter) * 2) lor if next_bit t.input then 1 else 0)
+      end
+      else continue := false
+    done;
+    !symbol
+end
+
+let freqs_of_probs ?(total = 1 lsl 14) probs =
+  let n = Array.length probs in
+  if n = 0 then invalid_arg "Arith.freqs_of_probs";
+  let raw =
+    Array.map
+      (fun p -> max 1 (int_of_float (Float.round (p *. float_of_int total))))
+      probs
+  in
+  (* keep the sum within bounds *)
+  let sum = Array.fold_left ( + ) 0 raw in
+  if sum > max_total then begin
+    let scale = float_of_int (max_total - n) /. float_of_int sum in
+    Array.map (fun f -> max 1 (int_of_float (float_of_int f *. scale))) raw
+  end
+  else raw

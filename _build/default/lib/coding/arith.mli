@@ -1,0 +1,45 @@
+(** Binary arithmetic (range) coding with adaptive per-symbol models.
+
+    Classic Witten-Neal-Cleary integer coder with 32-bit registers. The
+    model is supplied per symbol as an integer frequency table (the
+    caller adapts it between symbols; encoder and decoder must supply
+    identical tables, which in this repository both derive from the
+    observer posterior of {!Compress.Observer}).
+
+    Used by the one-shot compression experiment: a {e single stream}
+    over a whole transcript reaches the transcript entropy [H(T)] plus
+    O(1) — but requires one encoder who knows every message, which is
+    exactly what the broadcast model forbids; the legal per-message
+    variant ({!Sfe}) pays an O(1) flush per message, and the difference
+    is the paper's [Omega(k / log k)] one-shot gap, measured. *)
+
+module Encoder : sig
+  type t
+
+  val create : Bitbuf.Writer.t -> t
+
+  val encode : t -> freqs:int array -> int -> unit
+  (** [encode t ~freqs symbol] appends one symbol under the given
+      frequency table (all entries positive, total at most [2^16]).
+      @raise Invalid_argument on a bad table or symbol. *)
+
+  val finish : t -> unit
+  (** Flush the final interval (at most ~34 bits). Must be called
+      exactly once; the encoder must not be reused. *)
+end
+
+module Decoder : sig
+  type t
+
+  val create : Bitbuf.Reader.t -> t
+  (** The reader may be exhausted before decoding ends; missing bits
+      read as zeros (standard arithmetic-coding convention). *)
+
+  val decode : t -> freqs:int array -> int
+  (** Decode one symbol; the frequency table must match the encoder's. *)
+end
+
+val freqs_of_probs : ?total:int -> float array -> int array
+(** Quantize a probability vector into positive integer frequencies
+    summing to about [total] (default [2^14]); every entry at least 1 so
+    any symbol stays encodable. *)

@@ -1,0 +1,86 @@
+module Writer = struct
+  type t = { mutable data : Bytes.t; mutable len : int (* in bits *) }
+
+  let create () = { data = Bytes.make 16 '\000'; len = 0 }
+  let length t = t.len
+
+  let ensure t bits =
+    let needed = (t.len + bits + 7) / 8 in
+    if needed > Bytes.length t.data then begin
+      let cap = ref (Bytes.length t.data) in
+      while !cap < needed do
+        cap := !cap * 2
+      done;
+      let fresh = Bytes.make !cap '\000' in
+      Bytes.blit t.data 0 fresh 0 (Bytes.length t.data);
+      t.data <- fresh
+    end
+
+  let add_bit t b =
+    ensure t 1;
+    if b then begin
+      let byte = t.len / 8 and bit = t.len mod 8 in
+      Bytes.set t.data byte
+        (Char.chr (Char.code (Bytes.get t.data byte) lor (1 lsl bit)))
+    end;
+    t.len <- t.len + 1
+
+  let add_bits t v n =
+    if n < 0 || n > 62 then invalid_arg "Bitbuf.add_bits: width";
+    if v < 0 then invalid_arg "Bitbuf.add_bits: negative value";
+    for i = n - 1 downto 0 do
+      add_bit t ((v lsr i) land 1 = 1)
+    done
+
+  let add_bigint_bits t v n =
+    if Exact.Bigint.sign v < 0 then invalid_arg "Bitbuf.add_bigint_bits";
+    for i = n - 1 downto 0 do
+      add_bit t (Exact.Bigint.testbit v i)
+    done
+
+  let get_bit t i =
+    let byte = i / 8 and bit = i mod 8 in
+    (Char.code (Bytes.get t.data byte) lsr bit) land 1 = 1
+
+  let append dst src =
+    for i = 0 to src.len - 1 do
+      add_bit dst (get_bit src i)
+    done
+
+  let to_bool_list t = List.init t.len (get_bit t)
+
+  let to_string t =
+    String.init t.len (fun i -> if get_bit t i then '1' else '0')
+end
+
+module Reader = struct
+  type t = { bits : bool array; mutable pos : int }
+
+  let of_writer w = { bits = Array.of_list (Writer.to_bool_list w); pos = 0 }
+  let of_bool_list l = { bits = Array.of_list l; pos = 0 }
+  let pos t = t.pos
+  let remaining t = Array.length t.bits - t.pos
+
+  let read_bit t =
+    if t.pos >= Array.length t.bits then
+      invalid_arg "Bitbuf.Reader.read_bit: past end";
+    let b = t.bits.(t.pos) in
+    t.pos <- t.pos + 1;
+    b
+
+  let read_bits t n =
+    if n < 0 || n > 62 then invalid_arg "Bitbuf.Reader.read_bits: width";
+    let v = ref 0 in
+    for _ = 1 to n do
+      v := (!v lsl 1) lor if read_bit t then 1 else 0
+    done;
+    !v
+
+  let read_bigint_bits t n =
+    let v = ref Exact.Bigint.zero in
+    for _ = 1 to n do
+      v := Exact.Bigint.shift_left !v 1;
+      if read_bit t then v := Exact.Bigint.add !v Exact.Bigint.one
+    done;
+    !v
+end

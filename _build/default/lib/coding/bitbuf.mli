@@ -1,0 +1,46 @@
+(** Bit-level buffers: an append-only writer and a cursor-based reader.
+
+    Every message a protocol writes on the blackboard goes through these,
+    so the bit accounting of the experiments is the real length of a real
+    encoding, not a formula. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  (** Number of bits written so far. *)
+
+  val add_bit : t -> bool -> unit
+  val add_bits : t -> int -> int -> unit
+  (** [add_bits w v n] appends the [n] low bits of [v], most significant
+      first. Requires [0 <= n <= 62] and [v >= 0]. *)
+
+  val add_bigint_bits : t -> Exact.Bigint.t -> int -> unit
+  (** Append the [n] low bits of a non-negative bigint, most significant
+      first. *)
+
+  val append : t -> t -> unit
+  (** [append dst src] appends all bits of [src]. *)
+
+  val to_bool_list : t -> bool list
+  val to_string : t -> string
+  (** ['0'/'1'] rendering, for tests and traces. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_writer : Writer.t -> t
+  val of_bool_list : bool list -> t
+  val pos : t -> int
+  val remaining : t -> int
+
+  val read_bit : t -> bool
+  (** @raise Invalid_argument past the end of the buffer. *)
+
+  val read_bits : t -> int -> int
+  (** Read [n <= 62] bits, most significant first. *)
+
+  val read_bigint_bits : t -> int -> Exact.Bigint.t
+end

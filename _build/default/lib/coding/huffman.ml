@@ -1,0 +1,67 @@
+type tree = Leaf of int | Node of tree * tree
+
+type t = {
+  tree : tree;
+  codes : bool list array;  (** codeword per symbol, root-to-leaf *)
+}
+
+(* Build by repeatedly merging the two lightest subtrees. A sorted-list
+   "priority queue" is fine at these alphabet sizes. *)
+let build probs =
+  let n = Array.length probs in
+  if n = 0 then invalid_arg "Huffman.build: empty alphabet";
+  if n = 1 then begin
+    (* degenerate: one symbol, zero-length codeword *)
+    { tree = Leaf 0; codes = [| [] |] }
+  end
+  else begin
+    let items = List.init n (fun i -> (probs.(i), Leaf i)) in
+    let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) items in
+    let rec insert ((w, _) as x) = function
+      | [] -> [ x ]
+      | ((w', _) as y) :: rest ->
+          if w <= w' then x :: y :: rest else y :: insert x rest
+    in
+    let rec merge = function
+      | [] -> assert false
+      | [ (_, t) ] -> t
+      | (w1, t1) :: (w2, t2) :: rest ->
+          merge (insert (w1 +. w2, Node (t1, t2)) rest)
+    in
+    let tree = merge sorted in
+    let codes = Array.make n [] in
+    let rec walk prefix = function
+      | Leaf i -> codes.(i) <- List.rev prefix
+      | Node (l, r) ->
+          walk (false :: prefix) l;
+          walk (true :: prefix) r
+    in
+    walk [] tree;
+    { tree; codes }
+  end
+
+let code_lengths t = Array.map List.length t.codes
+
+let expected_length t probs =
+  let acc = ref 0. in
+  Array.iteri
+    (fun i p -> acc := !acc +. (p *. float_of_int (List.length t.codes.(i))))
+    probs;
+  !acc
+
+let kraft_sum t =
+  Array.fold_left
+    (fun acc code -> acc +. Float.pow 2. (-.float_of_int (List.length code)))
+    0. t.codes
+
+let encode t w symbol =
+  if symbol < 0 || symbol >= Array.length t.codes then
+    invalid_arg "Huffman.encode: bad symbol";
+  List.iter (Bitbuf.Writer.add_bit w) t.codes.(symbol)
+
+let decode t r =
+  let rec go = function
+    | Leaf i -> i
+    | Node (l, right) -> go (if Bitbuf.Reader.read_bit r then right else l)
+  in
+  go t.tree

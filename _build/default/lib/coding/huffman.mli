@@ -1,0 +1,31 @@
+(** Huffman coding — the classical single-shot baseline.
+
+    The paper's introduction frames its compression question against
+    classical one-way transmission: Shannon gives amortized cost
+    [H(X)] in the limit, Huffman gives a single message in at most
+    [H(X) + 1] bits — so for one-way transmission there is {e no} gap
+    between single-shot and amortized cost. Experiment E13 reproduces
+    that no-gap baseline with this module and contrasts it with the
+    interactive flush tax of E12. *)
+
+type t
+(** A prefix code over symbols [0 .. n-1]. *)
+
+val build : float array -> t
+(** Optimal prefix code for the given probability vector (zero entries
+    allowed; they get some finite codeword).
+    @raise Invalid_argument on an empty vector. *)
+
+val code_lengths : t -> int array
+
+val expected_length : t -> float array -> float
+(** Expected codeword length under a probability vector (usually the
+    one the code was built for); within [\[H, H+1)] for positive
+    vectors. *)
+
+val kraft_sum : t -> float
+(** [sum 2^-len]; equals 1 for the codes this module builds (every
+    Huffman code is complete). *)
+
+val encode : t -> Bitbuf.Writer.t -> int -> unit
+val decode : t -> Bitbuf.Reader.t -> int

@@ -1,0 +1,73 @@
+let fixed_width n =
+  if n <= 1 then 0
+  else
+    let rec go w v = if v >= n then w else go (w + 1) (v * 2) in
+    go 0 1
+
+let write_fixed w ~bound v =
+  if v < 0 || v >= bound then invalid_arg "Intcode.write_fixed: out of range";
+  Bitbuf.Writer.add_bits w v (fixed_width bound)
+
+let read_fixed r ~bound = Bitbuf.Reader.read_bits r (fixed_width bound)
+
+let write_unary w n =
+  if n < 0 then invalid_arg "Intcode.write_unary";
+  for _ = 1 to n do
+    Bitbuf.Writer.add_bit w true
+  done;
+  Bitbuf.Writer.add_bit w false
+
+let read_unary r =
+  let rec go acc = if Bitbuf.Reader.read_bit r then go (acc + 1) else acc in
+  go 0
+
+let bit_length n =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 n
+
+let write_gamma w n =
+  if n < 1 then invalid_arg "Intcode.write_gamma: requires n >= 1";
+  let len = bit_length n in
+  write_unary w (len - 1);
+  (* Low len-1 bits; the leading 1 is implied by the unary prefix. *)
+  Bitbuf.Writer.add_bits w (n - (1 lsl (len - 1))) (len - 1)
+
+let read_gamma r =
+  let len1 = read_unary r in
+  (1 lsl len1) lor Bitbuf.Reader.read_bits r len1
+
+let write_gamma0 w n = write_gamma w (n + 1)
+let read_gamma0 r = read_gamma r - 1
+
+let write_delta w n =
+  if n < 1 then invalid_arg "Intcode.write_delta: requires n >= 1";
+  let len = bit_length n in
+  write_gamma w len;
+  Bitbuf.Writer.add_bits w (n - (1 lsl (len - 1))) (len - 1)
+
+let read_delta r =
+  let len = read_gamma r in
+  (1 lsl (len - 1)) lor Bitbuf.Reader.read_bits r (len - 1)
+
+let zigzag n = if n >= 0 then 2 * n else (-2 * n) - 1
+let unzigzag n = if n land 1 = 0 then n / 2 else -((n + 1) / 2)
+let write_signed_gamma w n = write_gamma0 w (zigzag n)
+let read_signed_gamma r = unzigzag (read_gamma0 r)
+
+let write_rice w ~k n =
+  if n < 0 || k < 0 then invalid_arg "Intcode.write_rice";
+  write_unary w (n lsr k);
+  Bitbuf.Writer.add_bits w (n land ((1 lsl k) - 1)) k
+
+let read_rice r ~k =
+  let q = read_unary r in
+  (q lsl k) lor Bitbuf.Reader.read_bits r k
+
+let gamma_cost n =
+  if n < 1 then invalid_arg "Intcode.gamma_cost";
+  (2 * bit_length n) - 1
+
+let delta_cost n =
+  if n < 1 then invalid_arg "Intcode.delta_cost";
+  let len = bit_length n in
+  gamma_cost len + len - 1

@@ -1,0 +1,56 @@
+(** Self-delimiting integer codes.
+
+    The Lemma-7 compression protocol writes a block index (a geometric-ish
+    variable, Elias gamma) and a log-ratio (a small signed integer,
+    zigzag + gamma); the Section-5 disjointness protocol writes
+    fixed-width coordinates. All codes here are exactly invertible and
+    their bit costs are what the experiments charge. *)
+
+val fixed_width : int -> int
+(** [fixed_width n] is the number of bits needed for values in
+    [\[0, n)]: [ceil(log2 n)], and 0 when [n <= 1]. *)
+
+val write_fixed : Bitbuf.Writer.t -> bound:int -> int -> unit
+(** Write a value in [\[0, bound)] using [fixed_width bound] bits. *)
+
+val read_fixed : Bitbuf.Reader.t -> bound:int -> int
+
+val write_unary : Bitbuf.Writer.t -> int -> unit
+(** [n >= 0] as [n] ones followed by a zero. *)
+
+val read_unary : Bitbuf.Reader.t -> int
+
+val write_gamma : Bitbuf.Writer.t -> int -> unit
+(** Elias gamma for [n >= 1]: [2 floor(log2 n) + 1] bits. *)
+
+val read_gamma : Bitbuf.Reader.t -> int
+
+val write_gamma0 : Bitbuf.Writer.t -> int -> unit
+(** Gamma shifted to cover [n >= 0]. *)
+
+val read_gamma0 : Bitbuf.Reader.t -> int
+
+val write_delta : Bitbuf.Writer.t -> int -> unit
+(** Elias delta for [n >= 1]: asymptotically [log n + 2 log log n]. *)
+
+val read_delta : Bitbuf.Reader.t -> int
+
+val zigzag : int -> int
+(** Map signed to unsigned: [0, -1, 1, -2, 2 -> 0, 1, 2, 3, 4]. *)
+
+val unzigzag : int -> int
+
+val write_signed_gamma : Bitbuf.Writer.t -> int -> unit
+(** Any signed integer via zigzag + gamma0. *)
+
+val read_signed_gamma : Bitbuf.Reader.t -> int
+
+val write_rice : Bitbuf.Writer.t -> k:int -> int -> unit
+(** Golomb-Rice with parameter [k]: quotient unary, remainder [k] bits. *)
+
+val read_rice : Bitbuf.Reader.t -> k:int -> int
+
+val gamma_cost : int -> int
+(** Bit cost of [write_gamma] without writing. *)
+
+val delta_cost : int -> int

@@ -1,0 +1,82 @@
+module B = Exact.Bigint
+
+let check_sorted ~z subset =
+  let rec go prev = function
+    | [] -> ()
+    | x :: rest ->
+        if x <= prev || x >= z then
+          invalid_arg "Subset_codec: not strictly increasing in [0, z)";
+        go x rest
+  in
+  go (-1) subset
+
+(* Colexicographic combinadic: with the subset sorted increasingly as
+   c_0 < c_1 < ... < c_{m-1}, the rank is sum_i C(c_i, i+1).
+
+   Computed in one scan over positions, maintaining b = C(c, j) (where
+   j-1 elements have been consumed) by small-integer multiply/divide
+   steps — O(z) bigint-by-word operations total, instead of m
+   from-scratch binomials:
+     advance position:  C(c+1, j) = C(c, j) * (c+1) / (c+1-j)
+     consume element:   C(c, j+1) = C(c, j) * (c-j) / (j+1)        *)
+let rank ~z subset =
+  check_sorted ~z subset;
+  let rec go c j b rem rank =
+    (* b = C(c, j); rem = elements still to consume (ascending) *)
+    match rem with
+    | [] -> rank
+    | e :: rest ->
+        if c = e then begin
+          let rank = B.add rank b in
+          let b' =
+            if c < j + 1 then B.zero
+            else B.div (B.mul_int b (c - j)) (B.of_int (j + 1))
+          in
+          go c (j + 1) b' rest rank
+        end
+        else
+          let b' =
+            if c + 1 < j then B.zero
+            else if c + 1 = j then B.one
+            else B.div (B.mul_int b (c + 1)) (B.of_int (c + 1 - j))
+          in
+          go (c + 1) j b' rem rank
+  in
+  go 0 1 B.zero subset B.zero
+
+let unrank ~z ~m index =
+  if m < 0 || m > z then invalid_arg "Subset_codec.unrank: bad m";
+  (* Greedy from the largest element down, maintaining the running
+     binomial incrementally (each step is a small-int multiply/divide),
+     so the whole unrank is O(z + m) bigint-by-word operations:
+       C(c-1, i) = C(c, i) * (c - i) / c        (decrement c)
+       C(c, i-1) = C(c, i) * i / (c - i + 1)    (decrement i)  *)
+  let rec go i c b rem acc =
+    (* Invariant: b = C(c, i), all elements selected so far exceed c. *)
+    if B.compare b rem <= 0 then begin
+      (* c is the i-th largest element *)
+      let rem = B.sub rem b in
+      if i = 1 then c :: acc
+      else
+        let b' = B.div (B.mul_int b i) (B.of_int c) (* C(c-1, i-1) *) in
+        go (i - 1) (c - 1) b' rem (c :: acc)
+    end
+    else
+      let b' = B.div (B.mul_int b (c - i)) (B.of_int c) (* C(c-1, i) *) in
+      go i (c - 1) b' rem acc
+  in
+  if m = 0 then [] else go m (z - 1) (B.binomial (z - 1) m) index []
+
+let code_bits ~z ~m =
+  let count = B.binomial z m in
+  if B.compare count B.one <= 0 then 0
+  else B.num_bits (B.sub count B.one)
+
+let write w ~z subset =
+  let m = List.length subset in
+  let bits = code_bits ~z ~m in
+  Bitbuf.Writer.add_bigint_bits w (rank ~z subset) bits
+
+let read r ~z ~m =
+  let bits = code_bits ~z ~m in
+  unrank ~z ~m (Bitbuf.Reader.read_bigint_bits r bits)

@@ -1,0 +1,28 @@
+(** Combinatorial-number-system codec for fixed-size subsets.
+
+    The Section-5 disjointness protocol "packs together" batches of
+    [z/k] zero-coordinates and writes them "encoded as a subset of
+    [Z_i]"; the optimal such encoding indexes the subset among all
+    [choose z m] possibilities, costing [ceil(log2 (choose z m))] bits —
+    the [ (z/k) log(ek) ] of the paper. This module implements that
+    encoding exactly, with bigint ranks so that [z] in the tens of
+    thousands is fine. *)
+
+val rank : z:int -> int list -> Exact.Bigint.t
+(** [rank ~z subset] maps a strictly-increasing list of elements of
+    [\[0, z)] to its index in the colexicographic order of all
+    [|subset|]-subsets.
+    @raise Invalid_argument if the list is not strictly increasing or
+    out of range. *)
+
+val unrank : z:int -> m:int -> Exact.Bigint.t -> int list
+(** Inverse of [rank] for [m]-subsets of [\[0, z)]. *)
+
+val code_bits : z:int -> m:int -> int
+(** Exact bit width of the encoding: [ceil(log2 (choose z m))]. *)
+
+val write : Bitbuf.Writer.t -> z:int -> int list -> unit
+(** Encode a subset (the size [m] must be known to the reader from
+    context, as in the protocol). *)
+
+val read : Bitbuf.Reader.t -> z:int -> m:int -> int list

@@ -1,0 +1,1 @@
+lib/compress/amortized.ml: Array Blackboard Coding Factored_sampler Float Hashtbl List Observer Option Point_sampler Prob Proto

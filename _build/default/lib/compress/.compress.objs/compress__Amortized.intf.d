@@ -1,0 +1,1 @@
+lib/compress/amortized.mli: Prob Proto

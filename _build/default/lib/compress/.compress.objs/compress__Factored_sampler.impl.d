@@ -1,0 +1,1 @@
+lib/compress/factored_sampler.ml: Array Coding Float Point_sampler Prob Stdlib

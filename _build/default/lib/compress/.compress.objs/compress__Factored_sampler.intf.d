@@ -1,0 +1,1 @@
+lib/compress/factored_sampler.mli: Coding Prob

@@ -1,0 +1,1 @@
+lib/compress/observer.ml: Array Exact List Prob Proto

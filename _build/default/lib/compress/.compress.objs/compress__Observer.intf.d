@@ -1,0 +1,1 @@
+lib/compress/observer.mli: Prob Proto

@@ -1,0 +1,1 @@
+lib/compress/oneshot.ml: Array Coding Exact Factored_sampler List Observer Prob Proto

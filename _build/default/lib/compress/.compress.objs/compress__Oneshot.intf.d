@@ -1,0 +1,1 @@
+lib/compress/oneshot.mli: Prob Proto

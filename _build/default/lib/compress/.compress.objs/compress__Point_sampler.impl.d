@@ -1,0 +1,1 @@
+lib/compress/point_sampler.ml: Array Coding Float List Prob

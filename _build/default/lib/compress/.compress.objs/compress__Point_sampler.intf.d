@@ -1,0 +1,1 @@
+lib/compress/point_sampler.mli: Coding Prob

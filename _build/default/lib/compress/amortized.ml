@@ -1,0 +1,306 @@
+(** Theorem 3: amortized compression of many parallel copies.
+
+    Given [n] independent inputs drawn from [mu], the players run [n]
+    copies of the protocol {e in parallel, round by round}: at each
+    round, the messages of all copies (whose current speaker coincides)
+    are transmitted {e jointly} by one invocation of the Lemma-7 point
+    sampler over the product universe. The per-round divergence adds up
+    across copies to the round's information cost, while the
+    [O(log(...))] overhead of the sampler is paid once per round — not
+    once per copy — which is exactly why the per-copy cost converges to
+    [IC_mu(Pi)] as [n] grows.
+
+    The simulation is literal (the actual point process is run), so the
+    product universe must stay enumerable: [prod arities <= 2^max_log_u]
+    per transmission. With binary messages this allows a few dozen
+    parallel copies — enough to exhibit the convergence. *)
+
+module T = Proto.Tree
+
+type run = {
+  copies : int;
+  total_bits : int;
+  per_copy_bits : float;
+  rounds : int;  (** parallel rounds executed *)
+  transmissions : int;  (** point-sampler invocations *)
+  aborted : int;  (** transmissions that hit the fallback path *)
+  outputs : int array;  (** per-copy protocol outputs *)
+  agreed : bool;  (** every decoder matched every speaker *)
+}
+
+let max_log_u = 20
+
+let mixed_radix_encode arities values =
+  let code = ref 0 in
+  Array.iteri (fun i v -> code := (!code * arities.(i)) + v) values;
+  !code
+
+let mixed_radix_decode arities code =
+  let n = Array.length arities in
+  let values = Array.make n 0 in
+  let c = ref code in
+  for i = n - 1 downto 0 do
+    values.(i) <- !c mod arities.(i);
+    c := !c / arities.(i)
+  done;
+  values
+
+(** [compress_parallel ~seed ~tree ~mu ~inputs ()] runs the compressed
+    [n]-fold protocol on the given per-copy inputs (each an array of
+    per-player inputs). *)
+let compress_parallel ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
+  let copies = Array.length inputs in
+  if copies = 0 then invalid_arg "Amortized.compress_parallel: no copies";
+  let public = Blackboard.Runtime.public_rng ~seed in
+  let writer = Coding.Bitbuf.Writer.create () in
+  let observers = Array.map (fun _ -> Observer.create tree mu) inputs in
+  let rounds = ref 0 in
+  let transmissions = ref 0 in
+  let aborted = ref 0 in
+  let agreed = ref true in
+  let max_blocks = Point_sampler.default_max_blocks eps in
+  let any_active () = Array.exists (fun o -> not (Observer.finished o)) observers in
+  (* Resolve chance nodes with shared public coins until every active
+     copy sits at a Speak node. *)
+  let settle_chance () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun c o ->
+          match Observer.chance_view o with
+          | Some law ->
+              let coin_rng = Prob.Rng.split public in
+              let x = ref (Prob.Rng.float coin_rng) in
+              let pick = ref 0 in
+              (try
+                 Array.iteri
+                   (fun i p ->
+                     if !x < p then begin
+                       pick := i;
+                       raise Exit
+                     end
+                     else x := !x -. p)
+                   law
+               with Exit -> ());
+              observers.(c) <- Observer.advance_coin o !pick;
+              changed := true
+          | None -> ())
+        observers
+    done
+  in
+  while any_active () do
+    incr rounds;
+    settle_chance ();
+    (* Group active copies by speaker. *)
+    let groups = Hashtbl.create 4 in
+    Array.iteri
+      (fun c o ->
+        match Observer.speak_view o with
+        | Some (speaker, _, _) ->
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt groups speaker)
+            in
+            Hashtbl.replace groups speaker (c :: existing)
+        | None -> ())
+      observers;
+    let speakers = List.sort compare (Hashtbl.fold (fun s _ acc -> s :: acc) groups []) in
+    List.iter
+      (fun speaker ->
+        let group = List.rev (Hashtbl.find groups speaker) in
+        let group = Array.of_list group in
+        let arities = Array.make (Array.length group) 0 in
+        let etas = Array.make (Array.length group) [||] in
+        let nus = Array.make (Array.length group) [||] in
+        Array.iteri
+          (fun gi c ->
+            match Observer.speak_view observers.(c) with
+            | Some (_, arity, nu) ->
+                arities.(gi) <- arity;
+                nus.(gi) <- nu;
+                etas.(gi) <- Observer.speaker_eta observers.(c) inputs.(c).(speaker)
+            | None -> assert false)
+          group;
+        let log_u =
+          Array.fold_left
+            (fun acc a -> acc +. Float.log2 (float_of_int a))
+            0. arities
+        in
+        if log_u > float_of_int max_log_u then
+          invalid_arg
+            "Amortized.compress_parallel: product universe too large \
+             (reduce copies)";
+        let u =
+          Array.fold_left (fun acc a -> acc * a) 1 arities
+        in
+        (* Product eta and nu over the group's joint message. *)
+        let eta = Array.make u 0. and nu = Array.make u 0. in
+        for code = 0 to u - 1 do
+          let values = mixed_radix_decode arities code in
+          let pe = ref 1. and pn = ref 1. in
+          Array.iteri
+            (fun gi v ->
+              pe := !pe *. etas.(gi).(v);
+              pn := !pn *. nus.(gi).(v))
+            values;
+          eta.(code) <- !pe;
+          nu.(code) <- !pn
+        done;
+        (* Fresh shared round stream; the decoder gets an equal copy. *)
+        let round_rng = Prob.Rng.split public in
+        let decoder_rng = Prob.Rng.copy round_rng in
+        let reader_mark = Coding.Bitbuf.Writer.length writer in
+        let res =
+          Point_sampler.transmit ~rng:round_rng ~eta ~nu ~eps ~max_blocks
+            writer
+        in
+        incr transmissions;
+        if res.aborted then incr aborted;
+        (* Run the honest decoder on the bits just written. *)
+        let all_bits = Coding.Bitbuf.Writer.to_bool_list writer in
+        let round_bits =
+          List.filteri (fun i _ -> i >= reader_mark) all_bits
+        in
+        let reader = Coding.Bitbuf.Reader.of_bool_list round_bits in
+        let decoded =
+          Point_sampler.decode ~rng:decoder_rng ~nu ~u ~max_blocks reader
+        in
+        if decoded <> res.sent then agreed := false;
+        (* Advance every copy in the group on its component message. *)
+        let values = mixed_radix_decode arities res.sent in
+        Array.iteri
+          (fun gi c ->
+            observers.(c) <- Observer.advance_msg observers.(c) values.(gi))
+          group)
+      speakers;
+    settle_chance ()
+  done;
+  let total_bits = Coding.Bitbuf.Writer.length writer in
+  {
+    copies;
+    total_bits;
+    per_copy_bits = float_of_int total_bits /. float_of_int copies;
+    rounds = !rounds;
+    transmissions = !transmissions;
+    aborted = !aborted;
+    outputs = Array.map Observer.output_exn observers;
+    agreed = !agreed;
+  }
+
+(** Like {!compress_parallel} but driven by the cost-faithful
+    {!Factored_sampler}, so the number of copies is unbounded by the
+    product-universe size (hundreds of copies are fine). No honest
+    decoder runs (there are no literal points to replay), so [agreed]
+    is reported true; the two simulators are cross-validated at small
+    sizes by the test suite. *)
+let compress_parallel_factored ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
+  let copies = Array.length inputs in
+  if copies = 0 then invalid_arg "Amortized.compress_parallel_factored";
+  let public = Blackboard.Runtime.public_rng ~seed in
+  let writer = Coding.Bitbuf.Writer.create () in
+  let observers = Array.map (fun _ -> Observer.create tree mu) inputs in
+  let rounds = ref 0 in
+  let transmissions = ref 0 in
+  let aborted = ref 0 in
+  let any_active () = Array.exists (fun o -> not (Observer.finished o)) observers in
+  let settle_chance () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun c o ->
+          match Observer.chance_view o with
+          | Some law ->
+              let coin_rng = Prob.Rng.split public in
+              let x = ref (Prob.Rng.float coin_rng) in
+              let pick = ref 0 in
+              (try
+                 Array.iteri
+                   (fun i p ->
+                     if !x < p then begin
+                       pick := i;
+                       raise Exit
+                     end
+                     else x := !x -. p)
+                   law
+               with Exit -> ());
+              observers.(c) <- Observer.advance_coin o !pick;
+              changed := true
+          | None -> ())
+        observers
+    done
+  in
+  while any_active () do
+    incr rounds;
+    settle_chance ();
+    let groups = Hashtbl.create 4 in
+    Array.iteri
+      (fun c o ->
+        match Observer.speak_view o with
+        | Some (speaker, _, _) ->
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt groups speaker)
+            in
+            Hashtbl.replace groups speaker (c :: existing)
+        | None -> ())
+      observers;
+    let speakers =
+      List.sort compare (Hashtbl.fold (fun sp _ acc -> sp :: acc) groups [])
+    in
+    List.iter
+      (fun speaker ->
+        let group = Array.of_list (List.rev (Hashtbl.find groups speaker)) in
+        let etas =
+          Array.map
+            (fun c -> Observer.speaker_eta observers.(c) inputs.(c).(speaker))
+            group
+        in
+        let nus =
+          Array.map
+            (fun c ->
+              match Observer.speak_view observers.(c) with
+              | Some (_, _, nu) -> nu
+              | None -> assert false)
+            group
+        in
+        let round_rng = Prob.Rng.split public in
+        let res =
+          Factored_sampler.transmit ~rng:round_rng ~etas ~nus ~eps writer
+        in
+        incr transmissions;
+        if res.Factored_sampler.aborted then incr aborted;
+        Array.iteri
+          (fun gi c ->
+            observers.(c) <-
+              Observer.advance_msg observers.(c) res.Factored_sampler.sent.(gi))
+          group)
+      speakers;
+    settle_chance ()
+  done;
+  let total_bits = Coding.Bitbuf.Writer.length writer in
+  {
+    copies;
+    total_bits;
+    per_copy_bits = float_of_int total_bits /. float_of_int copies;
+    rounds = !rounds;
+    transmissions = !transmissions;
+    aborted = !aborted;
+    outputs = Array.map Observer.output_exn observers;
+    agreed = true;
+  }
+
+let draw_inputs ~seed ~mu ~copies =
+  let sampler = Prob.Sampler.create (Prob.Dist_exact.to_float_dist mu) in
+  let rng = Prob.Rng.of_int_seed (seed * 7919) in
+  Array.init copies (fun _ -> Prob.Sampler.draw sampler rng)
+
+(** Draw [copies] iid inputs from [mu] (by its float image) and run the
+    compressed protocol; convenience for experiments. *)
+let compress_random ?(eps = 0.01) ~seed ~tree ~mu ~copies () =
+  let inputs = draw_inputs ~seed ~mu ~copies in
+  (compress_parallel ~eps ~seed ~tree ~mu ~inputs (), inputs)
+
+(** {!compress_random} on the factored simulator. *)
+let compress_random_factored ?(eps = 0.01) ~seed ~tree ~mu ~copies () =
+  let inputs = draw_inputs ~seed ~mu ~copies in
+  (compress_parallel_factored ~eps ~seed ~tree ~mu ~inputs (), inputs)

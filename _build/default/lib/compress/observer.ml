@@ -1,0 +1,86 @@
+(** The external observer's view of one protocol copy.
+
+    Tracks the exact posterior over the inputs given the transcript so
+    far (as an unnormalized weighted support), from which the observer's
+    next-message prior [nu] — the footnote-3 prediction — is computed.
+    The speaker's true next-message law [eta] depends on its input; both
+    are produced here so the compressor can be driven round by round. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+module T = Proto.Tree
+
+type 'a t = {
+  node : 'a T.t;  (** current position in the protocol tree *)
+  weighted : ('a array * R.t) list;  (** unnormalized posterior over inputs *)
+}
+
+let create tree mu = { node = tree; weighted = D.to_alist mu }
+
+let finished t = match t.node with T.Output _ -> true | _ -> false
+
+let output_exn t =
+  match t.node with
+  | T.Output v -> v
+  | _ -> invalid_arg "Observer.output_exn: protocol still running"
+
+(** At a [Speak] node: the speaker index, the message arity, and the
+    observer's prior [nu] over the next message (normalized, float). *)
+let speak_view t =
+  match t.node with
+  | T.Speak { speaker; emit; children } ->
+      let arity = Array.length children in
+      let mix = Array.make arity R.zero in
+      List.iter
+        (fun (x, w) ->
+          List.iter
+            (fun (m, p) -> mix.(m) <- R.add mix.(m) (R.mul w p))
+            (D.to_alist (emit x.(speaker))))
+        t.weighted;
+      let mass = Array.fold_left R.add R.zero mix in
+      let nu = Array.map (fun w -> R.to_float (R.div w mass)) mix in
+      Some (speaker, arity, nu)
+  | _ -> None
+
+(** The speaker's true law [eta] of the next message given its actual
+    input (float vector over the arity). *)
+let speaker_eta t input =
+  match t.node with
+  | T.Speak { emit; children; _ } ->
+      let arity = Array.length children in
+      let eta = Array.make arity 0. in
+      List.iter
+        (fun (m, p) -> eta.(m) <- R.to_float p)
+        (D.to_alist (emit input));
+      eta
+  | _ -> invalid_arg "Observer.speaker_eta: not at a Speak node"
+
+(** Advance past a [Speak] node on message [m], updating the posterior
+    by the per-input emission likelihood. *)
+let advance_msg t m =
+  match t.node with
+  | T.Speak { speaker; emit; children } ->
+      let weighted =
+        List.filter_map
+          (fun (x, w) ->
+            let p = D.prob_of (emit x.(speaker)) m in
+            if R.is_zero p then None else Some (x, R.mul w p))
+          t.weighted
+      in
+      { node = children.(m); weighted }
+  | _ -> invalid_arg "Observer.advance_msg: not at a Speak node"
+
+(** At a [Chance] node: the public-coin law as floats. *)
+let chance_view t =
+  match t.node with
+  | T.Chance { coin; children } ->
+      let arity = Array.length children in
+      let law = Array.make arity 0. in
+      List.iter (fun (c, p) -> law.(c) <- R.to_float p) (D.to_alist coin);
+      Some law
+  | _ -> None
+
+let advance_coin t c =
+  match t.node with
+  | T.Chance { children; _ } -> { t with node = children.(c) }
+  | _ -> invalid_arg "Observer.advance_coin: not at a Chance node"

@@ -1,0 +1,53 @@
+(** Broadcast information complexity — public API facade.
+
+    Reproduction of Braverman & Oshman, "On Information Complexity in
+    the Broadcast Model" (PODC 2015). The sub-libraries are re-exported
+    here under one roof; see each module's documentation for details.
+
+    {2 Layering}
+
+    - {!Exact}: arbitrary-precision integers and rationals (built from
+      scratch) for exact probability computations.
+    - {!Prob}: deterministic PRNG, finite distributions (float and
+      exact-rational), joint-distribution operations, fast samplers.
+    - {!Infotheory}: entropy, KL divergence, (conditional) mutual
+      information over finite distributions.
+    - {!Coding}: bit buffers, self-delimiting integer codes, and the
+      combinatorial subset codec used by the Section-5 protocol.
+    - {!Proto}: exact protocol-tree semantics of the broadcast model —
+      transcript laws, communication cost, error probabilities, external
+      and conditional information cost, and the Lemma-3/4
+      [q]-decomposition.
+    - {!Blackboard}: the operational shared-blackboard runtime with real
+      bit accounting.
+    - {!Protocols}: concrete protocols — sequential/broadcast [AND_k],
+      the Section-5 batched disjointness protocol and its baselines, the
+      hard distributions of Sections 4 and 6.
+    - {!Compress}: the Lemma-7 point-sampling compressor and the
+      Theorem-3 amortized parallel compression.
+    - {!Lowerbound}: the Section-4 lower-bound machinery as exact
+      computations — good-transcript classification, Lemma-2 and
+      eq.(3)-(7) checks, the Lemma-1 direct-sum embedding, the Lemma-6
+      fooling argument.
+
+    {2 Quickstart}
+
+    {[
+      let k = 6 in
+      let tree = Core.Protocols.And_protocols.sequential k in
+      let mu = Core.Protocols.Hard_dist.mu_and ~k in
+      let ic = Core.Proto.Information.external_ic tree mu in
+      Format.printf "IC of sequential AND_%d: %.4f bits@." k ic
+    ]} *)
+
+module Exact = Exact
+module Prob = Prob
+module Infotheory = Infotheory
+module Coding = Coding
+module Proto = Proto
+module Blackboard = Blackboard
+module Protocols = Protocols
+module Compress = Compress
+module Lowerbound = Lowerbound
+
+let version = "1.0.0"

@@ -1,0 +1,1 @@
+lib/exact/rational.ml: Bigint Float Format Int64 List

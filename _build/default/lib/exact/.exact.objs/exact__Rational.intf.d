@@ -1,0 +1,1 @@
+lib/exact/rational.mli: Bigint Format

@@ -1,0 +1,388 @@
+(* Arbitrary-precision signed integers, sign-magnitude over base-2^30
+   limbs (least-significant first). Magnitudes are normalized: no
+   trailing zero limbs, so zero is the empty array and sign 0. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; (* -1, 0, or 1 *) mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let normalize mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let t = top (n - 1) in
+  if t = n - 1 then mag else Array.sub mag 0 (t + 1)
+
+let mag_is_zero mag = Array.length mag = 0
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = Stdlib.max la lb in
+  let r = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let ai = if i < la then a.(i) else 0 in
+    let bi = if i < lb then b.(i) else 0 in
+    let s = ai + bi + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(n) <- !carry;
+  normalize r
+
+(* Requires a >= b. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    let bi = if i < lb then b.(i) else 0 in
+    let d = ai - bi - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  normalize r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai * b.(j) < 2^60, plus r and carry stays within 62 bits *)
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land base_mask;
+        carry := s lsr base_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_mag_int a m =
+  (* m must satisfy 0 <= m < base *)
+  if m = 0 || mag_is_zero a then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * m) + !carry in
+      r.(i) <- s land base_mask;
+      carry := s lsr base_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let num_bits_mag a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else
+    let top = a.(la - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((la - 1) * base_bits) + width top 0
+
+let shift_left_mag a n =
+  if mag_is_zero a || n = 0 then a
+  else begin
+    let limb_shift = n / base_bits and bit_shift = n mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bit_shift in
+      r.(i + limb_shift) <- r.(i + limb_shift) lor (v land base_mask);
+      r.(i + limb_shift + 1) <- v lsr base_bits
+    done;
+    normalize r
+  end
+
+let shift_right_mag a n =
+  if mag_is_zero a || n = 0 then a
+  else begin
+    let limb_shift = n / base_bits and bit_shift = n mod base_bits in
+    let la = Array.length a in
+    if limb_shift >= la then [||]
+    else begin
+      let lr = la - limb_shift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if bit_shift = 0 || i + limb_shift + 1 >= la then 0
+          else (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land base_mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let testbit_mag a i =
+  let limb = i / base_bits and bit = i mod base_bits in
+  limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
+
+(* Fast path: divisor fits in one limb. Word-wise long division,
+   O(limbs of a). *)
+let div_mod_mag_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+(* Schoolbook long division on magnitudes, one quotient bit at a time.
+   Adequate for the sizes this library sees (a few thousand bits);
+   single-limb divisors take the word-wise fast path. *)
+let div_mod_mag a b =
+  if mag_is_zero b then raise Division_by_zero;
+  if Array.length b = 1 then begin
+    let q, r = div_mod_mag_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else if cmp_mag a b < 0 then ([||], a)
+  else begin
+    let na = num_bits_mag a in
+    let q = Array.make ((na / base_bits) + 1) 0 in
+    let rem = ref [||] in
+    for i = na - 1 downto 0 do
+      let r = shift_left_mag !rem 1 in
+      let r = if testbit_mag a i then add_mag r [| 1 |] else r in
+      if cmp_mag r b >= 0 then begin
+        rem := sub_mag r b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+      else rem := r
+    done;
+    (normalize q, !rem)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = normalize mag in
+  if mag_is_zero mag then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* Careful with min_int: abs would overflow, so peel limbs using
+       arithmetic that stays in range. *)
+    let rec limbs n acc =
+      if n = 0 then List.rev acc
+      else limbs (n / base) ((n mod base) :: acc)
+    in
+    let raw = limbs (Stdlib.abs (n / base)) [] in
+    let low = Stdlib.abs (n mod base) in
+    let mag = Array.of_list (low :: List.map Stdlib.abs raw) in
+    make sign mag
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+let mul_int a m =
+  if m = 0 || a.sign = 0 then zero
+  else if m > -base && m < base then
+    make (a.sign * if m < 0 then -1 else 1) (mul_mag_int a.mag (Stdlib.abs m))
+  else mul a (of_int m)
+
+let div_mod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = div_mod_mag a.mag b.mag in
+  let q = make (a.sign * b.sign) q in
+  let r = make a.sign r in
+  (q, r)
+
+let div a b = fst (div_mod a b)
+let rem a b = snd (div_mod a b)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (n lsr 1)
+  in
+  go one x n
+
+let shift_left x n =
+  if n < 0 then invalid_arg "Bigint.shift_left";
+  if x.sign = 0 then zero else make x.sign (shift_left_mag x.mag n)
+
+let shift_right x n =
+  if n < 0 then invalid_arg "Bigint.shift_right";
+  if x.sign = 0 then zero else make x.sign (shift_right_mag x.mag n)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let num_bits x = num_bits_mag x.mag
+let testbit x i = testbit_mag x.mag i
+
+let to_int_opt x =
+  if num_bits x <= 62 then begin
+    let v = Array.fold_right (fun limb acc -> (acc * base) + limb) x.mag 0 in
+    Some (if x.sign < 0 then -v else v)
+  end
+  else if
+    (* min_int itself: magnitude 2^62 with negative sign *)
+    x.sign < 0 && num_bits x = 63 && equal (neg x) (shift_left one 62)
+  then Some Stdlib.min_int
+  else None
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> invalid_arg "Bigint.to_int_exn: out of range"
+
+let to_float x =
+  let f =
+    Array.fold_right
+      (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb)
+      x.mag 0.
+  in
+  if x.sign < 0 then -.f else f
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let neg_sign = s.[0] = '-' in
+  let start = if neg_sign || s.[0] = '+' then 1 else 0 in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0'))
+  done;
+  if neg_sign then neg !acc else !acc
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    (* Peel 9 decimal digits at a time. *)
+    let chunk = of_int 1_000_000_000 in
+    let buf = Buffer.create 32 in
+    let rec go v acc =
+      if is_zero v then acc
+      else
+        let q, r = div_mod v chunk in
+        go q (to_int_exn r :: acc)
+    in
+    match go (abs x) [] with
+    | [] -> "0"
+    | first :: rest ->
+        if x.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%09d" d)) rest;
+        Buffer.contents buf
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let factorial n =
+  if n < 0 then invalid_arg "Bigint.factorial";
+  let rec go acc i = if i > n then acc else go (mul_int acc i) (i + 1) in
+  go one 2
+
+let binomial n k =
+  if k < 0 || k > n then zero
+  else begin
+    (* Iterative exact form: C <- C * (n - i) / (i + 1); each step stays
+       integral, each divisor is a single limb. *)
+    let k = Stdlib.min k (n - k) in
+    let c = ref one in
+    for i = 0 to k - 1 do
+      c := div (mul_int !c (n - i)) (of_int (i + 1))
+    done;
+    !c
+  end
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

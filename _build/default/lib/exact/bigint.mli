@@ -1,0 +1,99 @@
+(** Arbitrary-precision signed integers.
+
+    Built from scratch on the OCaml stdlib; used wherever the reproduction
+    needs exact counting that can overflow native integers: binomial
+    coefficients for the combinatorial subset codec of the Section-5
+    disjointness protocol, and exact rational probabilities in the
+    protocol semantics (see {!Rational}).
+
+    The representation is sign-magnitude with the magnitude stored as an
+    array of base-2{^30} limbs, least-significant limb first. All
+    operations are purely functional. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] iff [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optional ['-'] sign followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_float : t -> float
+(** Nearest float; may be [infinity] for huge values. *)
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val div_mod : t -> t -> t * t
+(** [div_mod a b] is [(q, r)] with [a = q*b + r], [0 <= |r| < |b|], and
+    [r] carrying the sign of [a] (truncated division, like [Stdlib.( / )]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val gcd : t -> t -> t
+(** Greatest common divisor of the absolute values; [gcd zero zero = zero]. *)
+
+(** {1 Number-theoretic helpers} *)
+
+val factorial : int -> t
+val binomial : int -> int -> t
+(** [binomial n k] is [n choose k]; zero when [k < 0] or [k > n]. *)
+
+val num_bits : t -> int
+(** Number of bits in the magnitude; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

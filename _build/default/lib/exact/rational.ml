@@ -1,0 +1,97 @@
+type t = { num : Bigint.t; den : Bigint.t }
+
+let canonical num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let make = canonical
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let half = { num = Bigint.one; den = Bigint.two }
+let of_int n = { num = Bigint.of_int n; den = Bigint.one }
+let of_ints a b = canonical (Bigint.of_int a) (Bigint.of_int b)
+let of_bigint n = { num = n; den = Bigint.one }
+let num x = x.num
+let den x = x.den
+let to_float x = Bigint.to_float x.num /. Bigint.to_float x.den
+
+let of_float_dyadic f =
+  if not (Float.is_finite f) then invalid_arg "Rational.of_float_dyadic";
+  let mantissa, exponent = Float.frexp f in
+  (* mantissa * 2^53 is an exact integer for finite floats *)
+  let m = Int64.of_float (mantissa *. 9007199254740992.0) in
+  let e = exponent - 53 in
+  let mi = Bigint.of_string (Int64.to_string m) in
+  if e >= 0 then canonical (Bigint.shift_left mi e) Bigint.one
+  else canonical mi (Bigint.shift_left Bigint.one (-e))
+
+let to_string x =
+  if Bigint.equal x.den Bigint.one then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = compare a b = 0
+let sign x = Bigint.sign x.num
+let is_zero x = Bigint.is_zero x.num
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  canonical x.den x.num
+
+let add a b =
+  canonical
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = canonical (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+let div a b = mul a (inv b)
+let mul_int x n = canonical (Bigint.mul_int x.num n) x.den
+let div_int x n = canonical x.num (Bigint.mul_int x.den n)
+
+let pow x n =
+  if n >= 0 then { num = Bigint.pow x.num n; den = Bigint.pow x.den n }
+  else inv { num = Bigint.pow x.num (-n); den = Bigint.pow x.den (-n) }
+
+let sum xs = List.fold_left add zero xs
+
+(* log2 of a Bigint that may exceed float range: split off high bits. *)
+let log2_bigint n =
+  let bits = Bigint.num_bits n in
+  if bits <= 900 then Float.log2 (Bigint.to_float n)
+  else
+    let shift = bits - 60 in
+    let top = Bigint.to_float (Bigint.shift_right n shift) in
+    Float.log2 top +. float_of_int shift
+
+let log2 x =
+  if sign x <= 0 then invalid_arg "Rational.log2: non-positive";
+  log2_bigint x.num -. log2_bigint x.den
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

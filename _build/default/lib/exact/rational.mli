@@ -1,0 +1,75 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Always kept in canonical form: the denominator is positive and
+    [gcd (num, den) = 1]. Used for exact transcript probabilities and
+    exact error-probability computations in the protocol semantics,
+    where accumulated floating-point error would make equality checks
+    meaningless. *)
+
+type t
+
+val zero : t
+val one : t
+val half : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is [num/den] in canonical form.
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b]. @raise Division_by_zero if [b = 0]. *)
+
+val of_bigint : Bigint.t -> t
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val to_float : t -> float
+val of_float_dyadic : float -> t
+(** Exact dyadic rational equal to the given (finite) float.
+    @raise Invalid_argument on nan/infinite input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+val pow : t -> int -> t
+(** [pow x n]; negative [n] inverts. @raise Division_by_zero on [pow zero n]
+    with [n < 0]. *)
+
+val sum : t list -> t
+val log2 : t -> float
+(** Floating-point base-2 logarithm of a positive rational, computed as
+    [log2 num - log2 den] to stay accurate for tiny values.
+    @raise Invalid_argument on non-positive input. *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/infotheory/fn.ml: Float List

@@ -1,0 +1,1 @@
+lib/infotheory/measures.ml: Fn List Prob

@@ -1,0 +1,1 @@
+lib/infotheory/measures.mli: Prob

@@ -1,0 +1,38 @@
+(** Scalar information-theoretic helpers (all logarithms base 2). *)
+
+let log2 = Float.log2
+
+(** [xlog2x 0 = 0] by the usual convention [0 log 0 = 0]. *)
+let xlog2x x = if x <= 0. then 0. else x *. log2 x
+
+(** Binary entropy [H(p) = -p log p - (1-p) log (1-p)]. *)
+let binary_entropy p =
+  if p < 0. || p > 1. then invalid_arg "Fn.binary_entropy";
+  -.xlog2x p -. xlog2x (1. -. p)
+
+(** Binary KL divergence [D(p || q)] between Bernoulli parameters. *)
+let binary_kl p q =
+  if p < 0. || p > 1. || q < 0. || q > 1. then invalid_arg "Fn.binary_kl";
+  let term a b =
+    if a <= 0. then 0. else if b <= 0. then infinity else a *. log2 (a /. b)
+  in
+  term p q +. term (1. -. p) (1. -. q)
+
+(** The lower bound of eq. (3)-(4) in the paper: if a bit has prior
+    [Pr[0] = 1/k] and posterior [Pr[0] = p], the divergence between
+    posterior and prior is at least [p log k - H(p) >= p log k - 1]. *)
+let posterior_surprise_bound ~p ~k =
+  (p *. log2 (float_of_int k)) -. binary_entropy p
+
+(** Numerically safe sum: Kahan compensated summation, used when adding
+    many tiny divergence contributions. *)
+let kahan_sum xs =
+  let sum = ref 0. and c = ref 0. in
+  List.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !sum +. y in
+      c := t -. !sum -. y;
+      sum := t)
+    xs;
+  !sum

@@ -1,0 +1,1 @@
+lib/lowerbound/bounds.ml: Array Exact Float Infotheory List Prob Proto Protocols

@@ -1,0 +1,1 @@
+lib/lowerbound/bounds.mli: Prob Proto

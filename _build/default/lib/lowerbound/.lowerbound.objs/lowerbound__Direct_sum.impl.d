@@ -1,0 +1,1 @@
+lib/lowerbound/direct_sum.ml: Array Exact List Prob Proto Protocols

@@ -1,0 +1,1 @@
+lib/lowerbound/direct_sum.mli: Proto

@@ -1,0 +1,1 @@
+lib/lowerbound/fooling.ml: Array Exact List Prob Proto Protocols

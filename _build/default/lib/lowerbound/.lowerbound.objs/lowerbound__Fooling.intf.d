@@ -1,0 +1,1 @@
+lib/lowerbound/fooling.mli: Exact Proto

@@ -1,0 +1,1 @@
+lib/lowerbound/transcripts.ml: Array Exact Float List Prob Proto Protocols

@@ -1,0 +1,1 @@
+lib/lowerbound/transcripts.mli: Exact Prob Proto

@@ -1,0 +1,61 @@
+(** Quantitative checks of the inequality chain of Section 4.1.
+
+    Lemma 2 (superadditivity): the conditional information cost
+    [I(T ; X | Z)] dominates the sum over players of the expected
+    divergence of each player's posterior from its prior. Equations
+    (3)-(4): a posterior of [p] for an event of prior [1/k] is worth at
+    least [p log k - H(p)] bits. Both are computed exactly on concrete
+    protocols and distributions. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+module M = Infotheory.Measures.Exact_w
+
+(** Per-player expected posterior-vs-prior divergence, conditioned on
+    the auxiliary variable: the right-hand side of Lemma 2,
+    [sum_i E_{l,z} D( mu(X_i | T=l, Z=z) || mu(X_i | Z=z) )]. *)
+let lemma2_rhs tree mu_with_aux ~k =
+  (* Joint law of (x, z, t). *)
+  let joint = Proto.Semantics.joint_with_aux tree mu_with_aux in
+  let lz_law = D.map (fun (_, z, t) -> (z, t)) joint in
+  let per_player i =
+    List.fold_left
+      (fun acc ((z, t), w) ->
+        match D.condition joint (fun (_, z', t') -> z' = z && t' = t) with
+        | None -> acc
+        | Some cond ->
+            let posterior = D.map (fun (x, _, _) -> x.(i)) cond in
+            let prior =
+              D.map
+                (fun (x, _) -> x.(i))
+                (D.condition_exn mu_with_aux (fun (_, z') -> z' = z))
+            in
+            acc +. (R.to_float w *. M.kl posterior prior))
+      0. (D.to_alist lz_law)
+  in
+  let per = Array.init k per_player in
+  (Array.fold_left ( +. ) 0. per, per)
+
+(** Exact divergence of a Bernoulli posterior [p] from a Bernoulli
+    prior [1/k] (probability of the value 0), cf. eq. (3). *)
+let posterior_divergence ~p ~k =
+  Infotheory.Fn.binary_kl p (1. /. float_of_int k)
+
+(** Check of eq. (4): [posterior_divergence >= p log k - H(p)
+    >= p log k - 1]. Returns the triple (exact, middle bound, crude
+    bound) so tests and the bench can print the chain. *)
+let eq4_chain ~p ~k =
+  let exact = posterior_divergence ~p ~k in
+  let middle = Infotheory.Fn.posterior_surprise_bound ~p ~k in
+  let crude = (p *. Float.log2 (float_of_int k)) -. 1. in
+  (exact, middle, crude)
+
+(** The conditional information cost of a protocol under the Section-4.1
+    hard distribution — the left-hand side everything is compared to. *)
+let cic_hard tree ~k =
+  Proto.Information.conditional_ic tree (Protocols.Hard_dist.mu_and_with_aux ~k)
+
+(** External information cost under the hard distribution's input
+    marginal (the Section-6 quantity for the compression gap). *)
+let ic_hard tree ~k =
+  Proto.Information.external_ic tree (Protocols.Hard_dist.mu_and ~k)

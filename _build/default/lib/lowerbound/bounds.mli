@@ -1,0 +1,25 @@
+(** Quantitative checks of the inequality chain of Section 4.1. *)
+
+val lemma2_rhs :
+  'a Proto.Tree.t ->
+  ('a array * 'd) Prob.Dist_exact.t ->
+  k:int ->
+  float * float array
+(** The right-hand side of Lemma 2 —
+    [sum_i E_{l,z} D( mu(X_i | T=l, Z=z) || mu(X_i | Z=z) )] — and its
+    per-player terms. Lemma 2: this never exceeds [I(T ; X | Z)]. *)
+
+val posterior_divergence : p:float -> k:int -> float
+(** Exact divergence of a Bernoulli([p]) posterior from the [1/k] prior
+    (eq. 3). *)
+
+val eq4_chain : p:float -> k:int -> float * float * float
+(** [(exact, p log k - H(p), p log k - 1)] — the chain of eq. (4), each
+    dominating the next. *)
+
+val cic_hard : int Proto.Tree.t -> k:int -> float
+(** [CIC] under the Section-4.1 hard distribution. *)
+
+val ic_hard : int Proto.Tree.t -> k:int -> float
+(** External [IC] under the hard distribution's input marginal (the
+    Section-6 gap quantity). *)

@@ -1,0 +1,32 @@
+(** The direct-sum embedding behind Lemma 1.
+
+    Given a protocol for [DISJ_{n,k}] and a coordinate [j], construct a
+    protocol for one-bit [AND_k]: the special players of all other
+    coordinates are sampled publicly; each player privately samples its
+    bits at the other coordinates from the hard distribution conditioned
+    on those values, plants its real bit at coordinate [j], and runs the
+    disjointness protocol on the fabricated instance. Every fabricated
+    coordinate has a forced zero, so [AND = 1 - DISJ].
+
+    Private sampling is folded into exact message laws by carrying, for
+    every player and every value of its real bit, the posterior over its
+    fabricated coordinates given its messages so far — so the embedding
+    is an ordinary protocol tree and its conditional information cost is
+    computed exactly. *)
+
+val embed :
+  disj_tree:int array Proto.Tree.t -> n:int -> k:int -> j:int ->
+  int Proto.Tree.t
+(** @raise Invalid_argument on a bad coordinate. Exponential in [n] and
+    [k] (public assignments, fabricated-coordinate supports): intended
+    for [n <= 3], [k <= 4]. *)
+
+val embedded_cic : disj_tree:int array Proto.Tree.t -> n:int -> k:int -> j:int -> float
+(** [CIC] of the embedding at coordinate [j] under the hard AND
+    distribution — the per-coordinate term of the direct sum. *)
+
+val direct_sum_check :
+  disj_tree:int array Proto.Tree.t -> n:int -> k:int -> float * float array
+(** [(CIC_{mu^n}(disj_tree), per-coordinate embedded CICs)]. Lemma 1 at
+    the protocol level: the sum of the latter never exceeds the former
+    (equality for coordinate-sequential protocols). *)

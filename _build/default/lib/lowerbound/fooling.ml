@@ -1,0 +1,70 @@
+(** The Lemma-6 fooling argument: [CC_eps(AND_k) = Omega(k)].
+
+    For a deterministic protocol, look at the players who speak on input
+    [1^k]. If fewer than [(1 - eps/(1-eps')) k] players speak, then under
+    the Lemma-6 distribution (all-ones w.p. [eps'], otherwise a single
+    random zero) the protocol errs with probability more than [eps]:
+    whenever the zero lands on a silent player, the transcript — and
+    hence the output — is identical to the all-ones run. These functions
+    compute each piece exactly on concrete protocol trees. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+module T = Proto.Tree
+
+(** Whether a bit-input protocol tree is deterministic (all message laws
+    are point masses and there are no chance nodes). *)
+let rec deterministic = function
+  | T.Output _ -> true
+  | T.Chance _ -> false
+  | T.Speak { emit; children; _ } ->
+      D.is_point (emit 0) && D.is_point (emit 1)
+      && Array.for_all deterministic children
+
+(** The ordered list of players who speak on a given input (for a
+    deterministic tree). *)
+let speakers_on tree inputs =
+  match D.support (Proto.Semantics.transcript_dist tree inputs) with
+  | [ transcript ] ->
+      List.filter_map
+        (function T.Msg (i, _) -> Some i | T.Coin _ -> None)
+        transcript
+  | _ -> invalid_arg "Fooling.speakers_on: protocol is randomized"
+
+let speakers_on_ones tree ~k = speakers_on tree (Array.make k 1)
+
+(** Exact distributional error of a protocol for [AND_k] under the
+    Lemma-6 distribution with parameter [eps']. *)
+let lemma6_error tree ~k ~eps' =
+  Proto.Semantics.distributional_error tree ~f:Protocols.Hard_dist.and_fn
+    (Protocols.Hard_dist.mu_lemma6 ~k ~eps')
+
+(** The lower bound the lemma predicts for a deterministic protocol that
+    answers 1 on [1^k] with [l] distinct speakers:
+    [error >= (1 - eps') * (1 - l/k)] (the zero falls on a silent
+    player, the transcript collapses to the all-ones one). If the
+    protocol answers 0 on [1^k] the error is at least [eps']. *)
+let predicted_error_lb tree ~k ~eps' =
+  let ones = Array.make k 1 in
+  let out_ones =
+    match D.support (Proto.Semantics.output_dist tree ones) with
+    | [ v ] -> v
+    | _ -> invalid_arg "Fooling.predicted_error_lb: randomized protocol"
+  in
+  if out_ones = 0 then eps'
+  else begin
+    let distinct =
+      List.sort_uniq compare (speakers_on_ones tree ~k) |> List.length
+    in
+    (1. -. eps') *. (1. -. (float_of_int distinct /. float_of_int k))
+  end
+
+(** Experiment row for E3: run the truncated sequential protocol with
+    [m] speakers and report (m, predicted error lower bound, exact
+    error). The exact error must dominate the prediction. *)
+let truncated_row ~k ~m ~eps' =
+  let tree = Protocols.And_protocols.truncated_sequential ~k ~m in
+  let eps'_r = Exact.Rational.of_float_dyadic eps' in
+  let exact = R.to_float (lemma6_error tree ~k ~eps':eps'_r) in
+  let predicted = predicted_error_lb tree ~k ~eps' in
+  (m, predicted, exact)

@@ -1,0 +1,31 @@
+(** The Lemma-6 fooling argument: [CC_eps(AND_k) = Omega(k)].
+
+    For a deterministic protocol, if fewer than [(1 - eps/(1-eps'))k]
+    players speak on input [1^k], then under the Lemma-6 distribution
+    (all-ones w.p. [eps'], else a single random zero) the protocol errs
+    with probability more than [eps]: whenever the zero lands on a
+    silent player the transcript — hence the output — collapses to the
+    all-ones run. All quantities are computed exactly on protocol
+    trees. *)
+
+val deterministic : int Proto.Tree.t -> bool
+(** No chance nodes and every message law a point mass (over bit
+    inputs). *)
+
+val speakers_on : int Proto.Tree.t -> int array -> int list
+(** Ordered speakers on a given input.
+    @raise Invalid_argument on a randomized protocol. *)
+
+val speakers_on_ones : int Proto.Tree.t -> k:int -> int list
+
+val lemma6_error :
+  int Proto.Tree.t -> k:int -> eps':Exact.Rational.t -> Exact.Rational.t
+(** Exact distributional error under the Lemma-6 distribution. *)
+
+val predicted_error_lb : int Proto.Tree.t -> k:int -> eps':float -> float
+(** The fooling bound: [(1 - eps')(1 - l/k)] for a protocol answering 1
+    on [1^k] with [l] distinct speakers; [eps'] if it answers 0. *)
+
+val truncated_row : k:int -> m:int -> eps':float -> int * float * float
+(** Experiment row: [(m, predicted lower bound, exact error)] for the
+    [m]-speaker truncated sequential protocol. *)

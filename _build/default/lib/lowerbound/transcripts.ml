@@ -1,0 +1,119 @@
+(** The "good transcripts" analysis of Section 4.1, run as an exact
+    computation on concrete protocols.
+
+    For an [AND_k] protocol tree we compute the transcript laws [pi_2]
+    and [pi_3] (conditioned on the input having exactly two or three
+    zeros), classify every reachable transcript into the paper's sets —
+    [B_1] (wrong output on two-zero inputs), [B_0] (output 0 but not
+    "strongly preferring" two-zero inputs over [1^k]), [L] (good), and
+    [L' <= L] (transcripts that like two zeros at least half as much as
+    three) — and report the masses and the per-transcript alpha
+    statistics that Lemma 5 is about. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+
+type entry = {
+  transcript : Proto.Tree.transcript;
+  output : int;
+  pi2 : R.t;  (** probability of this transcript under two-zero inputs *)
+  pi3 : R.t;
+  prob_ones : R.t;  (** probability under the all-ones input *)
+  max_alpha : float;
+  alpha_sum : float;
+  posterior_best : float;
+      (** best posterior [Pr[X_i = 0 | transcript, Z <> i]] over players *)
+  in_l : bool;
+  in_l' : bool;
+}
+
+type report = {
+  k : int;
+  c_constant : float;
+  entries : entry list;
+  mass_b1 : float;
+  mass_b0 : float;
+  mass_l : float;
+  mass_l' : float;
+  min_max_alpha_on_l' : float;
+      (** the Lemma-5 quantity: min over L' of max_i alpha_i *)
+}
+
+let transcript_law_on_slice tree ~k ~c =
+  Proto.Semantics.transcript_law tree (Protocols.Hard_dist.mu_on_slice ~k ~c)
+
+(** [analyze tree ~k ~c_constant] computes the full classification. *)
+let analyze tree ~k ~c_constant =
+  let pi2_law = transcript_law_on_slice tree ~k ~c:2 in
+  let pi3_law = transcript_law_on_slice tree ~k ~c:3 in
+  let ones = Array.make k 1 in
+  let ones_law = Proto.Semantics.transcript_dist tree ones in
+  let all_transcripts =
+    List.sort_uniq compare (D.support pi2_law @ D.support pi3_law)
+  in
+  let entries =
+    List.map
+      (fun l ->
+        let q = Proto.Qdecomp.of_transcript tree ~k l in
+        let pi2 = D.prob_of pi2_law l in
+        let pi3 = D.prob_of pi3_law l in
+        let prob_ones = D.prob_of ones_law l in
+        let output = Proto.Tree.output_of tree l in
+        let in_l =
+          output = 0
+          && R.compare pi2
+               (R.mul (Exact.Rational.of_float_dyadic c_constant) prob_ones)
+             >= 0
+        in
+        let in_l' = in_l && R.compare pi2 (R.div_int pi3 2) >= 0 in
+        let max_alpha = Proto.Qdecomp.max_alpha q in
+        let alpha_sum = Proto.Qdecomp.alpha_sum q in
+        let posterior_best =
+          List.fold_left
+            (fun acc i ->
+              match Proto.Qdecomp.posterior_zero q i with
+              | None -> acc
+              | Some p -> Float.max acc (R.to_float p))
+            0.
+            (List.init k (fun i -> i))
+        in
+        {
+          transcript = l;
+          output;
+          pi2;
+          pi3;
+          prob_ones;
+          max_alpha;
+          alpha_sum;
+          posterior_best;
+          in_l;
+          in_l';
+        })
+      all_transcripts
+  in
+  let mass pred =
+    List.fold_left
+      (fun acc e -> if pred e then acc +. R.to_float e.pi2 else acc)
+      0. entries
+  in
+  let mass_b1 = mass (fun e -> e.output = 1) in
+  let mass_l = mass (fun e -> e.in_l) in
+  let mass_l' = mass (fun e -> e.in_l') in
+  let mass_b0 = mass (fun e -> e.output = 0 && not e.in_l) in
+  let min_max_alpha_on_l' =
+    List.fold_left
+      (fun acc e ->
+        if e.in_l' && R.sign e.pi2 > 0 then Float.min acc e.max_alpha
+        else acc)
+      infinity entries
+  in
+  {
+    k;
+    c_constant;
+    entries;
+    mass_b1;
+    mass_b0;
+    mass_l;
+    mass_l';
+    min_max_alpha_on_l';
+  }

@@ -1,0 +1,44 @@
+(** The "good transcripts" analysis of Section 4.1, run as an exact
+    computation on concrete protocols.
+
+    For an [AND_k] protocol tree we compute the transcript laws [pi_2]
+    and [pi_3] (conditioned on the input having exactly two / three
+    zeros) and classify every reachable transcript into the paper's
+    sets: [B_1] (wrong output on two-zero inputs), [B_0] (output 0 but
+    not "strongly preferring" two-zero inputs over [1^k]), [L] (good),
+    and [L' <= L] (likes two zeros at least half as much as three).
+    Lemma 5 says [pi_2(L')] is large and every [l in L'] points at a
+    player with [alpha_i(l) = Omega(k)]. *)
+
+type entry = {
+  transcript : Proto.Tree.transcript;
+  output : int;
+  pi2 : Exact.Rational.t;  (** probability under two-zero inputs *)
+  pi3 : Exact.Rational.t;
+  prob_ones : Exact.Rational.t;  (** probability under [1^k] *)
+  max_alpha : float;
+  alpha_sum : float;
+  posterior_best : float;
+      (** best posterior [Pr[X_i = 0 | transcript, Z <> i]] over players *)
+  in_l : bool;
+  in_l' : bool;
+}
+
+type report = {
+  k : int;
+  c_constant : float;  (** the constant [C] defining [L] *)
+  entries : entry list;
+  mass_b1 : float;  (** [pi_2(B_1)] *)
+  mass_b0 : float;
+  mass_l : float;
+  mass_l' : float;
+  min_max_alpha_on_l' : float;
+      (** the Lemma-5 quantity: [min over L' of max_i alpha_i];
+          [infinity] when every good transcript pins a player exactly *)
+}
+
+val transcript_law_on_slice :
+  int Proto.Tree.t -> k:int -> c:int -> Proto.Tree.transcript Prob.Dist_exact.t
+(** [pi_c]: the transcript law given the input lies in the slice [X_c]. *)
+
+val analyze : int Proto.Tree.t -> k:int -> c_constant:float -> report

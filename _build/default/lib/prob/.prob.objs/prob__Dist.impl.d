@@ -1,0 +1,1 @@
+lib/prob/dist.ml: Array Dist_core List Rng Weight

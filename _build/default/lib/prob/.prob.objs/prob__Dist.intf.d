@@ -1,0 +1,1 @@
+lib/prob/dist.mli: Dist_core Format Rng Weight

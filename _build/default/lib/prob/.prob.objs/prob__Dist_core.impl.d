@@ -1,0 +1,1 @@
+lib/prob/dist_core.ml: Array Float Format Hashtbl List Option Weight

@@ -1,0 +1,1 @@
+lib/prob/dist_exact.ml: Dist Dist_core Exact List Weight

@@ -1,0 +1,1 @@
+lib/prob/dist_exact.mli: Dist Dist_core Exact Format Weight

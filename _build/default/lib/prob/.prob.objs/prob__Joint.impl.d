@@ -1,0 +1,1 @@
+lib/prob/joint.ml: Dist_core List Weight

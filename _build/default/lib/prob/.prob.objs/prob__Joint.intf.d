@@ -1,0 +1,1 @@
+lib/prob/joint.mli: Dist_core Weight

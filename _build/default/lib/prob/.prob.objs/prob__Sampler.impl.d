@@ -1,0 +1,1 @@
+lib/prob/sampler.ml: Array Dist Hashtbl Option Queue Rng

@@ -1,0 +1,1 @@
+lib/prob/weight.ml: Exact Float Format

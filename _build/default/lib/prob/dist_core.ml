@@ -1,0 +1,158 @@
+(** Finite discrete probability distributions, as a functor over the
+    weight semifield (see {!Weight}).
+
+    A distribution is a finite list of [(value, weight)] pairs with
+    positive weights summing to one. Values are deduplicated with
+    polymorphic structural equality (via [Hashtbl]), which is adequate
+    for the ground types used throughout this reproduction (ints, bools,
+    int arrays, lists and tuples thereof — never functions or cyclic
+    values). *)
+
+module Make (W : Weight.S) = struct
+  type weight = W.t
+
+  type 'a t = {
+    items : ('a * W.t) array;
+    (* memoized value -> weight index so that [prob_of] is O(1); built
+       lazily because most distributions are tiny and never queried *)
+    mutable index : ('a, W.t) Hashtbl.t option;
+  }
+
+  let dedupe pairs =
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun (v, w) ->
+        if W.compare w W.zero > 0 then
+          match Hashtbl.find_opt tbl v with
+          | None ->
+              Hashtbl.add tbl v w;
+              order := v :: !order
+          | Some w0 -> Hashtbl.replace tbl v (W.add w0 w))
+      pairs;
+    List.rev_map (fun v -> (v, Hashtbl.find tbl v)) !order
+
+  let total pairs = List.fold_left (fun acc (_, w) -> W.add acc w) W.zero pairs
+
+  let of_weighted pairs =
+    let pairs = dedupe pairs in
+    let z = total pairs in
+    if W.compare z W.zero <= 0 then
+      invalid_arg "Dist.of_weighted: no positive mass";
+    let items =
+      if W.equal z W.one then pairs
+      else List.map (fun (v, w) -> (v, W.div w z)) pairs
+    in
+    { items = Array.of_list items; index = None }
+
+  let return v = { items = [| (v, W.one) |]; index = None }
+
+  let to_alist d = Array.to_list d.items
+  let support d = Array.to_list (Array.map fst d.items)
+  let size d = Array.length d.items
+
+  let is_point d = Array.length d.items = 1
+
+  let prob d pred =
+    Array.fold_left
+      (fun acc (v, w) -> if pred v then W.add acc w else acc)
+      W.zero d.items
+
+  let prob_of d v =
+    let index =
+      match d.index with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create (Array.length d.items) in
+          Array.iter (fun (x, w) -> Hashtbl.replace tbl x w) d.items;
+          d.index <- Some tbl;
+          tbl
+    in
+    Option.value ~default:W.zero (Hashtbl.find_opt index v)
+
+  let map f d =
+    of_weighted (List.map (fun (v, w) -> (f v, w)) (to_alist d))
+
+  let bind d f =
+    let pieces =
+      List.concat_map
+        (fun (v, w) ->
+          List.map (fun (u, wu) -> (u, W.mul w wu)) (to_alist (f v)))
+        (to_alist d)
+    in
+    of_weighted pieces
+
+  let ( let* ) = bind
+
+  let product a b =
+    let* x = a in
+    let* y = b in
+    return (x, y)
+
+  let uniform = function
+    | [] -> invalid_arg "Dist.uniform: empty support"
+    | vs ->
+        let n = List.length vs in
+        of_weighted (List.map (fun v -> (v, W.of_int_ratio 1 n)) vs)
+
+  let bernoulli w =
+    if W.compare w W.zero < 0 || W.compare w W.one > 0 then
+      invalid_arg "Dist.bernoulli: weight out of range";
+    if W.equal w W.one then return true
+    else if W.equal w W.zero then return false
+    else of_weighted [ (true, w); (false, W.sub W.one w) ]
+
+  let condition d pred =
+    let kept = List.filter (fun (v, _) -> pred v) (to_alist d) in
+    if W.compare (total kept) W.zero <= 0 then None
+    else Some (of_weighted kept)
+
+  let condition_exn d pred =
+    match condition d pred with
+    | Some d -> d
+    | None -> invalid_arg "Dist.condition_exn: conditioning on a null event"
+
+  (* n-fold product over an array of distributions; values come out as
+     arrays indexed like the input. *)
+  let product_array ds =
+    let n = Array.length ds in
+    let rec go i acc_val acc_w acc =
+      if i = n then (Array.of_list (List.rev acc_val), acc_w) :: acc
+      else
+        Array.fold_left
+          (fun acc (v, w) -> go (i + 1) (v :: acc_val) (W.mul acc_w w) acc)
+          acc ds.(i).items
+    in
+    of_weighted (go 0 [] W.one [])
+
+  let iid n d =
+    if n < 0 then invalid_arg "Dist.iid";
+    product_array (Array.make n d)
+
+  let expectation_with f d =
+    Array.fold_left
+      (fun acc (v, w) -> acc +. (W.to_float w *. f v))
+      0. d.items
+
+  let total_variation a b =
+    let vals = List.sort_uniq compare (support a @ support b) in
+    let s =
+      List.fold_left
+        (fun acc v ->
+          acc
+          +. Float.abs (W.to_float (prob_of a v) -. W.to_float (prob_of b v)))
+        0. vals
+    in
+    s /. 2.
+
+  let mass d = total (to_alist d)
+
+  let pp pp_v fmt d =
+    Format.fprintf fmt "@[<v>";
+    Array.iteri
+      (fun i (v, w) ->
+        if i > 0 then Format.fprintf fmt "@,";
+        Format.fprintf fmt "%a -> %a" pp_v v W.pp w)
+      d.items;
+    Format.fprintf fmt "@]"
+end

@@ -1,0 +1,70 @@
+(* SplitMix64 for seeding/splitting + Xoshiro256** as the workhorse. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let splitmix_next state =
+  let z = Int64.add !state golden in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let st = ref seed in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
+let of_int_seed n = create (Int64.of_int n)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create (next_int64 t)
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling for exact uniformity. *)
+  let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+  let rec go () =
+    let v = bits62 t in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int v *. 0x1.0p-53
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bernoulli t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

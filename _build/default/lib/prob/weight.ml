@@ -1,0 +1,47 @@
+(** Weight semifields for distributions.
+
+    {!Dist_core.Make} is a functor over this signature, instantiated at
+    floats ({!Dist}) for measurement-scale work and at exact rationals
+    ({!Dist_exact}) for the protocol semantics, where probabilities are
+    products and sums of rationals and equality checks must be exact. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val of_int_ratio : int -> int -> t
+  (** [of_int_ratio a b] embeds the rational [a/b]. *)
+
+  val to_float : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+module Float : S with type t = float = struct
+  type t = float
+
+  let zero = 0.
+  let one = 1.
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let compare = Float.compare
+  let equal = Float.equal
+  let of_int_ratio a b = float_of_int a /. float_of_int b
+  let to_float x = x
+  let pp fmt x = Format.fprintf fmt "%.6g" x
+end
+
+module Exact : S with type t = Exact.Rational.t = struct
+  include Exact.Rational
+
+  let add = Exact.Rational.add
+  let of_int_ratio = Exact.Rational.of_ints
+end

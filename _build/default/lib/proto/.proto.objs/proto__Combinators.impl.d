@@ -1,0 +1,1 @@
+lib/proto/combinators.ml: Array Hashtbl Prob Tree

@@ -1,0 +1,1 @@
+lib/proto/combinators.mli: Tree

@@ -1,0 +1,1 @@
+lib/proto/information.ml: Array Exact Hashtbl Infotheory List Option Prob Semantics Tree

@@ -1,0 +1,1 @@
+lib/proto/information.mli: Prob Tree

@@ -1,0 +1,1 @@
+lib/proto/qdecomp.ml: Array Exact Float List Prob Tree

@@ -1,0 +1,1 @@
+lib/proto/qdecomp.mli: Exact Tree

@@ -1,0 +1,1 @@
+lib/proto/semantics.ml: Array Exact List Prob Tree

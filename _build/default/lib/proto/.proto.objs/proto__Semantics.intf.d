@@ -1,0 +1,1 @@
+lib/proto/semantics.mli: Exact Prob Tree

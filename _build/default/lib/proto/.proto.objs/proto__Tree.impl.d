@@ -1,0 +1,1 @@
+lib/proto/tree.ml: Array Coding Exact Format Prob

@@ -1,0 +1,1 @@
+lib/proto/tree.mli: Format Prob

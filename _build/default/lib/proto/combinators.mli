@@ -1,0 +1,32 @@
+(** Combinators on protocol trees.
+
+    Protocols compose: outputs can be post-processed, inputs adapted,
+    and protocols run one after another on the same blackboard — the
+    construction behind "solve [n] independent copies" ([T(f^n, eps)] of
+    Section 6) and behind reductions between problems. All combinators
+    preserve the exact semantics; cost additivity and information
+    additivity on independent inputs are exercised by the test suite. *)
+
+val map_output : (int -> int) -> 'a Tree.t -> 'a Tree.t
+(** Post-compose the output; transcripts and costs unchanged. *)
+
+val contramap_input : ('b -> 'a) -> 'a Tree.t -> 'b Tree.t
+(** Adapt a protocol to richer inputs by projecting each player's input
+    (e.g. run a one-bit protocol on one coordinate of a vector). *)
+
+val sequence : 'a Tree.t -> 'a Tree.t -> combine:(int -> int -> int) -> 'a Tree.t
+(** [sequence t1 t2 ~combine] runs [t1] to completion, then [t2];
+    outputs [combine out1 out2]. Worst-case costs add. *)
+
+val parallel_copies : int Tree.t -> copies:int -> int array Tree.t
+(** [parallel_copies base ~copies] solves [copies] instances of a
+    one-bit problem on vector inputs (copy [c] reads bit [x.(c)]),
+    packing the answers little-endian into the output. With independent
+    per-copy inputs its information cost is exactly [copies] times the
+    base protocol's — Theorem 4's lower-bound side.
+    @raise Invalid_argument outside [1..20] copies. *)
+
+val xor_output_with_coin : 'a Tree.t -> 'a Tree.t
+(** Append a free public coin and XOR it into a 0/1 output: randomizes
+    the output while provably adding zero information about the inputs
+    (a fixture for chance-node semantics and the Yao check). *)

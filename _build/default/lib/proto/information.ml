@@ -1,0 +1,130 @@
+(** Information costs of protocols (Definitions 5 and 6 of the paper),
+    computed exactly from the protocol-tree semantics.
+
+    - External information cost: [IC_mu(Pi) = I(Transcript ; X)] where
+      [X ~ mu] is the joint input.
+    - Conditional information cost: [CIC_mu(Pi) = I(Transcript ; X | D)]
+      for a distribution [mu] on pairs [(X, D)] of inputs and an
+      auxiliary variable. *)
+
+module D = Prob.Dist_exact
+module M = Infotheory.Measures.Exact_w
+
+(** [external_ic tree mu] is [I(T ; X)] in bits, with [X ~ mu]. *)
+let external_ic tree mu =
+  M.mutual_information (Semantics.joint tree mu)
+
+(** [conditional_ic tree mu_xd] is [I(T ; X | D)] in bits, with
+    [(X, D) ~ mu_xd]. *)
+let conditional_ic tree mu_xd =
+  (* Measures expects (a, b, c) with I(A ; B | C): here (x, t, d). *)
+  let j =
+    D.map (fun (x, d, t) -> (x, t, d)) (Semantics.joint_with_aux tree mu_xd)
+  in
+  M.conditional_mutual_information j
+
+(* See the interface for documentation. *)
+let transcript_entropy tree mu = M.entropy (Semantics.transcript_law tree mu)
+
+(** Two-party internal information cost,
+    [I(T ; X_0 | X_1) + I(T ; X_1 | X_0)] — what each player learns about
+    the other's input. The paper compresses to {e external} information
+    because (as it notes) the internal notion of Braverman-Rao does not
+    extend to the broadcast model beyond two players; for [k = 2] both
+    exist and [internal <= external], with equality on product
+    distributions — relations the test suite checks exactly.
+    @raise Invalid_argument if some input vector is not 2-dimensional. *)
+let internal_ic_two_party tree mu =
+  let joint = Semantics.joint tree mu in
+  List.iter
+    (fun ((x, _t), _w) ->
+      if Array.length x <> 2 then
+        invalid_arg "Information.internal_ic_two_party: need k = 2")
+    (D.to_alist joint);
+  (* I(T ; X0 | X1): triples (x0, t, x1) *)
+  let i0 =
+    M.conditional_mutual_information
+      (D.map (fun (x, t) -> (x.(0), t, x.(1))) joint)
+  in
+  let i1 =
+    M.conditional_mutual_information
+      (D.map (fun (x, t) -> (x.(1), t, x.(0))) joint)
+  in
+  i0 +. i1
+
+(** Internal-style per-round decomposition of the external information
+    cost via the chain rule (Section 6): [IC(Pi) = sum_j I(M_j ; X | M_<j)].
+    Returns the per-round contributions, indexed by round; their sum
+    equals [external_ic] up to float noise. We compute each term as the
+    expected KL divergence between the speaker's true next-message law
+    and the external observer's prediction, which is exactly the quantity
+    the Lemma-7 compressor pays for. *)
+let per_round_information tree mu =
+  let module R = Exact.Rational in
+  (* Walk the tree; at each Speak node reached with a set of weighted
+     inputs (posterior over X given the path), the round's contribution
+     is  sum_x w(x) * D( emit(x) || sum_x' w(x') emit(x') ). *)
+  let contributions = ref [] in
+  let rec go tree weighted depth prefix_prob =
+    (* [weighted]: assoc list of (input, prob) — the joint restricted to
+       this path, NOT normalized; [prefix_prob] is its total mass. *)
+    if R.is_zero prefix_prob then ()
+    else
+      match tree with
+      | Tree.Output _ -> ()
+      | Tree.Chance { coin; children } ->
+          List.iter
+            (fun (c, wc) ->
+              let weighted' =
+                List.map (fun (x, w) -> (x, R.mul w wc)) weighted
+              in
+              go children.(c) weighted' depth (R.mul prefix_prob wc))
+            (D.to_alist coin)
+      | Tree.Speak { speaker; emit; children } ->
+          (* Observer's prediction: mixture of emit over the posterior. *)
+          let arity = Array.length children in
+          let mix = Array.make arity R.zero in
+          List.iter
+            (fun (x, w) ->
+              List.iter
+                (fun (m, p) -> mix.(m) <- R.add mix.(m) (R.mul w p))
+                (D.to_alist (emit x.(speaker))))
+            weighted;
+          (* Contribution of this node to round [depth]:
+             sum_x w(x) sum_m emit(x)(m) log (emit(x)(m) * mass / mix(m)) *)
+          let contrib = ref 0. in
+          List.iter
+            (fun (x, w) ->
+              List.iter
+                (fun (m, p) ->
+                  let num = R.mul p prefix_prob in
+                  let den = mix.(m) in
+                  if not (R.is_zero num) then
+                    contrib :=
+                      !contrib
+                      +. R.to_float (R.mul w p)
+                         *. Exact.Rational.log2 (R.div num den))
+                (D.to_alist (emit x.(speaker))))
+            weighted;
+          contributions := (depth, !contrib) :: !contributions;
+          for m = 0 to arity - 1 do
+            let weighted' =
+              List.filter_map
+                (fun (x, w) ->
+                  let p = D.prob_of (emit x.(speaker)) m in
+                  if R.is_zero p then None else Some (x, R.mul w p))
+                weighted
+            in
+            go children.(m) weighted' (depth + 1) mix.(m)
+          done
+  in
+  go tree (D.to_alist mu) 0 Exact.Rational.one;
+  (* Collapse contributions by round index. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (d, c) ->
+      Hashtbl.replace tbl d (c +. Option.value ~default:0. (Hashtbl.find_opt tbl d)))
+    !contributions;
+  let max_round = Hashtbl.fold (fun d _ acc -> max d acc) tbl (-1) in
+  Array.init (max_round + 1) (fun d ->
+      Option.value ~default:0. (Hashtbl.find_opt tbl d))

@@ -1,0 +1,72 @@
+(** Exact distributional semantics of protocol trees. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+
+(** [transcript_dist tree inputs] is the exact law of the full transcript
+    when player [i] holds [inputs.(i)]. *)
+let transcript_dist tree inputs =
+  let rec go tree =
+    match tree with
+    | Tree.Output _ -> D.return []
+    | Tree.Speak { speaker; emit; children } ->
+        let msg_dist = emit inputs.(speaker) in
+        D.bind msg_dist (fun m ->
+            D.map (fun rest -> Tree.Msg (speaker, m) :: rest) (go children.(m)))
+    | Tree.Chance { coin; children } ->
+        D.bind coin (fun c ->
+            D.map (fun rest -> Tree.Coin c :: rest) (go children.(c)))
+  in
+  go tree
+
+(** Law of the protocol's output on fixed inputs. *)
+let output_dist tree inputs =
+  D.map (Tree.output_of tree) (transcript_dist tree inputs)
+
+(** Exact probability that the protocol errs on fixed [inputs] against
+    the reference function [f]. *)
+let error_on tree ~f inputs =
+  D.prob (output_dist tree inputs) (fun v -> v <> f inputs)
+
+(** Worst-case error over an explicit list of inputs (for total functions
+    this is the whole domain; for promise problems, the promise set). *)
+let worst_case_error tree ~f inputs_list =
+  List.fold_left (fun acc x -> R.max acc (error_on tree ~f x)) R.zero
+    inputs_list
+
+(** Distributional error under an input distribution [mu]. *)
+let distributional_error tree ~f mu =
+  List.fold_left
+    (fun acc (x, w) -> R.add acc (R.mul w (error_on tree ~f x)))
+    R.zero (D.to_alist mu)
+
+(** Joint law of [(inputs, transcript)] when inputs are drawn from [mu].
+    This is the object every information quantity is computed from. *)
+let joint tree mu =
+  D.bind mu (fun x -> D.map (fun t -> (x, t)) (transcript_dist tree x))
+
+(** Joint law of [((inputs, aux), transcript)] for a distribution [mu]
+    on inputs paired with an auxiliary variable (the [D] of conditional
+    information cost). *)
+let joint_with_aux tree mu_xd =
+  D.bind mu_xd (fun (x, d) ->
+      D.map (fun t -> (x, d, t)) (transcript_dist tree x))
+
+(** Law of the transcript alone under [mu]. *)
+let transcript_law tree mu = D.map snd (joint tree mu)
+
+(** All transcripts that occur with positive probability under [mu]. *)
+let reachable_transcripts tree mu = D.support (transcript_law tree mu)
+
+(** Expected communication cost (bits) under [mu] — contrast with the
+    worst-case [Tree.communication_cost]. *)
+let expected_bits tree mu =
+  D.expectation_with
+    (fun (_, t) -> float_of_int (Tree.transcript_bits tree t))
+    (joint tree mu)
+
+(** Enumerate all bit-vectors of length [k] as int arrays — the standard
+    input domain for the one-bit problems ([AND_k]). *)
+let all_bit_inputs k =
+  List.init (1 lsl k) (fun code ->
+      Array.init k (fun i -> (code lsr i) land 1))

@@ -1,0 +1,83 @@
+(** Protocol trees: the formal semantics of broadcast (shared-blackboard)
+    protocols from Section 3 of the paper.
+
+    A protocol over per-player inputs of type ['a] is a tree. At each
+    internal node the contents of the board so far (the path from the
+    root) determine whose turn it is to speak; that player emits a
+    message symbol from a distribution determined by its own input
+    (private randomness is folded into that distribution), and the
+    protocol continues in the corresponding child. [Chance] nodes model
+    {e public} randomness: a publicly visible coin that costs no
+    communication and depends on no input. Leaves carry the output.
+
+    All probabilities are exact rationals ({!Prob.Dist_exact}), so
+    transcript probabilities, error probabilities and the Lemma-3
+    [q]-decomposition are exact; information quantities take float
+    logarithms only at the very end.
+
+    The constructors are exposed (rather than kept abstract) because the
+    lower-bound machinery ({!Lowerbound}) structurally transforms trees
+    — e.g. the Lemma-1 direct-sum embedding rebuilds a tree node by
+    node. *)
+
+type 'a t =
+  | Output of int
+  | Speak of {
+      speaker : int;  (** index of the player writing this message *)
+      emit : 'a -> int Prob.Dist_exact.t;
+          (** law of the message symbol given the speaker's input *)
+      children : 'a t array;  (** one child per message symbol *)
+    }
+  | Chance of {
+      coin : int Prob.Dist_exact.t;
+          (** public coin, visible to all, free of charge *)
+      children : 'a t array;
+    }
+
+(** One observable event of an execution. [Msg (i, m)] is written on the
+    board by player [i] and charged [ceil(log2 arity)] bits; [Coin c] is
+    public randomness and free. *)
+type event = Msg of int * int | Coin of int
+
+type transcript = event list
+
+(** {1 Smart constructors} *)
+
+val output : int -> 'a t
+
+val speak : speaker:int -> emit:('a -> int Prob.Dist_exact.t) -> 'a t array -> 'a t
+(** @raise Invalid_argument on an empty child array or negative speaker. *)
+
+val speak_det : speaker:int -> f:('a -> int) -> 'a t array -> 'a t
+(** Deterministic message: the speaker writes [f input]. *)
+
+val chance : coin:int Prob.Dist_exact.t -> 'a t array -> 'a t
+
+(** {1 Static measures} *)
+
+val bits_of_arity : int -> int
+(** [ceil(log2 n)] — the per-message charge. *)
+
+val depth : 'a t -> int
+val node_count : 'a t -> int
+
+val communication_cost : 'a t -> int
+(** Worst-case communication [CC(Pi)]: maximum over root-to-leaf paths
+    of the summed per-message charges. Chance nodes are free. *)
+
+val round_count : 'a t -> int
+(** Maximum number of messages on any path (public coins excluded). *)
+
+(** {1 Transcript operations} *)
+
+val transcript_bits : 'a t -> transcript -> int
+(** Bits charged for a concrete transcript.
+    @raise Invalid_argument if the transcript does not follow the tree. *)
+
+val output_of : 'a t -> transcript -> int
+(** The output at the end of a complete transcript.
+    @raise Invalid_argument if the transcript does not reach a leaf. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_transcript : Format.formatter -> transcript -> unit
+val transcript_to_string : transcript -> string

@@ -1,0 +1,1 @@
+lib/protocols/and_protocols.ml: Array Blackboard Coding Exact Prob Proto

@@ -1,0 +1,1 @@
+lib/protocols/and_protocols.mli: Blackboard Exact Proto

@@ -1,0 +1,1 @@
+lib/protocols/disj_batched.ml: Array Blackboard Coding Disj_common Float List

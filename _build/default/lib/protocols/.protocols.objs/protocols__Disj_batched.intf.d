@@ -1,0 +1,1 @@
+lib/protocols/disj_batched.mli: Blackboard Disj_common

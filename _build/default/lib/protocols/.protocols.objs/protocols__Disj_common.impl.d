@@ -1,0 +1,1 @@
+lib/protocols/disj_common.ml: Array List Prob

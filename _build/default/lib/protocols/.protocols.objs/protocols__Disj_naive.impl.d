@@ -1,0 +1,1 @@
+lib/protocols/disj_naive.ml: Array Blackboard Coding Disj_common Float List

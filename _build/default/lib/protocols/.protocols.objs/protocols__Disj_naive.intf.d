@@ -1,0 +1,1 @@
+lib/protocols/disj_naive.mli: Disj_common

@@ -1,0 +1,1 @@
+lib/protocols/disj_trees.ml: Array Hard_dist List Proto

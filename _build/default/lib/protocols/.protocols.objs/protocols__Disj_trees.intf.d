@@ -1,0 +1,1 @@
+lib/protocols/disj_trees.mli: Proto

@@ -1,0 +1,1 @@
+lib/protocols/disj_trivial.ml: Array Blackboard Coding Disj_common List

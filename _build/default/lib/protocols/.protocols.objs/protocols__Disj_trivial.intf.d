@@ -1,0 +1,1 @@
+lib/protocols/disj_trivial.mli: Disj_common

@@ -1,0 +1,1 @@
+lib/protocols/hard_dist.ml: Array Exact List Prob Proto

@@ -1,0 +1,1 @@
+lib/protocols/hard_dist.mli: Exact Prob

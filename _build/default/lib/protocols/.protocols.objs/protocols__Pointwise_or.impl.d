@@ -1,0 +1,1 @@
+lib/protocols/pointwise_or.ml: Array Blackboard Coding Disj_common Float List

@@ -1,0 +1,1 @@
+lib/protocols/pointwise_or.mli: Disj_common

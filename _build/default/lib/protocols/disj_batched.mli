@@ -1,0 +1,41 @@
+(** The Section-5 deterministic protocol for [DISJ_{n,k}]:
+    [O(n log k + k)] bits, matching the paper's lower bound.
+
+    While at least [k^2] coordinates are uncovered, a player whose set
+    misses at least [ceil(z/k)] uncovered coordinates writes a batch of
+    exactly that many, encoded as a subset of the uncovered set via the
+    combinatorial number system ([~log(ek)] bits per coordinate); others
+    write a pass bit. A full pass cycle certifies non-disjointness (by
+    pigeonhole, a disjoint instance always has a player above
+    threshold). Below [k^2] uncovered coordinates, one final naive cycle
+    finishes. Every message is genuinely encoded to and decoded from the
+    blackboard, so the bit counts are real. *)
+
+type encoding =
+  | Combinatorial  (** subset code, [ceil(log2 (choose z m))] bits *)
+  | NaiveFixed  (** [m] fixed-width coordinates, [m ceil(log2 z)] bits *)
+
+type trace_cycle = {
+  cycle : int;
+  z_start : int;  (** uncovered coordinates at cycle start *)
+  bits_in_cycle : int;
+  contributions : int;  (** players that wrote a batch this cycle *)
+  phase_high : bool;  (** batch phase vs final naive cycle *)
+}
+
+type run = {
+  result : Disj_common.result;
+  board : Blackboard.Board.t;
+  trace : trace_cycle list;  (** oldest cycle first *)
+}
+
+val default_threshold : int -> int
+(** [k^2], the paper's phase switch. *)
+
+val solve : ?encoding:encoding -> ?threshold:int -> Disj_common.instance -> run
+(** Run the protocol. [threshold] overrides the phase switch (for the
+    ablation experiments); [encoding] selects the batch encoding. *)
+
+val cost_model : n:int -> k:int -> float
+(** The target shape [n log2 k + k] that measurements are tabulated
+    against. *)

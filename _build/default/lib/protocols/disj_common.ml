@@ -1,0 +1,132 @@
+(** Shared types, reference semantics and instance generators for the
+    multi-party set-disjointness protocols.
+
+    An instance is [k] sets over the universe [\[0, n)], represented as
+    [bool array array]: [sets.(i).(j)] is true iff [j] is in player
+    [i]'s set ([X_i^j = 1] in the paper's coordinate notation). *)
+
+type instance = { n : int; sets : bool array array }
+
+let k_of inst = Array.length inst.sets
+
+let make ~n sets =
+  Array.iter
+    (fun s ->
+      if Array.length s <> n then invalid_arg "Disj_common.make: bad width")
+    sets;
+  { n; sets }
+
+(** Ground truth: true iff the intersection of all sets is empty. *)
+let disjoint inst =
+  let k = k_of inst in
+  let rec coord j =
+    if j = inst.n then true
+    else
+      let rec all_in i = i = k || (inst.sets.(i).(j) && all_in (i + 1)) in
+      if all_in 0 then false else coord (j + 1)
+  in
+  coord 0
+
+(** The elements of the intersection (empty iff disjoint). *)
+let intersection inst =
+  let k = k_of inst in
+  List.filter
+    (fun j ->
+      let rec all_in i = i = k || (inst.sets.(i).(j) && all_in (i + 1)) in
+      all_in 0)
+    (List.init inst.n (fun j -> j))
+
+(** Result of an operational protocol run. *)
+type result = {
+  answer : bool;  (** protocol's claim: disjoint? *)
+  bits : int;  (** total bits written on the board *)
+  messages : int;
+  cycles : int;  (** protocol-defined cycles (0 if not meaningful) *)
+}
+
+(** {1 Instance generators} *)
+
+(** Independent dense instance: each membership bit is 1 with
+    probability [density]. With high density the instance is very likely
+    non-disjoint; with density [1/2] and [k >= log n] it is likely
+    disjoint. *)
+let random_dense rng ~n ~k ~density =
+  {
+    n;
+    sets =
+      Array.init k (fun _ ->
+          Array.init n (fun _ -> Prob.Rng.bernoulli rng density));
+  }
+
+(** A guaranteed-disjoint instance that is as hard as possible for the
+    "find a zero" task: every coordinate has exactly one zero, placed
+    with a random owner, so each player holds roughly [n/k] zeros. This
+    mirrors the hard distribution's two-zero slice at scale. *)
+let random_disjoint_single_zero rng ~n ~k =
+  let sets = Array.init k (fun _ -> Array.make n true) in
+  for j = 0 to n - 1 do
+    sets.(Prob.Rng.int rng k).(j) <- false
+  done;
+  { n; sets }
+
+(** Like {!random_disjoint_single_zero} but each coordinate gets
+    [zeros_per_coord] distinct zero-owners: more slack for the batched
+    protocol to exploit. *)
+let random_disjoint_multi rng ~n ~k ~zeros_per_coord =
+  let zeros_per_coord = min zeros_per_coord k in
+  let sets = Array.init k (fun _ -> Array.make n true) in
+  let players = Array.init k (fun i -> i) in
+  for j = 0 to n - 1 do
+    Prob.Rng.shuffle rng players;
+    for t = 0 to zeros_per_coord - 1 do
+      sets.(players.(t)).(j) <- false
+    done
+  done;
+  { n; sets }
+
+(** Non-disjoint instance: like the single-zero instance, but
+    [witnesses] coordinates are left with no zero at all (they form the
+    intersection). *)
+let random_intersecting rng ~n ~k ~witnesses =
+  let inst = random_disjoint_single_zero rng ~n ~k in
+  let picked = Array.init n (fun j -> j) in
+  Prob.Rng.shuffle rng picked;
+  for t = 0 to min witnesses n - 1 do
+    let j = picked.(t) in
+    for i = 0 to k - 1 do
+      inst.sets.(i).(j) <- true
+    done
+  done;
+  inst
+
+(** Adversarial for pass-counting: all players hold the full universe
+    except player [k-1], who holds nothing. Non-disjoint only if
+    [k = 1]. *)
+let last_player_empty ~n ~k =
+  {
+    n;
+    sets = Array.init k (fun i -> Array.make n (i <> k - 1));
+  }
+
+(** All players hold everything: maximally non-disjoint. *)
+let all_full ~n ~k = { n; sets = Array.init k (fun _ -> Array.make n true) }
+
+(** All players hold nothing. *)
+let all_empty ~n ~k = { n; sets = Array.init k (fun _ -> Array.make n false) }
+
+(** Exhaustive enumeration of all instances for tiny [n, k] — used by
+    correctness tests to compare every protocol against {!disjoint}. *)
+let enumerate ~n ~k =
+  let total = 1 lsl (n * k) in
+  List.init total (fun code ->
+      {
+        n;
+        sets =
+          Array.init k (fun i ->
+              Array.init n (fun j -> (code lsr ((i * n) + j)) land 1 = 1));
+      })
+
+(** Convert to the [int array array] coordinate-vector shape used by the
+    exact protocol trees ([1] = member). *)
+let to_bit_vectors inst =
+  Array.map (Array.map (fun b -> if b then 1 else 0)) inst.sets

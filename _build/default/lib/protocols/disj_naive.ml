@@ -1,0 +1,56 @@
+(** The naive disjointness protocol from the introduction:
+    [O(n log n + k)] bits.
+
+    Players go in order; each writes the coordinates where its input is
+    zero and which are not already on the board, one coordinate at a
+    time at [ceil(log2 n)] bits each (prefixed by a count so the message
+    is self-delimiting). A player with nothing new writes a single bit.
+    After all players have spoken, any coordinate missing from the board
+    is in the intersection. *)
+
+let solve inst =
+  let open Disj_common in
+  let k = k_of inst in
+  let n = inst.n in
+  let board = Blackboard.Board.create ~k in
+  let covered = Array.make n false in
+  let covered_count = ref 0 in
+  for j = 0 to k - 1 do
+    let zeros =
+      List.filter
+        (fun c -> (not inst.sets.(j).(c)) && not covered.(c))
+        (List.init n (fun c -> c))
+    in
+    let w = Coding.Bitbuf.Writer.create () in
+    (match zeros with
+    | [] -> Coding.Bitbuf.Writer.add_bit w false
+    | _ ->
+        Coding.Bitbuf.Writer.add_bit w true;
+        Coding.Intcode.write_gamma w (List.length zeros);
+        List.iter (fun c -> Coding.Intcode.write_fixed w ~bound:n c) zeros);
+    Blackboard.Board.post board ~player:j ~label:"zeros" w;
+    (* everyone decodes the write to update the shared covered set *)
+    match Blackboard.Board.last_write board with
+    | None -> assert false
+    | Some wr ->
+        let r = Blackboard.Board.reader_of_write wr in
+        if Coding.Bitbuf.Reader.read_bit r then begin
+          let count = Coding.Intcode.read_gamma r in
+          for _ = 1 to count do
+            let c = Coding.Intcode.read_fixed r ~bound:n in
+            if not covered.(c) then begin
+              covered.(c) <- true;
+              incr covered_count
+            end
+          done
+        end
+  done;
+  {
+    answer = !covered_count = n;
+    bits = Blackboard.Board.total_bits board;
+    messages = Blackboard.Board.write_count board;
+    cycles = 1;
+  }
+
+let cost_model ~n ~k =
+  (float_of_int n *. Float.log2 (float_of_int (max 2 n))) +. float_of_int k

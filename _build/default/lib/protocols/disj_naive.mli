@@ -1,0 +1,11 @@
+(** The naive disjointness protocol from the paper's introduction:
+    [O(n log n + k)] bits. Players in order write their not-yet-covered
+    zero coordinates one at a time at [ceil(log2 n)] bits each (plus a
+    count prefix); a player with nothing new writes one bit. Any
+    coordinate missing from the board at the end is in the
+    intersection. The baseline the Section-5 protocol improves on. *)
+
+val solve : Disj_common.instance -> Disj_common.result
+
+val cost_model : n:int -> k:int -> float
+(** [n log2 n + k]. *)

@@ -1,0 +1,76 @@
+(** Exact protocol trees for [DISJ_{n,k}] at small scale.
+
+    Used by the direct-sum experiments (Lemma 1) and the conditional
+    information cost measurements, where exact enumeration over the
+    whole input space is required. Per-player inputs are coordinate
+    vectors ([int array] of length [n] with 0/1 entries).
+
+    Subtrees are built bottom-up and shared, so construction is
+    [O(n k)] even though the unfolded tree is exponential; semantics
+    walks only realized paths. *)
+
+module T = Proto.Tree
+
+(** Coordinate-sequential protocol: for each coordinate [j] in order,
+    players [0, 1, ...] write their bit at [j] until someone writes 0
+    (coordinate certified, move on) or all [k] write 1 (intersection
+    found, output 0 = non-disjoint). Outputs 1 (disjoint) after all
+    coordinates are certified. Communication [O(nk)] worst case, but
+    information cost per coordinate is the sequential-AND [O(log k)]. *)
+let sequential ~n ~k =
+  if n < 0 || k < 1 then invalid_arg "Disj_trees.sequential";
+  let coords = Array.make (n + 1) (T.output 1) in
+  for j = n - 1 downto 0 do
+    let next = coords.(j + 1) in
+    let rec player i =
+      if i = k then T.output 0
+      else
+        T.speak_det ~speaker:i
+          ~f:(fun x -> x.(j))
+          [| next; player (i + 1) |]
+    in
+    coords.(j) <- player 0
+  done;
+  coords.(0)
+
+(** Pointwise-OR as an exact tree: every player announces its whole
+    vector; the leaf outputs the OR vector packed as an integer. Since
+    every player must learn the OR vector, any exact protocol satisfies
+    [IC >= I(T ; X) >= H(Y)] — the output-entropy floor the tests check
+    against this witness. Only for tiny [n, k]. *)
+let pointwise_or_broadcast ~n ~k =
+  if n > 20 then invalid_arg "Disj_trees.pointwise_or_broadcast: n too large";
+  let arity = 1 lsl n in
+  let encode x =
+    Array.to_list x |> List.fold_left (fun acc b -> (2 * acc) + b) 0
+  in
+  let rec build i acc_or =
+    if i = k then T.output acc_or
+    else
+      T.speak_det ~speaker:i ~f:encode
+        (Array.init arity (fun code -> build (i + 1) (acc_or lor code)))
+  in
+  build 0 0
+
+(** Broadcast-everything tree: every player writes its whole vector (as
+    one symbol of arity [2^n]); the leaf computes disjointness. The
+    maximally-leaky baseline, [IC = H(X)]. Only for tiny [n]. *)
+let broadcast_all ~n ~k =
+  if n > 20 then invalid_arg "Disj_trees.broadcast_all: n too large";
+  let arity = 1 lsl n in
+  let encode x =
+    Array.to_list x |> List.fold_left (fun acc b -> (2 * acc) + b) 0
+  in
+  let decode code = Array.init n (fun j -> (code lsr (n - 1 - j)) land 1) in
+  let rec build i acc_vectors =
+    if i = k then begin
+      let sets =
+        Array.of_list (List.rev_map decode acc_vectors)
+      in
+      T.output (Hard_dist.disj_fn sets)
+    end
+    else
+      T.speak_det ~speaker:i ~f:encode
+        (Array.init arity (fun code -> build (i + 1) (code :: acc_vectors)))
+  in
+  build 0 []

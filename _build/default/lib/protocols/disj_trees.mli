@@ -1,0 +1,23 @@
+(** Exact protocol trees for [DISJ_{n,k}] at small scale — used by the
+    direct-sum experiments (Lemma 1) and exact information
+    measurements. Per-player inputs are coordinate vectors (length-[n]
+    0/1 [int array]s). Subtrees are shared, so construction is cheap
+    even though the unfolded tree is exponential. *)
+
+val sequential : n:int -> k:int -> int array Proto.Tree.t
+(** Coordinate-by-coordinate: players write their bit at coordinate [j]
+    until a zero certifies it (move on) or all [k] ones reveal an
+    intersection (output 0). Outputs 1 (disjoint) after all coordinates
+    are certified. Information cost per coordinate is the
+    sequential-AND [O(log k)]. *)
+
+val pointwise_or_broadcast : n:int -> k:int -> int array Proto.Tree.t
+(** Pointwise-OR as an exact tree (players announce their vectors; the
+    output is the OR vector packed big-endian into an int). Witness for
+    the output-entropy floor [IC >= H(Y)]. Tiny [n, k] only.
+    @raise Invalid_argument for [n > 20]. *)
+
+val broadcast_all : n:int -> k:int -> int array Proto.Tree.t
+(** Every player writes its whole vector as one arity-[2^n] symbol; the
+    leaf computes disjointness. Maximally leaky; tiny [n] only.
+    @raise Invalid_argument for [n > 20]. *)

@@ -1,0 +1,34 @@
+(** The trivial disjointness protocol: every player writes its full
+    characteristic vector ([n] bits each, [nk] total) and everyone
+    evaluates the intersection locally. The "no cleverness" baseline. *)
+
+let solve inst =
+  let open Disj_common in
+  let k = k_of inst in
+  let n = inst.n in
+  let board = Blackboard.Board.create ~k in
+  for j = 0 to k - 1 do
+    let w = Coding.Bitbuf.Writer.create () in
+    Array.iter (fun b -> Coding.Bitbuf.Writer.add_bit w b) inst.sets.(j);
+    Blackboard.Board.post board ~player:j ~label:"charvec" w
+  done;
+  (* Decode all vectors from the board and intersect. *)
+  let decoded =
+    List.map
+      (fun wr ->
+        let r = Blackboard.Board.reader_of_write wr in
+        Array.init n (fun _ -> Coding.Bitbuf.Reader.read_bit r))
+      (Blackboard.Board.writes board)
+  in
+  let intersect = ref false in
+  for j = 0 to n - 1 do
+    if List.for_all (fun v -> v.(j)) decoded then intersect := true
+  done;
+  {
+    answer = not !intersect;
+    bits = Blackboard.Board.total_bits board;
+    messages = Blackboard.Board.write_count board;
+    cycles = 1;
+  }
+
+let cost_model ~n ~k = float_of_int (n * k)

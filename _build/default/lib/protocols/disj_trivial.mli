@@ -1,0 +1,8 @@
+(** The trivial disjointness protocol: every player broadcasts its full
+    characteristic vector ([nk] bits total); everyone intersects
+    locally. The "no cleverness" baseline. *)
+
+val solve : Disj_common.instance -> Disj_common.result
+
+val cost_model : n:int -> k:int -> float
+(** [n * k]. *)

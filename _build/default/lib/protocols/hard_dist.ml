@@ -1,0 +1,126 @@
+(** The hard input distributions of the paper.
+
+    Section 4.1: the distribution [mu] for one-bit [AND_k] — pick a
+    uniformly random special player [Z], force [X_Z = 0], and give every
+    other player an independent zero with probability [1/k]. Conditioned
+    on [Z] the inputs are independent, and every input in the support has
+    [AND = 0] (conditions (1) and (2) of Lemma 1).
+
+    Section 4 (Lemma 6): the distribution for the [Omega(k)] bound —
+    all-ones with probability [eps'], otherwise a single uniformly random
+    player gets zero.
+
+    All laws are exact-rational. Inputs are bit vectors [int array] of
+    length [k] (entries 0/1); the auxiliary variable [Z] is the special
+    player's index. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+
+(** All bit-vectors over [k] players with exactly [c] zeros — the slice
+    [X_c] of the paper. *)
+let slice ~k ~c =
+  List.filter
+    (fun x -> Array.fold_left (fun acc b -> acc + (1 - b)) 0 x = c)
+    (Proto.Semantics.all_bit_inputs k)
+
+(** Like {!mu_and_with_aux} but with the non-special players' zero
+    probability as a parameter — the Section 4.1 design discussion made
+    explorable. [p_zero = 0] gives the "all others get 1" extreme (zero
+    residual entropy, so zero CIC is achievable); [p_zero] large makes
+    zeros unsurprising. The paper's [1/k] balances the two; the E1b
+    ablation sweeps this. *)
+let mu_and_with_aux_p ~k ~p_zero =
+  if k < 2 then invalid_arg "Hard_dist.mu_and_with_aux_p: need k >= 2";
+  if R.sign p_zero < 0 || R.compare p_zero R.one > 0 then
+    invalid_arg "Hard_dist.mu_and_with_aux_p: p_zero out of range";
+  let p_one = R.sub R.one p_zero in
+  let pairs =
+    List.concat_map
+      (fun z ->
+        List.filter_map
+          (fun x ->
+            if x.(z) <> 0 then None
+            else begin
+              let w = ref (R.of_ints 1 k) (* choice of Z *) in
+              Array.iteri
+                (fun i b ->
+                  if i <> z then
+                    w := R.mul !w (if b = 0 then p_zero else p_one))
+                x;
+              Some ((x, z), !w)
+            end)
+          (Proto.Semantics.all_bit_inputs k))
+      (List.init k (fun z -> z))
+  in
+  D.of_weighted pairs
+
+(** The full joint law of [(X, Z)] for the Section 4.1 distribution:
+    the [p_zero = 1/k] instance of {!mu_and_with_aux_p}. *)
+let mu_and_with_aux ~k = mu_and_with_aux_p ~k ~p_zero:(R.of_ints 1 k)
+
+(** Marginal law of the inputs alone. *)
+let mu_and ~k = D.map fst (mu_and_with_aux ~k)
+
+(** [mu] conditioned on the input lying in the slice [X_c]; used to
+    define [pi_2] and [pi_3], the transcript laws on two- and three-zero
+    inputs. Under [mu], conditioned on [|zeros| = c], all [c]-zero
+    inputs are equally likely (the paper uses this symmetry), so this is
+    just the uniform law on the slice. *)
+let mu_on_slice ~k ~c = D.uniform (slice ~k ~c)
+
+(** Exact probability that [X] has exactly [c] zeros under [mu]. *)
+let slice_mass ~k ~c =
+  D.prob (mu_and ~k) (fun x ->
+      Array.fold_left (fun acc b -> acc + (1 - b)) 0 x = c)
+
+(** The Lemma 6 distribution: all-ones w.p. [eps'], else one uniformly
+    random player gets 0. [eps'] is given as an exact rational. *)
+let mu_lemma6 ~k ~eps' =
+  if R.sign eps' < 0 || R.compare eps' R.one > 0 then
+    invalid_arg "Hard_dist.mu_lemma6: eps' out of range";
+  let ones = Array.make k 1 in
+  let single_zero z =
+    Array.init k (fun i -> if i = z then 0 else 1)
+  in
+  let rest = R.sub R.one eps' in
+  D.of_weighted
+    ((ones, eps')
+    :: List.init k (fun z -> (single_zero z, R.div_int rest k)))
+
+(** The n-fold product of [mu] with its auxiliary variables: inputs are
+    per-player bit vectors of length [n] (player [i]'s input is
+    [x.(i)], an [int array] of coordinates), and the auxiliary variable
+    is the vector [Z = (Z_1, ..., Z_n)] of special players per
+    coordinate. This is [mu^n] of Lemma 1, shaped for the DISJ trees. *)
+let mu_disj_with_aux ~n ~k =
+  let coordinate = mu_and_with_aux ~k in
+  let columns = D.iid n coordinate in
+  D.map
+    (fun cols ->
+      let x =
+        Array.init k (fun i -> Array.init n (fun j -> (fst cols.(j)).(i)))
+      in
+      let z = Array.map snd cols in
+      (x, z))
+    columns
+
+let mu_disj ~n ~k = D.map fst (mu_disj_with_aux ~n ~k)
+
+(** Reference functions. *)
+let and_fn x = Array.fold_left (fun acc b -> acc land b) 1 x
+
+(** [DISJ_{n,k}]: 1 iff the sets are disjoint (no coordinate is 1 for
+    every player). Inputs as per-player coordinate vectors. *)
+let disj_fn x =
+  let k = Array.length x in
+  let n = if k = 0 then 0 else Array.length x.(0) in
+  let intersect = ref false in
+  for j = 0 to n - 1 do
+    let all_one = ref true in
+    for i = 0 to k - 1 do
+      if x.(i).(j) = 0 then all_one := false
+    done;
+    if !all_one then intersect := true
+  done;
+  if !intersect then 0 else 1

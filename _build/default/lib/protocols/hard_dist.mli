@@ -1,0 +1,53 @@
+(** The hard input distributions of the paper.
+
+    Section 4.1: the distribution [mu] for one-bit [AND_k] — pick a
+    uniformly random special player [Z], force [X_Z = 0], and give every
+    other player an independent zero with probability [1/k]. Conditioned
+    on [Z] the inputs are independent, and every support point has
+    [AND = 0] — exactly conditions (1) and (2) of Lemma 1 (verified by
+    the test suite).
+
+    Inputs are bit vectors ([int array] of 0/1 entries); the auxiliary
+    variable is the special player's index. All laws are exact. *)
+
+val mu_and_with_aux : k:int -> (int array * int) Prob.Dist_exact.t
+(** The joint law of [(X, Z)]. @raise Invalid_argument if [k < 2]. *)
+
+val mu_and_with_aux_p :
+  k:int -> p_zero:Exact.Rational.t -> (int array * int) Prob.Dist_exact.t
+(** {!mu_and_with_aux} with the non-special players' zero probability
+    as a parameter — Section 4.1's design discussion made explorable
+    (the paper's choice is [1/k]; [0] kills the residual entropy, large
+    values make zeros unsurprising). The E1b ablation sweeps it.
+    @raise Invalid_argument if [k < 2] or [p_zero] is out of range. *)
+
+val mu_and : k:int -> int array Prob.Dist_exact.t
+(** Marginal law of the inputs. *)
+
+val slice : k:int -> c:int -> int array list
+(** The set [X_c] of inputs with exactly [c] zeros. *)
+
+val mu_on_slice : k:int -> c:int -> int array Prob.Dist_exact.t
+(** Uniform law on [X_c] — under [mu], conditioned on the zero count,
+    all [c]-zero inputs are equally likely (the symmetry the proof
+    uses); [pi_2] and [pi_3] are transcript laws under these. *)
+
+val slice_mass : k:int -> c:int -> Exact.Rational.t
+(** [Pr_mu[X in X_c]], exactly. *)
+
+val mu_lemma6 : k:int -> eps':Exact.Rational.t -> int array Prob.Dist_exact.t
+(** The Lemma-6 distribution: all-ones w.p. [eps'], else one uniformly
+    random player gets 0. *)
+
+val mu_disj_with_aux :
+  n:int -> k:int -> (int array array * int array) Prob.Dist_exact.t
+(** [mu^n] with its auxiliary vector: per-player coordinate vectors
+    ([x.(i)] is player [i]'s [n]-bit input) and [Z = (Z_1..Z_n)]. *)
+
+val mu_disj : n:int -> k:int -> int array array Prob.Dist_exact.t
+
+val and_fn : int array -> int
+(** [AND_k] as a reference function. *)
+
+val disj_fn : int array array -> int
+(** [DISJ_{n,k}] on per-player coordinate vectors: 1 iff disjoint. *)

@@ -1,0 +1,148 @@
+(** Pointwise-OR in the broadcast model.
+
+    The paper's related-work discussion (Phillips-Verbin-Zhang
+    symmetrization) proves an [Omega(n log k)] lower bound for
+    pointwise-OR: every player must end up knowing the whole vector
+    [Y^j = OR_i X_i^j]. This module gives the matching-shape upper
+    bound with the same batching idea as the Section-5 disjointness
+    protocol: coordinates whose OR is 1 are announced in batches encoded
+    as subsets of the still-unannounced set, paying [~log(ek)] bits per
+    1-coordinate instead of the naive [log n].
+
+    Protocol: cycles over players; a player with new 1-coordinates (set
+    bits not yet on the board) writes up to [ceil(z/k)] of them as a
+    size-prefixed subset of the uncovered set [Z]; a player with none
+    writes a pass bit. A cycle in which everybody passes means no new
+    ones exist anywhere, so the uncovered coordinates all have OR 0 and
+    the board determines [Y]. Once [z < k^2], a final cycle writes
+    everything naively. *)
+
+type result = {
+  output : bool array;  (** the OR vector [Y] *)
+  bits : int;
+  messages : int;
+  cycles : int;
+}
+
+(** Ground truth. *)
+let reference (inst : Disj_common.instance) =
+  Array.init inst.Disj_common.n (fun j ->
+      Array.exists (fun s -> s.(j)) inst.Disj_common.sets)
+
+let solve (inst : Disj_common.instance) =
+  let open Disj_common in
+  let k = k_of inst in
+  let n = inst.n in
+  let board = Blackboard.Board.create ~k in
+  let covered = Array.make n false in
+  let cycles = ref 0 in
+  let uncovered () =
+    let rec go j acc =
+      if j < 0 then acc else go (j - 1) (if covered.(j) then acc else j :: acc)
+    in
+    Array.of_list (go (n - 1) [])
+  in
+  let new_one_positions z_list j =
+    let acc = ref [] in
+    Array.iteri
+      (fun pos c ->
+        if inst.sets.(j).(c) && not covered.(c) then acc := pos :: !acc)
+      z_list;
+    List.rev !acc
+  in
+  let decode_and_mark ~z_list =
+    match Blackboard.Board.last_write board with
+    | None -> assert false
+    | Some wr ->
+        let r = Blackboard.Board.reader_of_write wr in
+        if Coding.Bitbuf.Reader.read_bit r then begin
+          let z = Array.length z_list in
+          let s = Coding.Intcode.read_gamma0 r in
+          let positions = Coding.Subset_codec.read r ~z ~m:s in
+          List.iter (fun p -> covered.(z_list.(p)) <- true) positions
+        end
+  in
+  let high_cycle z_list =
+    incr cycles;
+    let z = Array.length z_list in
+    let m = (z + k - 1) / k in
+    let wrote = ref 0 in
+    for j = 0 to k - 1 do
+      let ones = new_one_positions z_list j in
+      let w = Coding.Bitbuf.Writer.create () in
+      (match ones with
+      | [] -> Coding.Bitbuf.Writer.add_bit w false
+      | _ ->
+          let batch = List.filteri (fun idx _ -> idx < m) ones in
+          Coding.Bitbuf.Writer.add_bit w true;
+          Coding.Intcode.write_gamma0 w (List.length batch);
+          Coding.Subset_codec.write w ~z batch;
+          incr wrote);
+      Blackboard.Board.post board ~player:j
+        ~label:(if ones = [] then "pass" else "ones")
+        w;
+      decode_and_mark ~z_list
+    done;
+    !wrote
+  in
+  let low_cycle z_list =
+    incr cycles;
+    let z = Array.length z_list in
+    for j = 0 to k - 1 do
+      let ones = new_one_positions z_list j in
+      let w = Coding.Bitbuf.Writer.create () in
+      Coding.Intcode.write_gamma0 w (List.length ones);
+      List.iter (fun p -> Coding.Intcode.write_fixed w ~bound:z p) ones;
+      Blackboard.Board.post board ~player:j ~label:"final" w;
+      match Blackboard.Board.last_write board with
+      | None -> assert false
+      | Some wr ->
+          let r = Blackboard.Board.reader_of_write wr in
+          let count = Coding.Intcode.read_gamma0 r in
+          for _ = 1 to count do
+            let p = Coding.Intcode.read_fixed r ~bound:z in
+            covered.(z_list.(p)) <- true
+          done
+    done
+  in
+  let rec loop () =
+    let z_list = uncovered () in
+    let z = Array.length z_list in
+    if z = 0 then ()
+    else if z < k * k || z < k then low_cycle z_list
+    else begin
+      let wrote = high_cycle z_list in
+      if wrote > 0 then loop ()
+      (* full pass cycle: nobody holds a new 1, so every uncovered
+         coordinate has OR 0 — done *)
+    end
+  in
+  loop ();
+  {
+    output = Array.copy covered;
+    bits = Blackboard.Board.total_bits board;
+    messages = Blackboard.Board.write_count board;
+    cycles = !cycles;
+  }
+
+(** Trivial baseline: everyone broadcasts its characteristic vector. *)
+let solve_trivial (inst : Disj_common.instance) =
+  let open Disj_common in
+  let k = k_of inst in
+  let board = Blackboard.Board.create ~k in
+  for j = 0 to k - 1 do
+    let w = Coding.Bitbuf.Writer.create () in
+    Array.iter (Coding.Bitbuf.Writer.add_bit w) inst.sets.(j);
+    Blackboard.Board.post board ~player:j w
+  done;
+  {
+    output = reference inst;
+    bits = Blackboard.Board.total_bits board;
+    messages = k;
+    cycles = 1;
+  }
+
+(** Cost shape for the table: [t log2 k + k] where [t] is the number of
+    1-coordinates in the output (only those must be announced). *)
+let cost_model ~ones ~k =
+  (float_of_int ones *. Float.log2 (float_of_int (max 2 k))) +. float_of_int k

@@ -1,0 +1,27 @@
+(** Pointwise-OR in the broadcast model.
+
+    The related-work problem of the paper's introduction
+    (Phillips-Verbin-Zhang symmetrization, [Omega(n log k)]): every
+    player must learn the whole vector [Y^j = OR_i X_i^j]. This module
+    gives the matching-shape upper bound with the Section-5 batching
+    idea — 1-coordinates are announced in batches encoded as subsets of
+    the still-unannounced set, [~log(ek)] bits per coordinate — plus the
+    trivial [nk] baseline. A full pass cycle certifies that every
+    remaining coordinate has OR 0. *)
+
+type result = {
+  output : bool array;  (** the OR vector [Y] *)
+  bits : int;
+  messages : int;
+  cycles : int;
+}
+
+val reference : Disj_common.instance -> bool array
+(** Ground truth. *)
+
+val solve : Disj_common.instance -> result
+val solve_trivial : Disj_common.instance -> result
+
+val cost_model : ones:int -> k:int -> float
+(** [t log2 k + k] where [t] is the number of 1-coordinates — only
+    those must ever be announced. *)

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Array Coding Compress List Printf Prob Proto Protocols QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Exact List Printf QCheck String Test_util

@@ -1,0 +1,1 @@
+test/test_board.ml: Alcotest Array Blackboard Coding Int64 List Prob Test_util

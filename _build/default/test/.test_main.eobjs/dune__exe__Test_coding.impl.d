@@ -1,0 +1,1 @@
+test/test_coding.ml: Alcotest Array Coding Exact Float List Printf Prob QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_combinators.ml: Alcotest Array Exact List Lowerbound Printf Prob Proto Protocols Test_util

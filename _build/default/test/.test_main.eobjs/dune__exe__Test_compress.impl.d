@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Array Coding Compress Exact Float Infotheory List Printf Prob Proto Protocols Test_util

@@ -1,0 +1,1 @@
+test/test_disj.ml: Alcotest Array Blackboard List Printf Prob Protocols QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Exact Float Option Prob QCheck Test_util

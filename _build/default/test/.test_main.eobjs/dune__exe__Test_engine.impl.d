@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Blackboard Coding List Printf Prob Proto Protocols Test_util

@@ -1,0 +1,1 @@
+test/test_factored.ml: Alcotest Array Coding Compress Hashtbl List Option Printf Prob Proto Protocols Test_util

@@ -1,0 +1,1 @@
+test/test_hard_dist.ml: Alcotest Array Exact List Printf Prob Protocols Test_util

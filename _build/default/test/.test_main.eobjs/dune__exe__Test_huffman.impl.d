@@ -1,0 +1,1 @@
+test/test_huffman.ml: Alcotest Array Coding Float Infotheory List Prob QCheck String Test_util

@@ -1,0 +1,1 @@
+test/test_infotheory.ml: Alcotest Exact Float Infotheory List Printf Prob QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Exact Float List Lowerbound Printf Prob Proto Protocols Test_util

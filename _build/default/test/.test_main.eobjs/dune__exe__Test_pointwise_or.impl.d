@@ -1,0 +1,1 @@
+test/test_pointwise_or.ml: Alcotest Array Infotheory List Printf Prob Proto Protocols QCheck Test_util

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Exact Infotheory List Printf Prob Proto Protocols Test_util

@@ -1,0 +1,1 @@
+test/test_random_trees.ml: Array Exact Float List Lowerbound Prob Proto Protocols QCheck Test_util

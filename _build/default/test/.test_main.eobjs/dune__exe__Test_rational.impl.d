@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Exact Float QCheck Test_util

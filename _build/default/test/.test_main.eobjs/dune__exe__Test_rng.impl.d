@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Int64 Printf Prob Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Exact Float List Prob QCheck QCheck_alcotest

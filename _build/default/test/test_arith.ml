@@ -1,0 +1,150 @@
+(** Tests for the arithmetic coder and the one-shot compression story. *)
+
+module A = Coding.Arith
+module W = Coding.Bitbuf.Writer
+module Rd = Coding.Bitbuf.Reader
+open Test_util
+
+let roundtrip freq_seq symbols =
+  let w = W.create () in
+  let enc = A.Encoder.create w in
+  List.iter2 (fun freqs s -> A.Encoder.encode enc ~freqs s) freq_seq symbols;
+  A.Encoder.finish enc;
+  let dec = A.Decoder.create (Rd.of_writer w) in
+  let decoded = List.map (fun freqs -> A.Decoder.decode dec ~freqs) freq_seq in
+  (decoded, W.length w)
+
+let t_roundtrip_uniform () =
+  let freqs = [| 1; 1; 1; 1 |] in
+  let symbols = [ 0; 3; 1; 2; 2; 0; 3; 3; 1; 0 ] in
+  let decoded, bits = roundtrip (List.map (fun _ -> freqs) symbols) symbols in
+  Alcotest.(check (list int)) "roundtrip" symbols decoded;
+  (* uniform over 4: 2 bits/symbol + small flush *)
+  check_le ~msg:"near entropy" (float_of_int bits) (2. *. 10. +. 8.)
+
+let t_roundtrip_skewed () =
+  (* highly skewed: long runs of the likely symbol cost < 1 bit each *)
+  let freqs = [| 990; 10 |] in
+  let symbols = List.init 200 (fun i -> if i mod 50 = 49 then 1 else 0) in
+  let decoded, bits = roundtrip (List.map (fun _ -> freqs) symbols) symbols in
+  Alcotest.(check (list int)) "roundtrip" symbols decoded;
+  (* entropy ~ 200 * h(0.02+) ~ 30 bits; allow generous slack *)
+  check_le ~msg:"beats 1 bit/symbol" (float_of_int bits) 80.
+
+let t_roundtrip_adaptive_tables () =
+  (* per-symbol changing models, as the transcript coder uses *)
+  let rng = Prob.Rng.of_int_seed 12 in
+  let steps =
+    List.init 300 (fun _ ->
+        let arity = 2 + Prob.Rng.int rng 4 in
+        let freqs = Array.init arity (fun _ -> 1 + Prob.Rng.int rng 100) in
+        let total = Array.fold_left ( + ) 0 freqs in
+        (* sample from the table itself *)
+        let target = Prob.Rng.int rng total in
+        let rec pick i acc =
+          if acc + freqs.(i) > target then i else pick (i + 1) (acc + freqs.(i))
+        in
+        (freqs, pick 0 0))
+  in
+  let decoded, _ = roundtrip (List.map fst steps) (List.map snd steps) in
+  Alcotest.(check (list int)) "adaptive roundtrip" (List.map snd steps) decoded
+
+let t_single_symbol_cost () =
+  (* one near-certain symbol still costs a few bits: the flush — the
+     mechanism behind the one-shot gap *)
+  let freqs = [| 16000; 16 |] in
+  let decoded, bits = roundtrip [ freqs ] [ 0 ] in
+  Alcotest.(check (list int)) "decodes" [ 0 ] decoded;
+  Alcotest.(check bool) "flush costs >= 1 bit" true (bits >= 1);
+  check_le ~msg:"but O(1)" (float_of_int bits) 4.
+
+let t_freqs_of_probs () =
+  let f = A.freqs_of_probs [| 0.5; 0.5 |] in
+  Alcotest.(check int) "symmetric" f.(0) f.(1);
+  let f = A.freqs_of_probs [| 0.999; 0.0; 0.001 |] in
+  Alcotest.(check bool) "zero prob stays encodable" true (f.(1) >= 1);
+  Alcotest.(check bool) "bounded total" true (Array.fold_left ( + ) 0 f <= 1 lsl 16)
+
+let t_bad_inputs () =
+  let w = W.create () in
+  let enc = A.Encoder.create w in
+  Alcotest.check_raises "bad symbol" (Invalid_argument "Arith: bad symbol")
+    (fun () -> A.Encoder.encode enc ~freqs:[| 1; 1 |] 2);
+  Alcotest.check_raises "zero frequency"
+    (Invalid_argument "Arith: zero frequency") (fun () ->
+      A.Encoder.encode enc ~freqs:[| 1; 0 |] 0)
+
+let prop_random_roundtrip =
+  qtest "random streams roundtrip" ~count:150 QCheck.small_nat (fun seed ->
+      let rng = Prob.Rng.of_int_seed (seed + 777) in
+      let len = 1 + Prob.Rng.int rng 60 in
+      let steps =
+        List.init len (fun _ ->
+            let arity = 2 + Prob.Rng.int rng 5 in
+            let freqs = Array.init arity (fun _ -> 1 + Prob.Rng.int rng 64) in
+            (freqs, Prob.Rng.int rng arity))
+      in
+      let decoded, _ = roundtrip (List.map fst steps) (List.map snd steps) in
+      decoded = List.map snd steps)
+
+(* --- one-shot compression story --- *)
+
+let t_oneshot_decodes () =
+  let k = 5 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let inputs = Array.make k 1 in
+  let inter = Compress.Oneshot.interactive ~seed:3 ~tree ~mu ~inputs in
+  let omni = Compress.Oneshot.omniscient ~seed:3 ~tree ~mu ~inputs in
+  Alcotest.(check bool) "interactive decodes" true inter.Compress.Oneshot.decoded_ok;
+  Alcotest.(check bool) "omniscient decodes" true omni.Compress.Oneshot.decoded_ok;
+  Alcotest.(check int) "k messages on 1^k" k inter.Compress.Oneshot.messages
+
+let t_oneshot_gap () =
+  (* the measured Section-6 gap: interactive pays Omega(1) per message
+     (Theta(k) on the all-ones input), omniscient reaches H(T)+O(1) *)
+  let k = 10 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let inputs = Array.make k 1 in
+  let inter = Compress.Oneshot.interactive ~seed:5 ~tree ~mu ~inputs in
+  let omni = Compress.Oneshot.omniscient ~seed:5 ~tree ~mu ~inputs in
+  check_ge ~msg:"interactive pays per message"
+    (float_of_int inter.Compress.Oneshot.bits)
+    (float_of_int k);
+  (* on 1^k the transcript has probability ~ (1-1/k)^(k(k-1)) under mu's
+     posterior walk; the omniscient cost is its surprisal + O(1), far
+     below k for large k; at k = 10 it is already well below *)
+  Alcotest.(check bool)
+    (Printf.sprintf "omniscient %d < interactive %d" omni.Compress.Oneshot.bits
+       inter.Compress.Oneshot.bits)
+    true
+    (omni.Compress.Oneshot.bits < inter.Compress.Oneshot.bits)
+
+let t_oneshot_expected_vs_entropy () =
+  let k = 6 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let h = Proto.Information.transcript_entropy tree mu in
+  let omni_mean, ok =
+    Compress.Oneshot.expected_bits Compress.Oneshot.omniscient ~seed:7 ~tree
+      ~mu ~samples:300
+  in
+  Alcotest.(check bool) "all decoded" true ok;
+  (* omniscient expected bits ~ H(T) + quantization + flush *)
+  check_ge ~msg:"above entropy" (omni_mean +. 0.2) h;
+  check_le ~msg:"within H(T) + 4" omni_mean (h +. 4.)
+
+let suite =
+  [
+    quick "roundtrip uniform" t_roundtrip_uniform;
+    quick "roundtrip skewed" t_roundtrip_skewed;
+    quick "roundtrip adaptive tables" t_roundtrip_adaptive_tables;
+    quick "single-symbol flush cost" t_single_symbol_cost;
+    quick "freqs_of_probs" t_freqs_of_probs;
+    quick "bad inputs rejected" t_bad_inputs;
+    prop_random_roundtrip;
+    quick "one-shot coders decode" t_oneshot_decodes;
+    quick "one-shot gap (interactive vs omniscient)" t_oneshot_gap;
+    slow "omniscient reaches transcript entropy" t_oneshot_expected_vs_entropy;
+  ]

@@ -1,0 +1,211 @@
+(** Unit and property tests for the arbitrary-precision integers. *)
+
+module B = Exact.Bigint
+open Test_util
+
+let check_b ~msg expected actual =
+  if not (B.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (B.to_string expected)
+      (B.to_string actual)
+
+let t_roundtrip_int () =
+  List.iter
+    (fun n ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "roundtrip %d" n)
+        (Some n)
+        (B.to_int_opt (B.of_int n)))
+    [ 0; 1; -1; 42; -42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 31;
+      max_int; min_int; min_int + 1; max_int - 1 ]
+
+let t_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("of/to_string " ^ s) s
+        (B.to_string (B.of_string s)))
+    [
+      "0"; "1"; "-1"; "123456789"; "-987654321";
+      "123456789012345678901234567890";
+      "-100000000000000000000000000000000000001";
+    ]
+
+let t_string_padding () =
+  (* Chunked decimal printing must zero-pad interior chunks. *)
+  let x = B.mul (B.of_string "1000000001") (B.of_string "1000000001") in
+  Alcotest.(check string) "padded" "1000000002000000001" (B.to_string x)
+
+let t_add_carry_chain () =
+  let one = B.one in
+  let big = B.sub (B.shift_left one 120) one in
+  check_b ~msg:"(2^120 - 1) + 1 = 2^120" (B.shift_left one 120) (B.add big one)
+
+let t_min_int () =
+  Alcotest.(check string) "min_int prints" (string_of_int min_int)
+    (B.to_string (B.of_int min_int))
+
+let t_div_mod_signs () =
+  (* Truncated division semantics must match Stdlib. *)
+  List.iter
+    (fun (a, b) ->
+      let q, r = B.div_mod (B.of_int a) (B.of_int b) in
+      check_b ~msg:(Printf.sprintf "%d / %d" a b) (B.of_int (a / b)) q;
+      check_b ~msg:(Printf.sprintf "%d mod %d" a b) (B.of_int (a mod b)) r)
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (12, 4); (-12, 4) ]
+
+let t_division_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.div B.one B.zero))
+
+let t_pow () =
+  check_b ~msg:"2^100"
+    (B.shift_left B.one 100)
+    (B.pow B.two 100);
+  check_b ~msg:"x^0" B.one (B.pow (B.of_int 17) 0);
+  check_b ~msg:"(-3)^3" (B.of_int (-27)) (B.pow (B.of_int (-3)) 3)
+
+let t_factorial () =
+  Alcotest.(check string) "20!" "2432902008176640000"
+    (B.to_string (B.factorial 20));
+  Alcotest.(check string) "0!" "1" (B.to_string (B.factorial 0));
+  Alcotest.(check string) "25!" "15511210043330985984000000"
+    (B.to_string (B.factorial 25))
+
+let t_binomial () =
+  check_b ~msg:"C(5,2)" (B.of_int 10) (B.binomial 5 2);
+  check_b ~msg:"C(n,0)" B.one (B.binomial 10 0);
+  check_b ~msg:"C(n,n)" B.one (B.binomial 10 10);
+  check_b ~msg:"C(n,k>n)" B.zero (B.binomial 5 7);
+  check_b ~msg:"C(n,-1)" B.zero (B.binomial 5 (-1));
+  Alcotest.(check string) "C(100,50)" "100891344545564193334812497256"
+    (B.to_string (B.binomial 100 50))
+
+let t_binomial_pascal () =
+  (* Pascal identity at sizes beyond 64-bit. *)
+  for n = 80 to 84 do
+    for k = 1 to n - 1 do
+      check_b
+        ~msg:(Printf.sprintf "pascal %d %d" n k)
+        (B.binomial n k)
+        (B.add (B.binomial (n - 1) (k - 1)) (B.binomial (n - 1) k))
+    done
+  done
+
+let t_gcd () =
+  check_b ~msg:"gcd 12 18" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  check_b ~msg:"gcd 0 5" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  check_b ~msg:"gcd -12 18" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18));
+  check_b ~msg:"gcd big"
+    (B.of_string "340282366920938463463374607431768211456")
+    (B.gcd
+       (B.shift_left B.one 128)
+       (B.shift_left B.one 200))
+
+let t_shift_right () =
+  check_b ~msg:"(2^100) >> 37" (B.shift_left B.one 63)
+    (B.shift_right (B.shift_left B.one 100) 37);
+  check_b ~msg:"5 >> 10" B.zero (B.shift_right (B.of_int 5) 10)
+
+let t_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "bits 2^30" 31 (B.num_bits (B.shift_left B.one 30));
+  Alcotest.(check int) "bits 2^100-1" 100
+    (B.num_bits (B.sub (B.shift_left B.one 100) B.one))
+
+let t_testbit () =
+  let x = B.of_int 0b101101 in
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check bool) (Printf.sprintf "bit %d" i) expected (B.testbit x i))
+    [ true; false; true; true; false; true; false ]
+
+let prop_add_matches_int =
+  qtest "add matches native" bigint_pair_gen (fun (a, b) ->
+      B.equal (B.of_int (a + b)) (B.add (B.of_int a) (B.of_int b)))
+
+let prop_mul_matches_int =
+  qtest "mul matches native" bigint_pair_gen (fun (a, b) ->
+      B.equal (B.of_int (a * b)) (B.mul (B.of_int a) (B.of_int b)))
+
+let prop_divmod_identity =
+  qtest "a = q*b + r with |r| < |b|"
+    (QCheck.pair (QCheck.int_range (-100000000) 100000000)
+       (QCheck.int_range 1 100000))
+    (fun (a, b) ->
+      let ba = B.of_int a and bb = B.of_int b in
+      let q, r = B.div_mod ba bb in
+      B.equal ba (B.add (B.mul q bb) r)
+      && B.compare (B.abs r) (B.abs bb) < 0)
+
+let prop_mul_commutative_big =
+  qtest "big multiplication commutes"
+    (QCheck.pair (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 40)
+                    (QCheck.Gen.char_range '0' '9'))
+       (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 40)
+          (QCheck.Gen.char_range '0' '9')))
+    (fun (s1, s2) ->
+      let a = B.of_string s1 and b = B.of_string s2 in
+      B.equal (B.mul a b) (B.mul b a))
+
+let prop_string_roundtrip_big =
+  qtest "decimal roundtrip on big values"
+    (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 50)
+       (QCheck.Gen.char_range '1' '9'))
+    (fun s ->
+      (* avoid leading zeros by drawing 1-9 *)
+      String.equal s (B.to_string (B.of_string s)))
+
+let prop_divmod_big =
+  qtest "division identity on big values" ~count:100
+    (QCheck.pair
+       (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 40)
+          (QCheck.Gen.char_range '1' '9'))
+       (QCheck.string_gen_of_size (QCheck.Gen.int_range 1 20)
+          (QCheck.Gen.char_range '1' '9')))
+    (fun (s1, s2) ->
+      let a = B.of_string s1 and b = B.of_string s2 in
+      let q, r = B.div_mod a b in
+      B.equal a (B.add (B.mul q b) r)
+      && B.compare r b < 0 && B.sign r >= 0)
+
+let prop_shift_is_mul_pow2 =
+  qtest "shift_left = mul 2^n"
+    (QCheck.pair (QCheck.int_range 0 1000000) (QCheck.int_range 0 70))
+    (fun (a, n) ->
+      B.equal
+        (B.shift_left (B.of_int a) n)
+        (B.mul (B.of_int a) (B.pow B.two n)))
+
+let prop_gcd_divides =
+  qtest "gcd divides both"
+    (QCheck.pair (QCheck.int_range 1 1000000) (QCheck.int_range 1 1000000))
+    (fun (a, b) ->
+      let g = B.gcd (B.of_int a) (B.of_int b) in
+      B.is_zero (B.rem (B.of_int a) g) && B.is_zero (B.rem (B.of_int b) g))
+
+let suite =
+  [
+    quick "int roundtrip" t_roundtrip_int;
+    quick "string roundtrip" t_string_roundtrip;
+    quick "decimal chunk padding" t_string_padding;
+    quick "carry chain" t_add_carry_chain;
+    quick "min_int" t_min_int;
+    quick "div_mod signs" t_div_mod_signs;
+    quick "division by zero" t_division_by_zero;
+    quick "pow" t_pow;
+    quick "factorial" t_factorial;
+    quick "binomial" t_binomial;
+    quick "binomial pascal identity (big)" t_binomial_pascal;
+    quick "gcd" t_gcd;
+    quick "shift right" t_shift_right;
+    quick "num_bits" t_num_bits;
+    quick "testbit" t_testbit;
+    prop_add_matches_int;
+    prop_mul_matches_int;
+    prop_divmod_identity;
+    prop_mul_commutative_big;
+    prop_string_roundtrip_big;
+    prop_divmod_big;
+    prop_shift_is_mul_pow2;
+    prop_gcd_divides;
+  ]

@@ -1,0 +1,252 @@
+(** Tests for bit buffers, integer codes, and the subset codec. *)
+
+module W = Coding.Bitbuf.Writer
+module Rd = Coding.Bitbuf.Reader
+module I = Coding.Intcode
+module S = Coding.Subset_codec
+open Test_util
+
+let t_bitbuf_roundtrip () =
+  let w = W.create () in
+  W.add_bit w true;
+  W.add_bit w false;
+  W.add_bits w 0b1011 4;
+  Alcotest.(check int) "length" 6 (W.length w);
+  Alcotest.(check string) "render" "101011" (W.to_string w);
+  let r = Rd.of_writer w in
+  Alcotest.(check bool) "bit 1" true (Rd.read_bit r);
+  Alcotest.(check bool) "bit 2" false (Rd.read_bit r);
+  Alcotest.(check int) "bits" 0b1011 (Rd.read_bits r 4);
+  Alcotest.(check int) "remaining" 0 (Rd.remaining r)
+
+let t_bitbuf_growth () =
+  (* push past the initial byte capacity *)
+  let w = W.create () in
+  for i = 0 to 999 do
+    W.add_bit w (i mod 3 = 0)
+  done;
+  Alcotest.(check int) "length" 1000 (W.length w);
+  let r = Rd.of_writer w in
+  for i = 0 to 999 do
+    if Rd.read_bit r <> (i mod 3 = 0) then Alcotest.failf "bit %d wrong" i
+  done
+
+let t_bitbuf_append () =
+  let a = W.create () and b = W.create () in
+  W.add_bits a 0b101 3;
+  W.add_bits b 0b11 2;
+  W.append a b;
+  Alcotest.(check string) "appended" "10111" (W.to_string a)
+
+let t_bitbuf_past_end () =
+  let r = Rd.of_bool_list [ true ] in
+  ignore (Rd.read_bit r);
+  Alcotest.check_raises "past end"
+    (Invalid_argument "Bitbuf.Reader.read_bit: past end") (fun () ->
+      ignore (Rd.read_bit r))
+
+let t_bigint_bits () =
+  let w = W.create () in
+  let v = Exact.Bigint.of_string "123456789012345678901234567890" in
+  let bits = Exact.Bigint.num_bits v in
+  W.add_bigint_bits w v bits;
+  let r = Rd.of_writer w in
+  Alcotest.(check string) "bigint roundtrip"
+    (Exact.Bigint.to_string v)
+    (Exact.Bigint.to_string (Rd.read_bigint_bits r bits))
+
+let t_fixed_width () =
+  Alcotest.(check int) "width 1" 0 (I.fixed_width 1);
+  Alcotest.(check int) "width 2" 1 (I.fixed_width 2);
+  Alcotest.(check int) "width 3" 2 (I.fixed_width 3);
+  Alcotest.(check int) "width 8" 3 (I.fixed_width 8);
+  Alcotest.(check int) "width 9" 4 (I.fixed_width 9)
+
+let roundtrip_code name write read values =
+  quick name (fun () ->
+      let w = W.create () in
+      List.iter (fun v -> write w v) values;
+      let r = Rd.of_writer w in
+      List.iter
+        (fun v ->
+          let got = read r in
+          if got <> v then Alcotest.failf "%s: wrote %d, read %d" name v got)
+        values)
+
+let t_gamma_costs () =
+  Alcotest.(check int) "gamma 1" 1 (I.gamma_cost 1);
+  Alcotest.(check int) "gamma 2" 3 (I.gamma_cost 2);
+  Alcotest.(check int) "gamma 8" 7 (I.gamma_cost 8);
+  let w = W.create () in
+  I.write_gamma w 8;
+  Alcotest.(check int) "cost matches actual" (I.gamma_cost 8) (W.length w);
+  let w = W.create () in
+  I.write_delta w 100;
+  Alcotest.(check int) "delta cost matches" (I.delta_cost 100) (W.length w)
+
+let t_zigzag () =
+  List.iter
+    (fun (n, z) ->
+      Alcotest.(check int) (Printf.sprintf "zigzag %d" n) z (I.zigzag n);
+      Alcotest.(check int) (Printf.sprintf "unzigzag %d" z) n (I.unzigzag z))
+    [ (0, 0); (-1, 1); (1, 2); (-2, 3); (2, 4); (100, 200); (-100, 199) ]
+
+let t_subset_rank_small () =
+  (* all 2-subsets of [0,4): colex ranks are 0..5 *)
+  let subsets = [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ]; [ 0; 3 ]; [ 1; 3 ]; [ 2; 3 ] ] in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check int)
+        (Printf.sprintf "rank of subset %d" i)
+        i
+        (Exact.Bigint.to_int_exn (S.rank ~z:4 s)))
+    subsets
+
+let t_subset_unrank_inverse () =
+  for z = 1 to 8 do
+    for m = 0 to z do
+      let count = Exact.Bigint.to_int_exn (Exact.Bigint.binomial z m) in
+      for r = 0 to count - 1 do
+        let s = S.unrank ~z ~m (Exact.Bigint.of_int r) in
+        Alcotest.(check int)
+          (Printf.sprintf "z=%d m=%d r=%d" z m r)
+          r
+          (Exact.Bigint.to_int_exn (S.rank ~z s))
+      done
+    done
+  done
+
+let t_subset_code_bits () =
+  (* ceil(log2 C(10,3)) = ceil(log2 120) = 7 *)
+  Alcotest.(check int) "C(10,3) bits" 7 (S.code_bits ~z:10 ~m:3);
+  Alcotest.(check int) "C(z,0) bits" 0 (S.code_bits ~z:10 ~m:0);
+  Alcotest.(check int) "C(z,z) bits" 0 (S.code_bits ~z:10 ~m:10)
+
+let t_subset_write_read () =
+  let w = W.create () in
+  let subset = [ 2; 5; 11; 17 ] in
+  S.write w ~z:20 subset;
+  Alcotest.(check int) "bits used" (S.code_bits ~z:20 ~m:4) (W.length w);
+  let r = Rd.of_writer w in
+  Alcotest.(check (list int)) "roundtrip" subset (S.read r ~z:20 ~m:4)
+
+let t_subset_invalid () =
+  Alcotest.check_raises "not sorted"
+    (Invalid_argument "Subset_codec: not strictly increasing in [0, z)")
+    (fun () -> ignore (S.rank ~z:10 [ 3; 3 ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Subset_codec: not strictly increasing in [0, z)")
+    (fun () -> ignore (S.rank ~z:10 [ 3; 12 ]))
+
+let t_subset_amortized_cost () =
+  (* the Section-5 claim: encoding a (z/k)-subset of z costs at most
+     (z/k) * log2(e*k) bits, so about log(ek) per coordinate *)
+  List.iter
+    (fun (z, k) ->
+      let m = (z + k - 1) / k in
+      let bits = S.code_bits ~z ~m in
+      let bound =
+        float_of_int m *. Float.log2 (Float.exp 1. *. float_of_int k)
+      in
+      check_le
+        ~msg:(Printf.sprintf "z=%d k=%d" z k)
+        (float_of_int bits) (bound +. 1.))
+    [ (100, 10); (256, 16); (1024, 32); (4096, 8); (10000, 100) ]
+
+let prop_gamma_roundtrip =
+  qtest "gamma roundtrip" (QCheck.int_range 1 1_000_000) (fun n ->
+      let w = W.create () in
+      I.write_gamma w n;
+      I.read_gamma (Rd.of_writer w) = n)
+
+let prop_delta_roundtrip =
+  qtest "delta roundtrip" (QCheck.int_range 1 1_000_000) (fun n ->
+      let w = W.create () in
+      I.write_delta w n;
+      I.read_delta (Rd.of_writer w) = n)
+
+let prop_signed_gamma_roundtrip =
+  qtest "signed gamma roundtrip" (QCheck.int_range (-100000) 100000) (fun n ->
+      let w = W.create () in
+      I.write_signed_gamma w n;
+      I.read_signed_gamma (Rd.of_writer w) = n)
+
+let prop_rice_roundtrip =
+  qtest "rice roundtrip"
+    (QCheck.pair (QCheck.int_range 0 100000) (QCheck.int_range 0 10))
+    (fun (n, k) ->
+      let w = W.create () in
+      I.write_rice w ~k n;
+      I.read_rice (Rd.of_writer w) ~k = n)
+
+let prop_fixed_roundtrip =
+  qtest "fixed roundtrip"
+    (QCheck.pair (QCheck.int_range 1 100000) QCheck.small_nat)
+    (fun (bound, v) ->
+      let v = v mod bound in
+      let w = W.create () in
+      I.write_fixed w ~bound v;
+      I.read_fixed (Rd.of_writer w) ~bound = v)
+
+let prop_subset_roundtrip =
+  qtest "subset roundtrip" ~count:100
+    (QCheck.pair (QCheck.int_range 1 60) (QCheck.int_range 0 1000))
+    (fun (z, seed) ->
+      let rng = Prob.Rng.of_int_seed seed in
+      let m = Prob.Rng.int rng (z + 1) in
+      let all = Array.init z (fun i -> i) in
+      Prob.Rng.shuffle rng all;
+      let subset = List.sort compare (Array.to_list (Array.sub all 0 m)) in
+      let w = W.create () in
+      S.write w ~z subset;
+      S.read (Rd.of_writer w) ~z ~m = subset)
+
+let prop_mixed_stream =
+  qtest "interleaved codes share a stream" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range 1 10000))
+    (fun values ->
+      let w = W.create () in
+      List.iteri
+        (fun i v ->
+          match i mod 3 with
+          | 0 -> I.write_gamma w v
+          | 1 -> I.write_delta w v
+          | _ -> I.write_signed_gamma w (v - 5000))
+        values;
+      let r = Rd.of_writer w in
+      List.for_all
+        (fun (i, v) ->
+          match i mod 3 with
+          | 0 -> I.read_gamma r = v
+          | 1 -> I.read_delta r = v
+          | _ -> I.read_signed_gamma r = v - 5000)
+        (List.mapi (fun i v -> (i, v)) values))
+
+let suite =
+  [
+    quick "bitbuf roundtrip" t_bitbuf_roundtrip;
+    quick "bitbuf growth" t_bitbuf_growth;
+    quick "bitbuf append" t_bitbuf_append;
+    quick "bitbuf past end" t_bitbuf_past_end;
+    quick "bigint bits" t_bigint_bits;
+    quick "fixed width" t_fixed_width;
+    roundtrip_code "unary roundtrip" I.write_unary I.read_unary
+      [ 0; 1; 2; 5; 17 ];
+    roundtrip_code "gamma0 roundtrip" I.write_gamma0 I.read_gamma0
+      [ 0; 1; 2; 3; 100; 255 ];
+    quick "gamma/delta costs" t_gamma_costs;
+    quick "zigzag" t_zigzag;
+    quick "subset colex ranks" t_subset_rank_small;
+    quick "subset unrank inverse (exhaustive z<=8)" t_subset_unrank_inverse;
+    quick "subset code bits" t_subset_code_bits;
+    quick "subset write/read" t_subset_write_read;
+    quick "subset invalid input" t_subset_invalid;
+    quick "subset amortized cost (Section 5)" t_subset_amortized_cost;
+    prop_gamma_roundtrip;
+    prop_delta_roundtrip;
+    prop_signed_gamma_roundtrip;
+    prop_rice_roundtrip;
+    prop_fixed_roundtrip;
+    prop_subset_roundtrip;
+    prop_mixed_stream;
+  ]

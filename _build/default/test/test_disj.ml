@@ -1,0 +1,237 @@
+(** Correctness and cost tests for the disjointness protocols
+    (Section 5 batched protocol + baselines), including the exhaustive
+    comparison against brute force and the bit-accounting invariants. *)
+
+module C = Protocols.Disj_common
+module Batched = Protocols.Disj_batched
+module Naive = Protocols.Disj_naive
+module Trivial = Protocols.Disj_trivial
+open Test_util
+
+let t_reference_semantics () =
+  let inst = C.make ~n:3 [| [| true; false; true |]; [| true; true; false |] |] in
+  Alcotest.(check bool) "intersect at 0" false (C.disjoint inst);
+  Alcotest.(check (list int)) "intersection" [ 0 ] (C.intersection inst);
+  let inst2 = C.make ~n:2 [| [| true; false |]; [| false; true |] |] in
+  Alcotest.(check bool) "disjoint" true (C.disjoint inst2)
+
+let exhaustive ~n ~k solve name =
+  quick
+    (Printf.sprintf "%s exhaustive n=%d k=%d" name n k)
+    (fun () ->
+      List.iter
+        (fun inst ->
+          let truth = C.disjoint inst in
+          let r = solve inst in
+          if r.C.answer <> truth then
+            Alcotest.failf "%s wrong on an instance (truth %b)" name truth)
+        (C.enumerate ~n ~k))
+
+let batched_result inst = (Batched.solve inst).Batched.result
+let batched_naive_enc inst =
+  (Batched.solve ~encoding:Batched.NaiveFixed inst).Batched.result
+let batched_low_threshold inst =
+  (Batched.solve ~threshold:1 inst).Batched.result
+let batched_high_threshold inst =
+  (Batched.solve ~threshold:1_000_000 inst).Batched.result
+
+let t_random_large_instances () =
+  let rng = Prob.Rng.of_int_seed 2024 in
+  for _ = 1 to 30 do
+    let n = 1 + Prob.Rng.int rng 300 in
+    let k = 2 + Prob.Rng.int rng 12 in
+    let inst =
+      match Prob.Rng.int rng 4 with
+      | 0 -> C.random_dense rng ~n ~k ~density:0.7
+      | 1 -> C.random_disjoint_single_zero rng ~n ~k
+      | 2 -> C.random_intersecting rng ~n ~k ~witnesses:(1 + Prob.Rng.int rng 3)
+      | _ -> C.random_dense rng ~n ~k ~density:0.95
+    in
+    let truth = C.disjoint inst in
+    List.iter
+      (fun (name, solve) ->
+        let r = solve inst in
+        if r.C.answer <> truth then
+          Alcotest.failf "%s wrong at n=%d k=%d" name n k)
+      [
+        ("batched", batched_result);
+        ("batched/naive-enc", batched_naive_enc);
+        ("batched/threshold-1", batched_low_threshold);
+        ("batched/threshold-max", batched_high_threshold);
+        ("naive", Naive.solve);
+        ("trivial", Trivial.solve);
+      ]
+  done
+
+let t_edge_instances () =
+  List.iter
+    (fun (name, inst) ->
+      let truth = C.disjoint inst in
+      List.iter
+        (fun (pname, solve) ->
+          let r = solve inst in
+          if r.C.answer <> truth then
+            Alcotest.failf "%s wrong on %s" pname name)
+        [ ("batched", batched_result); ("naive", Naive.solve);
+          ("trivial", Trivial.solve) ])
+    [
+      ("all full", C.all_full ~n:10 ~k:4);
+      ("all empty", C.all_empty ~n:10 ~k:4);
+      ("last empty", C.last_player_empty ~n:10 ~k:4);
+      ("k=1 full", C.all_full ~n:5 ~k:1);
+      ("k=1 empty", C.all_empty ~n:5 ~k:1);
+      ("n=1 disjoint", C.make ~n:1 [| [| true |]; [| false |] |]);
+      ("n=1 intersecting", C.make ~n:1 [| [| true |]; [| true |] |]);
+    ]
+
+let t_batched_cost_bound () =
+  (* measured bits <= constant * (n log k + k) on disjoint single-zero
+     instances — the protocol's worst natural case *)
+  let rng = Prob.Rng.of_int_seed 5 in
+  List.iter
+    (fun (n, k) ->
+      let inst = C.random_disjoint_single_zero rng ~n ~k in
+      let r = batched_result inst in
+      let model = Batched.cost_model ~n ~k in
+      check_le
+        ~msg:(Printf.sprintf "n=%d k=%d bits=%d" n k r.C.bits)
+        (float_of_int r.C.bits) (3. *. model))
+    [ (256, 4); (1024, 8); (4096, 16); (1024, 32); (512, 64) ]
+
+let t_batched_beats_naive_large_n () =
+  let rng = Prob.Rng.of_int_seed 6 in
+  let inst = C.random_disjoint_single_zero rng ~n:8192 ~k:8 in
+  let b = batched_result inst in
+  let nv = Naive.solve inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d < naive %d" b.C.bits nv.C.bits)
+    true (b.C.bits < nv.C.bits)
+
+let t_nondisjoint_early_exit_cheap () =
+  (* all-full instance: one pass cycle and out, O(k) bits *)
+  let r = batched_result (C.all_full ~n:10_000 ~k:16) in
+  Alcotest.(check bool) "answer non-disjoint" false r.C.answer;
+  check_le ~msg:"O(k) bits" (float_of_int r.C.bits) 64.
+
+let t_trace_accounting () =
+  let rng = Prob.Rng.of_int_seed 7 in
+  let inst = C.random_disjoint_single_zero rng ~n:2048 ~k:8 in
+  let run = Batched.solve inst in
+  (* per-cycle bits sum to the total *)
+  let sum =
+    List.fold_left (fun acc t -> acc + t.Batched.bits_in_cycle) 0 run.Batched.trace
+  in
+  Alcotest.(check int) "trace sums to total" run.Batched.result.C.bits sum;
+  (* z_start strictly decreases over high cycles *)
+  let rec check_decreasing = function
+    | a :: (b :: _ as rest) ->
+        if b.Batched.z_start >= a.Batched.z_start then
+          Alcotest.fail "z must shrink";
+        check_decreasing rest
+    | _ -> ()
+  in
+  check_decreasing run.Batched.trace;
+  (* board accounting matches the result *)
+  Alcotest.(check int) "board bits" run.Batched.result.C.bits
+    (Blackboard.Board.total_bits run.Batched.board)
+
+let t_encoding_ablation_combinatorial_wins () =
+  (* the combinatorial subset code must not lose to per-coordinate
+     fixed-width encoding on big batches *)
+  let rng = Prob.Rng.of_int_seed 8 in
+  let inst = C.random_disjoint_single_zero rng ~n:8192 ~k:8 in
+  let comb = batched_result inst in
+  let naive_enc = batched_naive_enc inst in
+  Alcotest.(check bool)
+    (Printf.sprintf "comb %d <= naive-enc %d" comb.C.bits naive_enc.C.bits)
+    true
+    (comb.C.bits <= naive_enc.C.bits)
+
+let t_naive_cost_shape () =
+  let rng = Prob.Rng.of_int_seed 9 in
+  let inst = C.random_disjoint_single_zero rng ~n:4096 ~k:8 in
+  let r = Naive.solve inst in
+  check_le ~msg:"naive <= 2(n log n + k + n)"
+    (float_of_int r.C.bits)
+    (2. *. (Naive.cost_model ~n:4096 ~k:8 +. 4096.))
+
+let t_trivial_cost_exact () =
+  let inst = C.all_full ~n:100 ~k:7 in
+  let r = Trivial.solve inst in
+  Alcotest.(check int) "exactly nk bits" 700 r.C.bits
+
+let t_pass_cycle_soundness () =
+  (* the protocol may output "non-disjoint" after a full pass cycle only
+     because pigeonhole guarantees a disjoint instance always has a
+     player with >= ceil(z/k) new zeros. Construct the tightest case:
+     every player holds exactly ceil(z/k) - 1 zeros (so all pass), which
+     forces a non-disjoint instance — some coordinate must be all-ones.
+     The protocol must answer non-disjoint, and does so in one cycle. *)
+  let k = 4 in
+  let n = k * k (* z = k^2 puts us exactly at the batch threshold *) in
+  let m = (n + k - 1) / k in
+  let sets = Array.init k (fun _ -> Array.make n true) in
+  (* give player j zeros at coordinates j*(m-1) .. j*(m-1)+m-2 *)
+  Array.iteri
+    (fun j row ->
+      for t = 0 to m - 2 do
+        row.((j * (m - 1)) + t) <- false
+      done)
+    sets;
+  let inst = Protocols.Disj_common.make ~n sets in
+  Alcotest.(check bool) "instance is non-disjoint by pigeonhole" false
+    (Protocols.Disj_common.disjoint inst);
+  let run = Protocols.Disj_batched.solve inst in
+  Alcotest.(check bool) "protocol answers non-disjoint" false
+    run.Protocols.Disj_batched.result.C.answer;
+  Alcotest.(check int) "single all-pass cycle" 1
+    run.Protocols.Disj_batched.result.C.cycles;
+  (* exactly k pass bits *)
+  Alcotest.(check int) "k bits" k run.Protocols.Disj_batched.result.C.bits
+
+let prop_random_instances_agree =
+  qtest "all protocols agree with brute force" ~count:60
+    (QCheck.pair (QCheck.int_range 1 40) (QCheck.int_range 1 6))
+    (fun (n, k) ->
+      let rng = Prob.Rng.of_int_seed ((n * 1000) + k) in
+      let inst = C.random_dense rng ~n ~k ~density:0.6 in
+      let truth = C.disjoint inst in
+      batched_result inst |> fun r1 ->
+      r1.C.answer = truth
+      && (Naive.solve inst).C.answer = truth
+      && (Trivial.solve inst).C.answer = truth
+      && (batched_low_threshold inst).C.answer = truth)
+
+let prop_intersection_vs_disjoint =
+  qtest "intersection witnesses the answer" ~count:100
+    (QCheck.pair (QCheck.int_range 1 30) (QCheck.int_range 1 5))
+    (fun (n, k) ->
+      let rng = Prob.Rng.of_int_seed ((n * 31) + k) in
+      let inst = C.random_dense rng ~n ~k ~density:0.5 in
+      C.disjoint inst = (C.intersection inst = []))
+
+let suite =
+  [
+    quick "reference semantics" t_reference_semantics;
+    exhaustive ~n:2 ~k:2 batched_result "batched";
+    exhaustive ~n:3 ~k:2 batched_result "batched";
+    exhaustive ~n:2 ~k:3 batched_result "batched";
+    exhaustive ~n:3 ~k:3 batched_result "batched";
+    exhaustive ~n:1 ~k:4 batched_result "batched";
+    exhaustive ~n:3 ~k:3 batched_naive_enc "batched/naive-enc";
+    exhaustive ~n:3 ~k:3 batched_low_threshold "batched/threshold-1";
+    exhaustive ~n:3 ~k:3 Naive.solve "naive";
+    exhaustive ~n:3 ~k:3 Trivial.solve "trivial";
+    slow "random large instances" t_random_large_instances;
+    quick "edge instances" t_edge_instances;
+    slow "batched cost bound" t_batched_cost_bound;
+    slow "batched beats naive at large n" t_batched_beats_naive_large_n;
+    quick "non-disjoint early exit is cheap" t_nondisjoint_early_exit_cheap;
+    quick "trace accounting" t_trace_accounting;
+    slow "encoding ablation" t_encoding_ablation_combinatorial_wins;
+    quick "naive cost shape" t_naive_cost_shape;
+    quick "trivial cost exact" t_trivial_cost_exact;
+    quick "pass-cycle soundness (pigeonhole edge)" t_pass_cycle_soundness;
+    prop_random_instances_agree;
+    prop_intersection_vs_disjoint;
+  ]

@@ -1,0 +1,175 @@
+(** Tests for the blackboard state-machine engine, including
+    engine-hosted reimplementations checked against the direct
+    protocols. *)
+
+module E = Blackboard.Engine
+module B = Blackboard.Board
+open Test_util
+
+let bit_writer b =
+  let w = Coding.Bitbuf.Writer.create () in
+  Coding.Bitbuf.Writer.add_bit w b;
+  w
+
+(* Sequential AND as an engine protocol: the schedule reads the board
+   (stop after a 0 or after k writes), players just write their bit. *)
+let engine_sequential_and inputs =
+  let k = Array.length inputs in
+  let schedule board =
+    match B.last_write board with
+    | Some w when w.B.bits = [ false ] -> None (* someone wrote 0 *)
+    | _ -> if B.write_count board >= k then None else Some (B.write_count board)
+  in
+  let players =
+    Array.map
+      (fun bit -> { E.speak = (fun _ -> bit_writer (bit = 1)); observe = (fun _ -> ()) })
+      inputs
+  in
+  let outcome = E.run ~k ~schedule ~players () in
+  let answer =
+    match B.last_write outcome.E.board with
+    | Some w when w.B.bits = [ false ] -> 0
+    | _ -> 1
+  in
+  (answer, outcome)
+
+let t_engine_and_matches_direct () =
+  List.iter
+    (fun inputs ->
+      let expected = Protocols.Hard_dist.and_fn inputs in
+      let answer, outcome = engine_sequential_and inputs in
+      Alcotest.(check int) "answer" expected answer;
+      (* bits must match the direct runtime implementation *)
+      let board = B.create ~k:(Array.length inputs) in
+      let direct = Protocols.And_protocols.run_sequential board inputs in
+      Alcotest.(check int) "direct answer" expected direct;
+      Alcotest.(check int) "same bits" (B.total_bits board)
+        (B.total_bits outcome.E.board))
+    (Proto.Semantics.all_bit_inputs 4)
+
+let t_engine_observe_called () =
+  let seen = Array.make 3 0 in
+  let players =
+    Array.init 3 (fun i ->
+        {
+          E.speak = (fun _ -> bit_writer true);
+          observe = (fun _ -> seen.(i) <- seen.(i) + 1);
+        })
+  in
+  let outcome = E.run ~k:3 ~schedule:(E.one_pass ~k:3) ~players () in
+  Alcotest.(check int) "three writes" 3 outcome.E.writes;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "player %d observed all" i) 3 c)
+    seen
+
+let t_engine_round_robin () =
+  let order = ref [] in
+  let players =
+    Array.init 3 (fun i ->
+        {
+          E.speak =
+            (fun _ ->
+              order := i :: !order;
+              bit_writer false);
+          observe = (fun _ -> ());
+        })
+  in
+  let outcome =
+    E.run ~k:3 ~schedule:(E.round_robin_n_writes ~k:3 ~total:7) ~players ()
+  in
+  Alcotest.(check int) "seven writes" 7 outcome.E.writes;
+  Alcotest.(check (list int)) "cyclic order" [ 0; 1; 2; 0; 1; 2; 0 ]
+    (List.rev !order)
+
+let t_engine_runaway_protection () =
+  let players =
+    [| { E.speak = (fun _ -> bit_writer true); observe = (fun _ -> ()) } |]
+  in
+  Alcotest.check_raises "runaway"
+    (Invalid_argument "Engine.run: max_writes exceeded") (fun () ->
+      ignore (E.run ~k:1 ~schedule:(fun _ -> Some 0) ~players ~max_writes:10 ()))
+
+let t_engine_bad_speaker () =
+  let players =
+    [| { E.speak = (fun _ -> bit_writer true); observe = (fun _ -> ()) } |]
+  in
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Engine.run: bad speaker index") (fun () ->
+      ignore (E.run ~k:1 ~schedule:(fun _ -> Some 5) ~players ()))
+
+let t_engine_size_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Engine.run: player array size mismatch") (fun () ->
+      ignore (E.run ~k:2 ~schedule:(fun _ -> None) ~players:[||] ()))
+
+(* Naive DISJ reimplemented on the engine: schedule-driven one pass,
+   each player writes its new zeros; everyone tracks covered via
+   observe. Checked against the direct implementation. *)
+let engine_naive_disj inst =
+  let open Protocols.Disj_common in
+  let k = k_of inst in
+  let n = inst.n in
+  (* per-player covered views, updated only through observe *)
+  let covered = Array.init k (fun _ -> Array.make n false) in
+  let decode_into cov board =
+    match B.last_write board with
+    | None -> ()
+    | Some wr ->
+        let r = B.reader_of_write wr in
+        if Coding.Bitbuf.Reader.read_bit r then begin
+          let count = Coding.Intcode.read_gamma r in
+          for _ = 1 to count do
+            let c = Coding.Intcode.read_fixed r ~bound:n in
+            cov.(c) <- true
+          done
+        end
+  in
+  let players =
+    Array.init k (fun j ->
+        {
+          E.speak =
+            (fun _ ->
+              let zeros =
+                List.filter
+                  (fun c -> (not inst.sets.(j).(c)) && not covered.(j).(c))
+                  (List.init n (fun c -> c))
+              in
+              let w = Coding.Bitbuf.Writer.create () in
+              (match zeros with
+              | [] -> Coding.Bitbuf.Writer.add_bit w false
+              | _ ->
+                  Coding.Bitbuf.Writer.add_bit w true;
+                  Coding.Intcode.write_gamma w (List.length zeros);
+                  List.iter
+                    (fun c -> Coding.Intcode.write_fixed w ~bound:n c)
+                    zeros);
+              w);
+          observe = (fun board -> decode_into covered.(j) board);
+        })
+  in
+  let outcome = E.run ~k ~schedule:(E.one_pass ~k) ~players () in
+  let answer = Array.for_all (fun b -> b) covered.(0) in
+  (answer, B.total_bits outcome.E.board)
+
+let t_engine_disj_matches_direct () =
+  let rng = Prob.Rng.of_int_seed 33 in
+  for _ = 1 to 20 do
+    let n = 1 + Prob.Rng.int rng 40 and k = 1 + Prob.Rng.int rng 5 in
+    let inst = Protocols.Disj_common.random_dense rng ~n ~k ~density:0.6 in
+    let answer, bits = engine_naive_disj inst in
+    let direct = Protocols.Disj_naive.solve inst in
+    Alcotest.(check bool) "same answer" direct.Protocols.Disj_common.answer answer;
+    Alcotest.(check int) "same bits" direct.Protocols.Disj_common.bits bits
+  done
+
+let suite =
+  [
+    quick "engine AND matches direct" t_engine_and_matches_direct;
+    quick "observe called on every write" t_engine_observe_called;
+    quick "round-robin schedule" t_engine_round_robin;
+    quick "runaway protection" t_engine_runaway_protection;
+    quick "bad speaker rejected" t_engine_bad_speaker;
+    quick "player array size checked" t_engine_size_mismatch;
+    quick "engine naive DISJ matches direct" t_engine_disj_matches_direct;
+  ]

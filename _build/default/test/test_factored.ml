@@ -1,0 +1,156 @@
+(** Tests for the analytic (factored) Lemma-7 cost simulator and its
+    agreement with the literal point process. *)
+
+module FS = Compress.Factored_sampler
+module Am = Compress.Amortized
+open Test_util
+
+let t_sent_distribution () =
+  (* the sampled joint symbol must be the product of the etas *)
+  let etas = [| [| 0.75; 0.25 |]; [| 0.5; 0.5 |] |] in
+  let nus = [| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |] in
+  let counts = Hashtbl.create 4 in
+  let trials = 40_000 in
+  let rng = Prob.Rng.of_int_seed 9 in
+  for _ = 1 to trials do
+    let round = Prob.Rng.split rng in
+    let w = Coding.Bitbuf.Writer.create () in
+    let res = FS.transmit ~rng:round ~etas ~nus w in
+    let key = (res.FS.sent.(0), res.FS.sent.(1)) in
+    Hashtbl.replace counts key
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  List.iter
+    (fun ((a, b), expected) ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts (a, b)) in
+      check_close
+        ~msg:(Printf.sprintf "P[%d,%d]" a b)
+        ~eps:0.02 expected
+        (float_of_int c /. float_of_int trials))
+    [ ((0, 0), 0.375); ((0, 1), 0.375); ((1, 0), 0.125); ((1, 1), 0.125) ]
+
+let mean_cost_literal ~eta ~nu ~trials =
+  let total = ref 0 in
+  let rng = Prob.Rng.of_int_seed 5 in
+  for _ = 1 to trials do
+    let round = Prob.Rng.split rng in
+    let w = Coding.Bitbuf.Writer.create () in
+    let res = Compress.Point_sampler.transmit ~rng:round ~eta ~nu w in
+    total := !total + res.Compress.Point_sampler.bits
+  done;
+  float_of_int !total /. float_of_int trials
+
+let mean_cost_factored ~etas ~nus ~trials =
+  let total = ref 0 in
+  let rng = Prob.Rng.of_int_seed 5 in
+  for _ = 1 to trials do
+    let round = Prob.Rng.split rng in
+    let w = Coding.Bitbuf.Writer.create () in
+    let res = FS.transmit ~rng:round ~etas ~nus w in
+    total := !total + res.FS.bits
+  done;
+  float_of_int !total /. float_of_int trials
+
+let t_cost_matches_literal_single () =
+  (* one copy, universe 8: both simulators see the same (eta, nu) *)
+  let eta = [| 0.6; 0.2; 0.05; 0.05; 0.025; 0.025; 0.025; 0.025 |] in
+  let nu = Array.make 8 0.125 in
+  let lit = mean_cost_literal ~eta ~nu ~trials:2000 in
+  let fac = mean_cost_factored ~etas:[| eta |] ~nus:[| nu |] ~trials:2000 in
+  check_close ~msg:(Printf.sprintf "literal %.2f vs factored %.2f" lit fac)
+    ~eps:0.8 lit fac
+
+let t_cost_matches_literal_product () =
+  (* 6 binary copies: product universe 64, still literal-feasible *)
+  let etas = Array.make 6 [| 0.8; 0.2 |] in
+  let nus = Array.make 6 [| 0.4; 0.6 |] in
+  (* build the literal product arrays *)
+  let u = 64 in
+  let eta = Array.make u 0. and nu = Array.make u 0. in
+  for code = 0 to u - 1 do
+    let pe = ref 1. and pn = ref 1. in
+    for c = 0 to 5 do
+      let b = (code lsr c) land 1 in
+      pe := !pe *. etas.(c).(b);
+      pn := !pn *. nus.(c).(b)
+    done;
+    eta.(code) <- !pe;
+    nu.(code) <- !pn
+  done;
+  let lit = mean_cost_literal ~eta ~nu ~trials:1000 in
+  let fac = mean_cost_factored ~etas ~nus ~trials:1000 in
+  check_close ~msg:(Printf.sprintf "literal %.2f vs factored %.2f" lit fac)
+    ~eps:1.2 lit fac
+
+let t_amortized_factored_vs_literal () =
+  let k = 4 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  let literal =
+    mean
+      (List.init 6 (fun s ->
+           (fst (Am.compress_random ~seed:(s + 1) ~tree ~mu ~copies:12 ()))
+             .Am.per_copy_bits))
+  in
+  let factored =
+    mean
+      (List.init 6 (fun s ->
+           (fst
+              (Am.compress_random_factored ~seed:(s + 1) ~tree ~mu ~copies:12
+                 ()))
+             .Am.per_copy_bits))
+  in
+  check_close
+    ~msg:(Printf.sprintf "literal %.2f vs factored %.2f" literal factored)
+    ~eps:0.6 literal factored
+
+
+
+let t_factored_large_copies_above_ic () =
+  (* information is a lower bound: per-copy cost must stay (just) above
+     IC even at many copies *)
+  let k = 4 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let ic = Proto.Information.external_ic tree mu in
+  let run, _ = Am.compress_random_factored ~seed:3 ~tree ~mu ~copies:256 () in
+  check_ge ~msg:"per-copy >= IC - slack" run.Am.per_copy_bits (ic -. 0.25);
+  check_le ~msg:"per-copy close to IC" run.Am.per_copy_bits (ic +. 1.0)
+
+let t_factored_outputs_correct () =
+  let k = 4 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let run, inputs =
+    Am.compress_random_factored ~seed:11 ~tree ~mu ~copies:64 ()
+  in
+  Array.iteri
+    (fun c x ->
+      Alcotest.(check int)
+        (Printf.sprintf "copy %d" c)
+        (Protocols.Hard_dist.and_fn x)
+        run.Am.outputs.(c))
+    inputs
+
+let t_factored_abort_framing () =
+  let etas = [| [| 0.5; 0.5 |] |] and nus = [| [| 0.5; 0.5 |] |] in
+  let rng = Prob.Rng.of_int_seed 4 in
+  let w = Coding.Bitbuf.Writer.create () in
+  (* max_blocks cannot be forced directly; eps = 0.99 gives the smallest
+     block budget, so run many rounds and just assert framing sanity *)
+  let res = FS.transmit ~rng ~etas ~nus ~eps:0.5 w in
+  Alcotest.(check bool) "bits positive" true (res.FS.bits > 0);
+  Alcotest.(check int) "bits accounted" res.FS.bits (Coding.Bitbuf.Writer.length w)
+
+let suite =
+  [
+    slow "sent symbols are product-eta distributed" t_sent_distribution;
+    slow "cost matches literal (single copy)" t_cost_matches_literal_single;
+    slow "cost matches literal (6-copy product)" t_cost_matches_literal_product;
+    slow "amortized: factored matches literal at 12 copies"
+      t_amortized_factored_vs_literal;
+    slow "large copies stay above IC" t_factored_large_copies_above_ic;
+    quick "factored outputs correct" t_factored_outputs_correct;
+    quick "framing sanity" t_factored_abort_framing;
+  ]

@@ -1,0 +1,98 @@
+(** Tests for the Huffman coder. *)
+
+module H = Coding.Huffman
+module W = Coding.Bitbuf.Writer
+module Rd = Coding.Bitbuf.Reader
+open Test_util
+
+let entropy probs =
+  Array.fold_left (fun acc p -> acc -. Infotheory.Fn.xlog2x p) 0. probs
+
+let t_dyadic_optimal () =
+  (* dyadic probabilities: Huffman hits the entropy exactly *)
+  let probs = [| 0.5; 0.25; 0.125; 0.125 |] in
+  let code = H.build probs in
+  check_float ~msg:"E[len] = H" (entropy probs) (H.expected_length code probs);
+  Alcotest.(check (array int)) "lengths" [| 1; 2; 3; 3 |] (H.code_lengths code)
+
+let t_within_h_plus_one () =
+  List.iter
+    (fun probs ->
+      let code = H.build probs in
+      let e = H.expected_length code probs in
+      let h = entropy probs in
+      check_ge ~msg:"E[len] >= H" e (h -. 1e-9);
+      check_le ~msg:"E[len] < H + 1" e (h +. 1.))
+    [
+      [| 0.9; 0.1 |];
+      [| 0.4; 0.3; 0.2; 0.1 |];
+      Array.make 7 (1. /. 7.);
+      [| 0.01; 0.01; 0.98 |];
+    ]
+
+let t_kraft_complete () =
+  List.iter
+    (fun probs ->
+      check_float ~msg:"kraft = 1" 1. (H.kraft_sum (H.build probs)))
+    [ [| 0.5; 0.5 |]; [| 0.4; 0.3; 0.2; 0.1 |]; Array.make 9 (1. /. 9.) ]
+
+let t_roundtrip () =
+  let probs = [| 0.4; 0.3; 0.2; 0.1 |] in
+  let code = H.build probs in
+  let symbols = [ 0; 1; 2; 3; 3; 2; 1; 0; 0; 0; 1 ] in
+  let w = W.create () in
+  List.iter (H.encode code w) symbols;
+  let r = Rd.of_writer w in
+  List.iter
+    (fun s -> Alcotest.(check int) "roundtrip" s (H.decode code r))
+    symbols;
+  Alcotest.(check int) "stream fully consumed" 0 (Rd.remaining r)
+
+let t_single_symbol () =
+  let code = H.build [| 1.0 |] in
+  Alcotest.(check (array int)) "empty codeword" [| 0 |] (H.code_lengths code)
+
+let t_prefix_free () =
+  let code = H.build [| 0.3; 0.25; 0.2; 0.15; 0.1 |] in
+  let words =
+    Array.to_list (H.code_lengths code) |> List.length |> fun _ ->
+    List.init 5 (fun i ->
+        let w = W.create () in
+        H.encode code w i;
+        W.to_string w)
+  in
+  List.iteri
+    (fun i wi ->
+      List.iteri
+        (fun j wj ->
+          if i <> j && String.length wi <= String.length wj then
+            if String.sub wj 0 (String.length wi) = wi then
+              Alcotest.failf "%s is a prefix of %s" wi wj)
+        words)
+    words
+
+let prop_roundtrip_random =
+  qtest "random alphabets roundtrip" ~count:100 QCheck.small_nat (fun seed ->
+      let rng = Prob.Rng.of_int_seed (seed + 99) in
+      let n = 2 + Prob.Rng.int rng 12 in
+      let probs = Array.init n (fun _ -> 0.01 +. Prob.Rng.float rng) in
+      let z = Array.fold_left ( +. ) 0. probs in
+      let probs = Array.map (fun p -> p /. z) probs in
+      let code = H.build probs in
+      let symbols = List.init 50 (fun _ -> Prob.Rng.int rng n) in
+      let w = W.create () in
+      List.iter (H.encode code w) symbols;
+      let r = Rd.of_writer w in
+      List.for_all (fun s -> H.decode code r = s) symbols
+      && Float.abs (H.kraft_sum code -. 1.) < 1e-9)
+
+let suite =
+  [
+    quick "dyadic probabilities are optimal" t_dyadic_optimal;
+    quick "within [H, H+1)" t_within_h_plus_one;
+    quick "Kraft sum is 1" t_kraft_complete;
+    quick "roundtrip" t_roundtrip;
+    quick "single-symbol alphabet" t_single_symbol;
+    quick "prefix-free" t_prefix_free;
+    prop_roundtrip_random;
+  ]

@@ -1,0 +1,166 @@
+(** Tests for entropy, divergence and mutual information. *)
+
+module D = Prob.Dist
+module M = Infotheory.Measures.Float
+module Me = Infotheory.Measures.Exact_w
+module Fn = Infotheory.Fn
+open Test_util
+
+let t_entropy_uniform () =
+  check_float ~msg:"H(uniform 8)" 3. (M.entropy (D.uniform [ 0; 1; 2; 3; 4; 5; 6; 7 ]));
+  check_float ~msg:"H(point)" 0. (M.entropy (D.return 0));
+  check_float ~msg:"H(fair coin)" 1. (M.entropy (D.bernoulli 0.5))
+
+let t_binary_entropy () =
+  check_float ~msg:"h(1/2)" 1. (Fn.binary_entropy 0.5);
+  check_float ~msg:"h(0)" 0. (Fn.binary_entropy 0.);
+  check_float ~msg:"h(1)" 0. (Fn.binary_entropy 1.);
+  check_close ~msg:"h(1/4)" ~eps:1e-9 0.8112781244591328 (Fn.binary_entropy 0.25)
+
+let t_kl_basics () =
+  let p = D.bernoulli 0.5 and q = D.bernoulli 0.25 in
+  check_float ~msg:"D(p||p) = 0" 0. (M.kl p p);
+  check_close ~msg:"D matches binary_kl" ~eps:1e-12 (Fn.binary_kl 0.5 0.25)
+    (M.kl p q);
+  Alcotest.(check bool) "D >= 0" true (M.kl p q >= 0.)
+
+let t_kl_support_violation () =
+  let p = D.uniform [ 0; 1 ] and q = D.return 0 in
+  Alcotest.(check bool) "infinite" true (Float.is_integer (M.kl p q) = false || M.kl p q = infinity);
+  Alcotest.(check bool) "is inf" true (M.kl p q = infinity)
+
+let t_mi_independent () =
+  let j = D.product (D.bernoulli 0.3) (D.bernoulli 0.6) in
+  check_float ~msg:"I = 0 for independent" ~eps:1e-12 0.
+    (M.mutual_information j)
+
+let t_mi_identical () =
+  (* Y = X: I(X;Y) = H(X) *)
+  let j = D.map (fun x -> (x, x)) (D.uniform [ 0; 1; 2; 3 ]) in
+  check_float ~msg:"I(X;X) = H(X)" 2. (M.mutual_information j)
+
+let t_mi_symmetry () =
+  let j =
+    D.of_weighted [ ((0, 0), 0.4); ((0, 1), 0.1); ((1, 0), 0.2); ((1, 1), 0.3) ]
+  in
+  let swapped = D.map (fun (a, b) -> (b, a)) j in
+  check_close ~msg:"I symmetric" ~eps:1e-12 (M.mutual_information j)
+    (M.mutual_information swapped)
+
+let t_mi_equals_expected_divergence () =
+  let j =
+    D.of_weighted [ ((0, 0), 0.4); ((0, 1), 0.1); ((1, 0), 0.2); ((1, 1), 0.3) ]
+  in
+  check_close ~msg:"eq. (1) of the paper" ~eps:1e-12 (M.mutual_information j)
+    (M.mi_as_expected_divergence j)
+
+let t_conditional_entropy () =
+  (* H(X|Y) for Y = X is 0; for independent it's H(X). *)
+  let j_same = D.map (fun x -> (x, x)) (D.uniform [ 0; 1; 2; 3 ]) in
+  check_float ~msg:"H(X|X) = 0" ~eps:1e-12 0. (M.conditional_entropy j_same);
+  let j_ind = D.product (D.uniform [ 0; 1; 2; 3 ]) (D.bernoulli 0.5) in
+  check_float ~msg:"H(X|Y) = H(X)" ~eps:1e-12 2. (M.conditional_entropy j_ind)
+
+let t_cmi_conditioning_breaks_dependence () =
+  (* X = Z, Y = Z: I(X;Y) = H(Z) but I(X;Y|Z) = 0. *)
+  let j = D.map (fun z -> (z, z, z)) (D.uniform [ 0; 1; 2; 3 ]) in
+  check_float ~msg:"I(X;Y|Z) = 0" ~eps:1e-12 0.
+    (M.conditional_mutual_information j);
+  let pair = D.map (fun (z, _, _) -> (z, z)) j in
+  check_float ~msg:"I(X;Y) = 2" 2. (M.mutual_information pair)
+
+let t_cmi_conditioning_creates_dependence () =
+  (* X, Y independent fair bits, Z = X xor Y: I(X;Y) = 0 but
+     I(X;Y|Z) = 1. *)
+  let j =
+    D.bind (D.bernoulli 0.5) (fun x ->
+        D.map (fun y ->
+            ((if x then 1 else 0), (if y then 1 else 0),
+             if x <> y then 1 else 0))
+          (D.bernoulli 0.5))
+  in
+  check_float ~msg:"I(X;Y|X xor Y) = 1" ~eps:1e-12 1.
+    (M.conditional_mutual_information j)
+
+let t_entropy_additive_product () =
+  let a = D.bernoulli 0.3 and b = D.uniform [ 0; 1; 2 ] in
+  check_close ~msg:"H(A,B) = H(A)+H(B)" ~eps:1e-12
+    (M.entropy a +. M.entropy b)
+    (M.entropy (D.product a b))
+
+let t_posterior_surprise_bound () =
+  (* eq. (3)-(4): exact binary divergence >= p log k - H(p). *)
+  List.iter
+    (fun (p, k) ->
+      let exact = Fn.binary_kl p (1. /. float_of_int k) in
+      let bound = Fn.posterior_surprise_bound ~p ~k in
+      check_ge ~msg:(Printf.sprintf "p=%.2f k=%d" p k) exact bound)
+    [ (0.5, 8); (0.9, 16); (0.3, 4); (0.99, 1024); (0.5, 2) ]
+
+let t_exact_measures_match_float () =
+  let de =
+    Prob.Dist_exact.of_weighted
+      [ (0, Exact.Rational.of_ints 1 3); (1, Exact.Rational.of_ints 2 3) ]
+  in
+  let df = D.of_weighted [ (0, 1. /. 3.); (1, 2. /. 3.) ] in
+  check_close ~msg:"entropies agree" ~eps:1e-9 (M.entropy df) (Me.entropy de)
+
+let t_kahan () =
+  let xs = List.init 10000 (fun _ -> 0.1) in
+  check_close ~msg:"kahan sum" ~eps:1e-9 1000. (Fn.kahan_sum xs)
+
+let joint_gen =
+  QCheck.map
+    (fun weights ->
+      let weights = List.map (fun w -> Float.abs w +. 0.01) weights in
+      D.of_weighted
+        (List.mapi (fun i w -> ((i mod 3, i mod 2), w)) weights))
+    (QCheck.list_of_size (QCheck.Gen.return 6)
+       (QCheck.float_bound_exclusive 10.))
+
+let prop_mi_nonneg =
+  qtest "I >= 0" joint_gen (fun j -> M.mutual_information j >= -1e-9)
+
+let prop_mi_le_entropies =
+  qtest "I <= min(H(A), H(B))" joint_gen (fun j ->
+      let i = M.mutual_information j in
+      i <= M.entropy (D.map fst j) +. 1e-9
+      && i <= M.entropy (D.map snd j) +. 1e-9)
+
+let prop_chain_rule =
+  qtest "H(A,B) = H(B) + H(A|B)" joint_gen (fun j ->
+      Float.abs (M.chain_rule_residual j) < 1e-9)
+
+let prop_kl_nonneg =
+  qtest "D(p||q) >= 0 (Gibbs)" (QCheck.pair float_dist_gen float_dist_gen)
+    (fun (p, q) ->
+      (* restrict q to cover p's support by mixing *)
+      let q =
+        D.of_weighted
+          (List.map (fun (v, w) -> (v, (0.5 *. w) +. 0.001)) (D.to_alist p)
+          @ List.map (fun (v, w) -> (v, 0.5 *. w)) (D.to_alist q))
+      in
+      M.kl p q >= -1e-9)
+
+let suite =
+  [
+    quick "entropy of standard laws" t_entropy_uniform;
+    quick "binary entropy" t_binary_entropy;
+    quick "KL basics" t_kl_basics;
+    quick "KL support violation" t_kl_support_violation;
+    quick "MI of independent" t_mi_independent;
+    quick "MI of identical" t_mi_identical;
+    quick "MI symmetry" t_mi_symmetry;
+    quick "MI = expected divergence (eq. 1)" t_mi_equals_expected_divergence;
+    quick "conditional entropy" t_conditional_entropy;
+    quick "CMI: conditioning removes dependence" t_cmi_conditioning_breaks_dependence;
+    quick "CMI: conditioning creates dependence" t_cmi_conditioning_creates_dependence;
+    quick "entropy additive on products" t_entropy_additive_product;
+    quick "posterior surprise bound (eq. 3-4)" t_posterior_surprise_bound;
+    quick "exact and float measures agree" t_exact_measures_match_float;
+    quick "kahan summation" t_kahan;
+    prop_mi_nonneg;
+    prop_mi_le_entropies;
+    prop_chain_rule;
+    prop_kl_nonneg;
+  ]

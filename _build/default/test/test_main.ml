@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "broadcast-information-complexity"
+    [
+      ("bigint", Test_bigint.suite);
+      ("rational", Test_rational.suite);
+      ("rng", Test_rng.suite);
+      ("dist", Test_dist.suite);
+      ("infotheory", Test_infotheory.suite);
+      ("coding", Test_coding.suite);
+      ("arith", Test_arith.suite);
+      ("huffman", Test_huffman.suite);
+      ("board", Test_board.suite);
+      ("engine", Test_engine.suite);
+      ("proto", Test_proto.suite);
+      ("hard-dist", Test_hard_dist.suite);
+      ("disjointness", Test_disj.suite);
+      ("pointwise-or", Test_pointwise_or.suite);
+      ("compress", Test_compress.suite);
+      ("factored-sampler", Test_factored.suite);
+      ("lowerbound", Test_lowerbound.suite);
+      ("combinators", Test_combinators.suite);
+      ("random-trees", Test_random_trees.suite);
+    ]

@@ -1,0 +1,120 @@
+(** Tests for the pointwise-OR protocol. *)
+
+module P = Protocols.Pointwise_or
+module C = Protocols.Disj_common
+open Test_util
+
+let check_instance inst =
+  let expected = P.reference inst in
+  let r = P.solve inst in
+  if r.P.output <> expected then Alcotest.fail "wrong OR vector";
+  let t = P.solve_trivial inst in
+  if t.P.output <> expected then Alcotest.fail "trivial wrong"
+
+let t_exhaustive () =
+  List.iter check_instance (C.enumerate ~n:3 ~k:3);
+  List.iter check_instance (C.enumerate ~n:2 ~k:2);
+  List.iter check_instance (C.enumerate ~n:1 ~k:4)
+
+let t_edges () =
+  check_instance (C.all_full ~n:50 ~k:5);
+  check_instance (C.all_empty ~n:50 ~k:5);
+  check_instance (C.last_player_empty ~n:50 ~k:5);
+  check_instance (C.all_full ~n:5 ~k:1)
+
+let t_all_empty_cheap () =
+  (* nothing to announce: one pass cycle, O(k) bits *)
+  let r = P.solve (C.all_empty ~n:100_000 ~k:32) in
+  Alcotest.(check bool) "all zero" true (Array.for_all not r.P.output);
+  check_le ~msg:"O(k) bits" (float_of_int r.P.bits) 64.
+
+let t_sparse_cost () =
+  (* few ones: cost ~ ones * log k, far below trivial nk *)
+  let rng = Prob.Rng.of_int_seed 17 in
+  let n = 8192 and k = 16 in
+  let sets = Array.init k (fun _ -> Array.make n false) in
+  for _ = 1 to 200 do
+    sets.(Prob.Rng.int rng k).(Prob.Rng.int rng n) <- true
+  done;
+  let inst = C.make ~n sets in
+  let ones = Array.length (Array.of_list (List.filter (fun b -> b) (Array.to_list (P.reference inst)))) in
+  let r = P.solve inst in
+  Alcotest.(check bool) "correct" true (r.P.output = P.reference inst);
+  check_le ~msg:"cheap on sparse inputs"
+    (float_of_int r.P.bits)
+    (4. *. P.cost_model ~ones ~k +. 200.)
+
+let t_dense_beats_trivial_on_large_k () =
+  let rng = Prob.Rng.of_int_seed 5 in
+  let n = 4096 and k = 64 in
+  (* each coordinate owned by exactly one player: n ones total *)
+  let sets = Array.init k (fun _ -> Array.make n false) in
+  for j = 0 to n - 1 do
+    sets.(Prob.Rng.int rng k).(j) <- true
+  done;
+  let inst = C.make ~n sets in
+  let r = P.solve inst in
+  let t = P.solve_trivial inst in
+  Alcotest.(check bool) "correct" true (r.P.output = P.reference inst);
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d < trivial %d" r.P.bits t.P.bits)
+    true
+    (r.P.bits < t.P.bits)
+
+let pack_or inst =
+  Array.fold_left
+    (fun acc b -> (2 * acc) + if b then 1 else 0)
+    0 (P.reference inst)
+
+let t_exact_tree_computes_or () =
+  let n = 2 and k = 3 in
+  let tree = Protocols.Disj_trees.pointwise_or_broadcast ~n ~k in
+  List.iter
+    (fun inst ->
+      let x = C.to_bit_vectors inst in
+      match Prob.Dist_exact.support (Proto.Semantics.output_dist tree x) with
+      | [ v ] -> Alcotest.(check int) "packed OR" (pack_or inst) v
+      | _ -> Alcotest.fail "deterministic")
+    (C.enumerate ~n ~k)
+
+let t_information_floor () =
+  (* every exact pointwise-OR protocol reveals at least H(Y): check the
+     witness tree against the output entropy under several input laws *)
+  let n = 2 and k = 2 in
+  let tree = Protocols.Disj_trees.pointwise_or_broadcast ~n ~k in
+  List.iter
+    (fun (name, mu) ->
+      let ic = Proto.Information.external_ic tree mu in
+      let output_law =
+        Prob.Dist_exact.bind mu (fun x ->
+            Proto.Semantics.output_dist tree x)
+      in
+      let h_y = Infotheory.Measures.Exact_w.entropy output_law in
+      check_ge ~msg:(name ^ ": IC >= H(Y)") ic (h_y -. 1e-9))
+    [
+      ( "uniform",
+        Prob.Dist_exact.iid k
+          (Prob.Dist_exact.uniform [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]) );
+      ("hard-like", Protocols.Hard_dist.mu_disj ~n ~k);
+    ]
+
+let prop_random_agree =
+  qtest "pointwise-OR agrees with reference" ~count:80
+    (QCheck.pair (QCheck.int_range 1 60) (QCheck.int_range 1 6))
+    (fun (n, k) ->
+      let rng = Prob.Rng.of_int_seed ((n * 131) + k) in
+      let inst = C.random_dense rng ~n ~k ~density:0.3 in
+      let r = P.solve inst in
+      r.P.output = P.reference inst)
+
+let suite =
+  [
+    quick "exhaustive small instances" t_exhaustive;
+    quick "edge instances" t_edges;
+    quick "all-empty is O(k)" t_all_empty_cheap;
+    quick "sparse cost shape" t_sparse_cost;
+    quick "beats trivial at large k" t_dense_beats_trivial_on_large_k;
+    quick "exact tree computes OR" t_exact_tree_computes_or;
+    quick "information floor IC >= H(Y)" t_information_floor;
+    prop_random_agree;
+  ]

@@ -1,0 +1,114 @@
+(** Unit and property tests for exact rationals. *)
+
+module R = Exact.Rational
+module B = Exact.Bigint
+open Test_util
+
+let t_canonical () =
+  check_rational ~msg:"2/4 = 1/2" R.half (R.of_ints 2 4);
+  check_rational ~msg:"-2/-4 = 1/2" R.half (R.of_ints (-2) (-4));
+  check_rational ~msg:"3/-6 = -1/2" (R.of_ints (-1) 2) (R.of_ints 3 (-6));
+  Alcotest.(check string) "den positive" "-1/2" (R.to_string (R.of_ints 1 (-2)));
+  Alcotest.(check string) "integer prints plain" "7" (R.to_string (R.of_int 7))
+
+let t_arith () =
+  check_rational ~msg:"1/2 + 1/3" (R.of_ints 5 6)
+    (R.add R.half (R.of_ints 1 3));
+  check_rational ~msg:"1/2 * 2/3" (R.of_ints 1 3)
+    (R.mul R.half (R.of_ints 2 3));
+  check_rational ~msg:"1/2 - 1/2" R.zero (R.sub R.half R.half);
+  check_rational ~msg:"(1/2) / (1/4)" (R.of_int 2)
+    (R.div R.half (R.of_ints 1 4));
+  check_rational ~msg:"pow (2/3)^3" (R.of_ints 8 27) (R.pow (R.of_ints 2 3) 3);
+  check_rational ~msg:"pow (2/3)^-2" (R.of_ints 9 4)
+    (R.pow (R.of_ints 2 3) (-2))
+
+let t_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (R.compare (R.of_ints 1 3) R.half < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true
+    (R.compare (R.of_ints (-1) 2) (R.of_ints 1 3) < 0);
+  Alcotest.(check int) "sign neg" (-1) (R.sign (R.of_ints (-3) 7));
+  Alcotest.(check int) "sign zero" 0 (R.sign R.zero)
+
+let t_zero_den () =
+  Alcotest.check_raises "den zero" Division_by_zero (fun () ->
+      ignore (R.of_ints 1 0));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (R.inv R.zero))
+
+let t_of_float_dyadic () =
+  check_rational ~msg:"0.5" R.half (R.of_float_dyadic 0.5);
+  check_rational ~msg:"0.25" (R.of_ints 1 4) (R.of_float_dyadic 0.25);
+  check_rational ~msg:"3.0" (R.of_int 3) (R.of_float_dyadic 3.0);
+  check_rational ~msg:"-1.75" (R.of_ints (-7) 4) (R.of_float_dyadic (-1.75));
+  check_rational ~msg:"0" R.zero (R.of_float_dyadic 0.);
+  (* 0.1 is not exactly 1/10 in binary; the dyadic value must roundtrip. *)
+  check_float ~msg:"dyadic roundtrips float" 0.1
+    (R.to_float (R.of_float_dyadic 0.1))
+
+let t_log2 () =
+  check_float ~msg:"log2 8" 3. (R.log2 (R.of_int 8));
+  check_float ~msg:"log2 1/4" (-2.) (R.log2 (R.of_ints 1 4));
+  (* a value far below float range: (1/2)^2000 *)
+  check_float ~msg:"log2 tiny" (-2000.) (R.log2 (R.pow R.half 2000));
+  check_float ~msg:"log2 huge" 3000. (R.log2 (R.of_bigint (B.pow B.two 3000)))
+
+let t_sum () =
+  check_rational ~msg:"sum thirds" R.one
+    (R.sum [ R.of_ints 1 3; R.of_ints 1 3; R.of_ints 1 3 ])
+
+let rat_gen =
+  QCheck.map
+    (fun (a, b) -> R.of_ints a (1 + abs b))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range 0 1000))
+
+let prop_add_comm =
+  qtest "addition commutes" (QCheck.pair rat_gen rat_gen) (fun (a, b) ->
+      R.equal (R.add a b) (R.add b a))
+
+let prop_add_assoc =
+  qtest "addition associates" (QCheck.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) -> R.equal (R.add a (R.add b c)) (R.add (R.add a b) c))
+
+let prop_mul_distributes =
+  qtest "multiplication distributes" (QCheck.triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      R.equal (R.mul a (R.add b c)) (R.add (R.mul a b) (R.mul a c)))
+
+let prop_inv_involution =
+  qtest "inv is an involution" rat_gen (fun a ->
+      QCheck.assume (not (R.is_zero a));
+      R.equal a (R.inv (R.inv a)))
+
+let prop_canonical_gcd =
+  qtest "canonical form is reduced" rat_gen (fun a ->
+      R.is_zero a
+      || B.equal B.one (B.gcd (R.num a) (R.den a)))
+
+let prop_compare_consistent_with_float =
+  qtest "compare agrees with float compare"
+    (QCheck.pair rat_gen rat_gen)
+    (fun (a, b) ->
+      let c = R.compare a b in
+      let fa = R.to_float a and fb = R.to_float b in
+      (* floats of small rationals are faithful enough for ordering
+         unless the values are equal *)
+      if R.equal a b then c = 0
+      else (c < 0) = (fa < fb) || Float.abs (fa -. fb) < 1e-12)
+
+let suite =
+  [
+    quick "canonical form" t_canonical;
+    quick "arithmetic" t_arith;
+    quick "comparisons" t_compare;
+    quick "zero denominators" t_zero_den;
+    quick "of_float_dyadic" t_of_float_dyadic;
+    quick "log2" t_log2;
+    quick "sum" t_sum;
+    prop_add_comm;
+    prop_add_assoc;
+    prop_mul_distributes;
+    prop_inv_involution;
+    prop_canonical_gcd;
+    prop_compare_consistent_with_float;
+  ]

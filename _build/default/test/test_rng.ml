@@ -1,0 +1,113 @@
+(** Tests for the deterministic PRNG. *)
+
+module Rng = Prob.Rng
+open Test_util
+
+let t_deterministic () =
+  let a = Rng.of_int_seed 1 and b = Rng.of_int_seed 1 in
+  for i = 0 to 99 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d equal" i)
+      (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let t_seeds_differ () =
+  let a = Rng.of_int_seed 1 and b = Rng.of_int_seed 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.next_int64 a) (Rng.next_int64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let t_copy_independent () =
+  let a = Rng.of_int_seed 5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  let va = Rng.next_int64 a in
+  let vb = Rng.next_int64 b in
+  Alcotest.(check int64) "copy continues identically" va vb;
+  (* advancing the copy does not affect the original *)
+  ignore (Rng.next_int64 b);
+  let c = Rng.copy a in
+  Alcotest.(check int64) "original unaffected" (Rng.next_int64 a)
+    (Rng.next_int64 c)
+
+let t_split_independent () =
+  let master1 = Rng.of_int_seed 9 and master2 = Rng.of_int_seed 9 in
+  let c1 = Rng.split master1 and c2 = Rng.split master2 in
+  Alcotest.(check int64) "splits deterministic" (Rng.next_int64 c1)
+    (Rng.next_int64 c2);
+  let c3 = Rng.split master1 in
+  Alcotest.(check bool) "second split differs" true
+    (not (Int64.equal (Rng.next_int64 c1) (Rng.next_int64 c3)))
+
+let t_int_range () =
+  let rng = Rng.of_int_seed 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let t_int_bad_bound () =
+  let rng = Rng.of_int_seed 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let t_float_range () =
+  let rng = Rng.of_int_seed 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng in
+    if v < 0. || v >= 1. then Alcotest.failf "float out of range: %f" v
+  done
+
+let t_uniformity_chi2 () =
+  (* Crude uniformity: 10 buckets, 100k draws; chi-square statistic with
+     9 dof should be far below 100. *)
+  let rng = Rng.of_int_seed 1234 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expected = float_of_int n /. 10. in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. buckets
+  in
+  check_le ~msg:"chi-square" chi2 60.
+
+let t_shuffle_permutes () =
+  let rng = Rng.of_int_seed 8 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let t_bernoulli_mean () =
+  let rng = Rng.of_int_seed 21 in
+  let n = 50_000 in
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr count
+  done;
+  let mean = float_of_int !count /. float_of_int n in
+  check_close ~msg:"bernoulli mean" ~eps:0.02 0.3 mean
+
+let suite =
+  [
+    quick "deterministic streams" t_deterministic;
+    quick "seeds differ" t_seeds_differ;
+    quick "copy semantics" t_copy_independent;
+    quick "split semantics" t_split_independent;
+    quick "int range" t_int_range;
+    quick "int bad bound" t_int_bad_bound;
+    quick "float range" t_float_range;
+    slow "uniformity (chi-square)" t_uniformity_chi2;
+    quick "shuffle permutes" t_shuffle_permutes;
+    slow "bernoulli mean" t_bernoulli_mean;
+  ]

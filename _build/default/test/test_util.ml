@@ -1,0 +1,53 @@
+(** Shared helpers for the test suites. *)
+
+let check_float ~msg ?(eps = 1e-9) expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_close ~msg ?(eps = 1e-9) expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_le ~msg ?(slack = 1e-9) a b =
+  if a > b +. slack then
+    Alcotest.failf "%s: expected %.12g <= %.12g" msg a b
+
+let check_ge ~msg ?(slack = 1e-9) a b = check_le ~msg ~slack b a
+
+let check_rational ~msg expected actual =
+  if not (Exact.Rational.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg
+      (Exact.Rational.to_string expected)
+      (Exact.Rational.to_string actual)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+(* Generators. *)
+let small_int_gen = QCheck.int_range (-1000) 1000
+let nat_gen = QCheck.int_range 0 1_000_000
+
+let bigint_pair_gen =
+  QCheck.pair (QCheck.int_range (-1_000_000) 1_000_000)
+    (QCheck.int_range (-1_000_000) 1_000_000)
+
+(* A random float distribution over [0, n) values. *)
+let float_dist_gen =
+  QCheck.map
+    (fun weights ->
+      let weights = List.map (fun w -> Float.abs w +. 0.01) weights in
+      Prob.Dist.of_weighted (List.mapi (fun i w -> (i, w)) weights))
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) (QCheck.float_bound_exclusive 10.))
+
+(* A random exact-rational distribution. *)
+let exact_dist_gen =
+  QCheck.map
+    (fun weights ->
+      let weights =
+        List.map (fun (a, b) -> Exact.Rational.of_ints (1 + abs a) (1 + abs b)) weights
+      in
+      Prob.Dist_exact.of_weighted (List.mapi (fun i w -> (i, w)) weights))
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 6)
+       (QCheck.pair (QCheck.int_range 0 20) (QCheck.int_range 0 20)))
