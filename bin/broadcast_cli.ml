@@ -7,7 +7,9 @@
     - [compress]: run the Theorem-3 amortized compression and report the
       per-copy cost against the exact information cost.
     - [sample]: exercise the Lemma-7 point sampler and report measured
-      cost against the divergence. *)
+      cost against the divergence.
+    - [lint]: run the proto-lint static analyzer over every protocol in
+      the registry and print a diagnostics table. *)
 
 open Cmdliner
 
@@ -303,10 +305,95 @@ let oneshot_cmd =
        ~doc:"Measure the one-shot entropy-coding gap (E12).")
     Term.(const run $ k)
 
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let module Reg = Protocols.Registry in
+  let module An = Analysis.Analyzer in
+  let module Rep = Analysis.Report in
+  let lint_entry ~budget
+      (Reg.Entry { players; declared_cost; domain; tree; _ }) =
+    let tree = Lazy.force tree in
+    let report =
+      An.analyze ~players ?declared_cost ?state_budget:budget ~domain tree
+    in
+    (Proto.Tree.communication_cost tree, report)
+  in
+  let run strict budget only =
+    let entries = Reg.all () in
+    let entries =
+      match only with
+      | [] -> entries
+      | names ->
+          List.map
+            (fun n ->
+              match Reg.find n with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "lint: unknown protocol %S; known: %s\n" n
+                    (String.concat ", " (Reg.names ()));
+                  exit 2)
+            names
+    in
+    let results =
+      List.map (fun e -> (e, lint_entry ~budget e)) entries
+    in
+    Printf.printf "%-28s %7s %4s %6s %5s  %s\n" "protocol" "players" "CC"
+      "errors" "warns" "status";
+    List.iter
+      (fun (e, (cc, report)) ->
+        let errs = Rep.count_severity Rep.Error report in
+        let warns = Rep.count_severity Rep.Warning report in
+        let status =
+          if errs > 0 then "FAIL"
+          else if warns > 0 then "warn"
+          else "ok"
+        in
+        Printf.printf "%-28s %7d %4d %6d %5d  %s\n" (Reg.name e)
+          (Reg.players e) cc errs warns status)
+      results;
+    let dirty =
+      List.filter (fun (_, (_, r)) -> not (Rep.is_clean r)) results
+    in
+    List.iter
+      (fun (e, (_, report)) ->
+        Printf.printf "\n%s:\n" (Reg.name e);
+        List.iter
+          (fun d -> Format.printf "  %a@." Rep.pp_diagnostic d)
+          (Rep.sorted report))
+      dirty;
+    let code =
+      List.fold_left
+        (fun acc (_, (_, r)) -> max acc (Rep.exit_code ~strict r))
+        0 results
+    in
+    if code <> 0 then exit code
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Fail on warnings as well as errors.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ]
+             ~doc:"State-space node budget for the exact-semantics estimate.")
+  in
+  let only =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"PROTOCOL" ~doc:"Lint only the named protocols.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze every registered protocol tree.")
+    Term.(const run $ strict $ budget $ only)
+
 let () =
   let doc = "Braverman-Oshman broadcast-model information complexity toolkit" in
   let info = Cmd.info "broadcast_cli" ~version:Core.version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ disj_cmd; info_cmd; compress_cmd; sample_cmd; or_cmd; oneshot_cmd ]))
+          [ disj_cmd; info_cmd; compress_cmd; sample_cmd; or_cmd; oneshot_cmd;
+            lint_cmd ]))

@@ -1,0 +1,26 @@
+(** Tree paths for diagnostics: the sequence of child indices from the
+    root to a node. Paths are built child-index-by-child-index during
+    traversal (cheapest as a reversed cons list) and rendered
+    root-first, e.g. ["root/2/0"]. *)
+
+type t = int list
+(** Reversed: head is the child index taken {e last}. *)
+
+let root : t = []
+let child path i : t = i :: path
+let depth = List.length
+
+(** Root-first child indices. *)
+let to_list path = List.rev path
+
+let to_string path =
+  match to_list path with
+  | [] -> "root"
+  | steps ->
+      "root/" ^ String.concat "/" (List.map string_of_int steps)
+
+let pp fmt path = Format.pp_print_string fmt (to_string path)
+
+(** Lexicographic order on root-first index sequences — the order a
+    pre-order traversal visits nodes, used to sort diagnostics. *)
+let compare a b = compare (to_list a) (to_list b)

@@ -1,0 +1,101 @@
+(** Structured diagnostics for the protocol-tree analyzer.
+
+    A report is an ordered collection of diagnostics, each carrying a
+    severity, the identifier of the rule that produced it, the path of
+    the offending node, and a human-readable message. The exit-code
+    policy is the contract between the analyzer and CI: errors are
+    well-formedness violations (the tree is not a broadcast protocol,
+    or its declared measures are wrong) and fail the run; warnings are
+    legal-but-suspect constructions (dead branches, state-space blowup)
+    and fail only under [--strict]. *)
+
+type severity = Info | Warning | Error
+
+(* Higher is worse; used both for sorting and for the exit policy. *)
+let severity_rank = function Info -> 0 | Warning -> 1 | Error -> 2
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let pp_severity fmt s = Format.pp_print_string fmt (severity_to_string s)
+
+type diagnostic = {
+  severity : severity;
+  rule : string;  (** rule identifier, e.g. ["dist-normalized"] *)
+  path : Path.t;  (** offending node *)
+  message : string;
+}
+
+let diagnostic ~severity ~rule ~path message =
+  { severity; rule; path; message }
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%a[%s] at %a: %s" pp_severity d.severity d.rule
+    Path.pp d.path d.message
+
+type t = diagnostic list
+
+let empty : t = []
+let of_list ds : t = ds
+let to_list (r : t) = r
+let append (a : t) (b : t) : t = a @ b
+let concat rs : t = List.concat rs
+let count (r : t) = List.length r
+
+let count_severity sev r =
+  List.length (List.filter (fun d -> d.severity = sev) r)
+
+let errors r = List.filter (fun d -> d.severity = Error) r
+let warnings r = List.filter (fun d -> d.severity = Warning) r
+let has_errors r = List.exists (fun d -> d.severity = Error) r
+
+let max_severity (r : t) =
+  List.fold_left
+    (fun acc d ->
+      match acc with
+      | None -> Some d.severity
+      | Some s -> if compare_severity d.severity s > 0 then Some d.severity else Some s)
+    None r
+
+(** Worst first; ties broken by rule id, then by node position. *)
+let sorted (r : t) =
+  List.stable_sort
+    (fun a b ->
+      match compare_severity b.severity a.severity with
+      | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> Path.compare a.path b.path
+          | c -> c)
+      | c -> c)
+    r
+
+(** [is_clean r] holds when nothing at Warning severity or above was
+    reported — the bar shipped protocols are held to. *)
+let is_clean r =
+  match max_severity r with
+  | None | Some Info -> true
+  | Some (Warning | Error) -> false
+
+(** Exit-code policy: 0 when acceptable, 1 otherwise. Errors always
+    fail; [strict] promotes warnings to failures. *)
+let exit_code ?(strict = false) r =
+  if has_errors r then 1
+  else if strict && not (is_clean r) then 1
+  else 0
+
+let pp fmt (r : t) =
+  match r with
+  | [] -> Format.fprintf fmt "no diagnostics"
+  | ds ->
+      Format.fprintf fmt "@[<v>";
+      List.iteri
+        (fun i d ->
+          if i > 0 then Format.fprintf fmt "@,";
+          pp_diagnostic fmt d)
+        (sorted ds);
+      Format.fprintf fmt "@]"
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,54 @@
+(** Structured diagnostics for the protocol-tree analyzer.
+
+    Severity policy: [Error] means the tree is not a well-formed
+    broadcast protocol (or a declared measure is wrong) and must fail
+    CI; [Warning] means the tree is legal but suspect (dead branches,
+    exact-semantics blowup); [Info] is advisory. *)
+
+type severity = Info | Warning | Error
+
+val compare_severity : severity -> severity -> int
+(** Orders by badness: [Info < Warning < Error]. *)
+
+val severity_to_string : severity -> string
+val pp_severity : Format.formatter -> severity -> unit
+
+type diagnostic = {
+  severity : severity;
+  rule : string;  (** rule identifier, e.g. ["dist-normalized"] *)
+  path : Path.t;  (** offending node *)
+  message : string;
+}
+
+val diagnostic :
+  severity:severity -> rule:string -> path:Path.t -> string -> diagnostic
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+type t = diagnostic list
+
+val empty : t
+val of_list : diagnostic list -> t
+val to_list : t -> diagnostic list
+val append : t -> t -> t
+val concat : t list -> t
+val count : t -> int
+val count_severity : severity -> t -> int
+val errors : t -> diagnostic list
+val warnings : t -> diagnostic list
+val has_errors : t -> bool
+val max_severity : t -> severity option
+
+val sorted : t -> diagnostic list
+(** Worst first; ties by rule id, then node position. *)
+
+val is_clean : t -> bool
+(** True when nothing at Warning severity or above was reported — the
+    bar shipped protocols are held to by the registry sweep. *)
+
+val exit_code : ?strict:bool -> t -> int
+(** 0 when acceptable, 1 otherwise. Errors always fail; [strict]
+    promotes warnings to failures. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,74 @@
+(** The proto-lint rule catalog: independent static passes over a
+    protocol tree. None of them executes the protocol — message laws
+    are only evaluated pointwise on the declared domain of per-player
+    inputs. See {!Analyzer.analyze} for the all-rules entry point and
+    DESIGN.md for the rule catalog's rationale. *)
+
+(** {1 Rule identifiers} *)
+
+val id_dist_normalized : string
+val id_support_in_arity : string
+val id_speaker_bounds : string
+val id_broadcast_consistency : string
+val id_dead_branch : string
+val id_bit_accounting : string
+val id_state_space : string
+
+val all_ids : string list
+(** All seven, in catalog order. *)
+
+(** {1 Rules} *)
+
+val dist_normalized : domain:'a array -> 'a Proto.Tree.t -> Report.t
+(** (1) Every emit law (on every domain input) and every public coin
+    is an exact probability distribution: positive weights, total mass
+    exactly 1 in rationals. Also the single reporter of emit laws that
+    raise. Errors. *)
+
+val support_in_arity : domain:'a array -> 'a Proto.Tree.t -> Report.t
+(** (2) No law places mass on a symbol outside [[0, arity)] — such a
+    symbol has no continuation subtree. Errors, one per distinct bad
+    symbol per node. *)
+
+val speaker_bounds : ?players:int -> 'a Proto.Tree.t -> Report.t
+(** (3) Speaker indices are non-negative and, when [players] is given,
+    below it. Errors. *)
+
+val broadcast_consistency : 'a Proto.Tree.t -> Report.t
+(** (4) The schedule is a function of the charged board contents alone:
+    every positive-probability branch of a [Chance] node must lead to
+    the same next charged event (speaker and arity, or termination),
+    since a free coin writes nothing the schedule may depend on.
+    Errors. *)
+
+val dead_branch : domain:'a array -> 'a Proto.Tree.t -> Report.t
+(** (5) Children reachable with probability 0 under every domain input
+    (for coins: the coin law itself). Legal but they inflate
+    [communication_cost] and the per-message arity charge. Warnings;
+    dead subtrees are not descended into. *)
+
+val bit_accounting : ?declared_cost:int -> 'a Proto.Tree.t -> Report.t
+(** (6) Recompute the worst-case cost from raw arities with an
+    independent [ceil(log2)] and cross-check
+    {!Proto.Tree.communication_cost} — and [declared_cost] when given —
+    against it. Errors. *)
+
+val state_space :
+  ?budget:int -> players:int -> domain:'a array -> 'a Proto.Tree.t -> Report.t
+(** (7) Estimate the state space of an exact joint-law enumeration
+    ([|domain|^players] input profiles x transcript leaves) and warn
+    when it exceeds [budget] (default {!default_state_budget}) — the
+    blowup failure mode of [bench/e2_disj_scaling.ml]. The pass caps
+    its own traversal so it stays cheap on exactly the trees it is
+    meant to flag. Warning. *)
+
+val default_state_budget : int
+
+(** {1 Helpers} *)
+
+val inferred_players : 'a Proto.Tree.t -> int
+(** One past the largest speaker index; 0 for speaker-free trees. *)
+
+val ceil_log2 : int -> int
+(** The analyzer's own arity-to-bits charge (cross-checks
+    {!Coding.Intcode.fixed_width}). *)

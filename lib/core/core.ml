@@ -29,6 +29,10 @@
       computations — good-transcript classification, Lemma-2 and
       eq.(3)-(7) checks, the Lemma-1 direct-sum embedding, the Lemma-6
       fooling argument.
+    - {!Analysis}: proto-lint — static well-formedness analysis of
+      protocol trees (distribution validity, schedule consistency, bit
+      accounting, state-space budgets) with structured diagnostics;
+      runs over the {!Protocols.Registry} in CI.
 
     {2 Quickstart}
 
@@ -49,5 +53,6 @@ module Blackboard = Blackboard
 module Protocols = Protocols
 module Compress = Compress
 module Lowerbound = Lowerbound
+module Analysis = Analysis
 
 let version = "1.0.0"

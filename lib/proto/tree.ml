@@ -43,6 +43,25 @@ let output v = Output v
 let speak ~speaker ~emit children =
   if Array.length children = 0 then invalid_arg "Tree.speak: no children";
   if speaker < 0 then invalid_arg "Tree.speak: negative speaker";
+  (* [emit] is an arbitrary closure, so its support can only be checked
+     when it is evaluated: wrap it so a symbol without a continuation
+     subtree is rejected at the first evaluation instead of indexing out
+     of bounds deep inside the semantics. Hand-built [Speak] records
+     bypass this guard; the proto-lint analyzer ({!Analysis}) reports
+     them statically. *)
+  let arity = Array.length children in
+  let emit x =
+    let d = emit x in
+    List.iter
+      (fun s ->
+        if s < 0 || s >= arity then
+          invalid_arg
+            (Printf.sprintf
+               "Tree.speak: emit support includes symbol %d outside arity %d"
+               s arity))
+      (D.support d);
+    d
+  in
   Speak { speaker; emit; children }
 
 let chance ~coin children =

@@ -46,7 +46,12 @@ type transcript = event list
 val output : int -> 'a t
 
 val speak : speaker:int -> emit:('a -> int Prob.Dist_exact.t) -> 'a t array -> 'a t
-(** @raise Invalid_argument on an empty child array or negative speaker. *)
+(** @raise Invalid_argument on an empty child array or negative speaker.
+    The message law is guarded: each evaluation of [emit] checks that
+    its support lies inside [[0, Array.length children)] and raises
+    [Invalid_argument] otherwise (necessarily at evaluation time —
+    [emit] is an arbitrary closure). Hand-built [Speak] records bypass
+    the guard; the proto-lint analyzer reports them statically. *)
 
 val speak_det : speaker:int -> f:('a -> int) -> 'a t array -> 'a t
 (** Deterministic message: the speaker writes [f input]. *)

@@ -17,6 +17,15 @@ val pointwise_or_broadcast : n:int -> k:int -> int array Proto.Tree.t
     the output-entropy floor [IC >= H(Y)]. Tiny [n, k] only.
     @raise Invalid_argument for [n > 20]. *)
 
+val batched : n:int -> k:int -> int array Proto.Tree.t
+(** The Section-5 batching idea as an exact tree: players speak once
+    each, announcing as one symbol the subset of still-uncertified
+    coordinates where they hold 0; the alphabet shrinks as coordinates
+    are certified, and the protocol halts early once all are. The
+    tree-model counterpart of the operational {!Disj_batched}; a
+    varying-arity workout for the proto-lint analyzer. Tiny [n] only.
+    @raise Invalid_argument for [n > 10]. *)
+
 val broadcast_all : n:int -> k:int -> int array Proto.Tree.t
 (** Every player writes its whole vector as one arity-[2^n] symbol; the
     leaf computes disjointness. Maximally leaky; tiny [n] only.

@@ -1,0 +1,113 @@
+(** Registry of shipped protocols, for linting and tooling.
+
+    Every protocol tree the library ships self-registers here at a
+    small, exactly-analyzable parameter point, together with the
+    metadata the static analyzer needs: the player count, the domain of
+    per-player inputs, and (when the module documents one) the declared
+    worst-case bit cost to cross-check. The [lint] subcommand of
+    [broadcast_cli] and the tier-1 registry sweep in
+    [test/test_analysis.ml] both iterate [all ()], so a protocol added
+    here is linted on every [dune runtest] and every CI push.
+
+    The operational disjointness solvers ({!Disj_trivial},
+    {!Disj_naive}, {!Disj_batched}) run on a blackboard, not a tree;
+    they are represented by their exact tree models from {!Disj_trees}
+    at small scale, as noted per entry.
+
+    Downstream protocols register with {!register}. *)
+
+type entry =
+  | Entry : {
+      name : string;
+      players : int;
+      domain : 'a array;  (** possible per-player inputs *)
+      tree : 'a Proto.Tree.t Lazy.t;
+      declared_cost : int option;
+          (** documented worst-case bits, cross-checked by proto-lint *)
+      note : string;
+    }
+      -> entry
+
+let name (Entry e) = e.name
+let players (Entry e) = e.players
+let note (Entry e) = e.note
+let declared_cost (Entry e) = e.declared_cost
+
+let entry ~name ~players ?declared_cost ?(note = "") ~domain tree =
+  Entry { name; players; domain; tree; declared_cost; note }
+
+(* Per-player input domains. *)
+let bit_domain = [| 0; 1 |]
+
+let vector_domain n =
+  Array.of_list (Proto.Semantics.all_bit_inputs n)
+
+let builtins =
+  lazy
+    [
+      entry ~name:"and/sequential" ~players:5 ~declared_cost:5
+        ~note:"halt at the first zero; CC = k" ~domain:bit_domain
+        (lazy (And_protocols.sequential 5));
+      entry ~name:"and/broadcast-all" ~players:4 ~declared_cost:4
+        ~note:"everyone speaks; the maximally leaky baseline"
+        ~domain:bit_domain
+        (lazy (And_protocols.broadcast_all 4));
+      entry ~name:"and/truncated" ~players:5 ~declared_cost:3
+        ~note:"only the first m = 3 of k = 5 players speak (Lemma 6)"
+        ~domain:bit_domain
+        (lazy (And_protocols.truncated_sequential ~k:5 ~m:3));
+      entry ~name:"and/noisy" ~players:4 ~declared_cost:4
+        ~note:"players lie with probability 1/10 (private randomness)"
+        ~domain:bit_domain
+        (lazy
+          (And_protocols.noisy_sequential ~k:4
+             ~noise:(Exact.Rational.of_ints 1 10)));
+      entry ~name:"and/two-copy" ~players:3 ~declared_cost:6
+        ~note:"two independent sequential copies (Theorem 4 witness)"
+        ~domain:(vector_domain 2)
+        (lazy (And_protocols.two_copy_sequential 3));
+      entry ~name:"and/constant" ~players:4 ~declared_cost:0
+        ~note:"ignores inputs; the zero-information point"
+        ~domain:bit_domain
+        (lazy (And_protocols.constant ~k:4 1));
+      entry ~name:"compress/xor-coin-sequential" ~players:4 ~declared_cost:4
+        ~note:"output XORed with a free public coin (compression fixture)"
+        ~domain:bit_domain
+        (lazy (Proto.Combinators.xor_output_with_coin (And_protocols.sequential 4)));
+      entry ~name:"compress/parallel-copies" ~players:3 ~declared_cost:6
+        ~note:"Combinators.parallel_copies of sequential AND_3, 2 copies"
+        ~domain:(vector_domain 2)
+        (lazy
+          (Proto.Combinators.parallel_copies (And_protocols.sequential 3)
+             ~copies:2));
+      entry ~name:"disj/trivial-tree" ~players:3 ~declared_cost:6
+        ~note:"tree model of Disj_trivial: everyone announces its set"
+        ~domain:(vector_domain 2)
+        (lazy (Disj_trees.broadcast_all ~n:2 ~k:3));
+      entry ~name:"disj/naive-tree" ~players:3 ~declared_cost:6
+        ~note:"tree model of Disj_naive: coordinate-by-coordinate"
+        ~domain:(vector_domain 2)
+        (lazy (Disj_trees.sequential ~n:2 ~k:3));
+      entry ~name:"disj/batched-tree" ~players:3 ~declared_cost:6
+        ~note:"tree model of Disj_batched: shrinking-alphabet batches"
+        ~domain:(vector_domain 2)
+        (lazy (Disj_trees.batched ~n:2 ~k:3));
+      entry ~name:"or/pointwise-tree" ~players:3 ~declared_cost:6
+        ~note:"pointwise-OR broadcast tree (output-entropy floor witness)"
+        ~domain:(vector_domain 2)
+        (lazy (Disj_trees.pointwise_or_broadcast ~n:2 ~k:3));
+    ]
+
+let registered : entry list ref = ref []
+
+let register e =
+  let n = name e in
+  if
+    List.exists (fun e' -> name e' = n) (Lazy.force builtins)
+    || List.exists (fun e' -> name e' = n) !registered
+  then invalid_arg ("Registry.register: duplicate name " ^ n);
+  registered := e :: !registered
+
+let all () = Lazy.force builtins @ List.rev !registered
+let names () = List.map name (all ())
+let find n = List.find_opt (fun e -> name e = n) (all ())

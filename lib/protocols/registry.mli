@@ -1,0 +1,44 @@
+(** Registry of shipped protocols, for linting and tooling.
+
+    Every protocol tree the library ships self-registers here at a
+    small, exactly-analyzable parameter point; the [lint] subcommand of
+    [broadcast_cli] and the tier-1 registry sweep both iterate
+    {!all}. The operational disjointness solvers are represented by
+    their exact tree models from {!Disj_trees}. Downstream protocols
+    join the sweep via {!register}. *)
+
+type entry =
+  | Entry : {
+      name : string;
+      players : int;
+      domain : 'a array;  (** possible per-player inputs *)
+      tree : 'a Proto.Tree.t Lazy.t;
+      declared_cost : int option;
+          (** documented worst-case bits, cross-checked by proto-lint *)
+      note : string;
+    }
+      -> entry
+
+val entry :
+  name:string ->
+  players:int ->
+  ?declared_cost:int ->
+  ?note:string ->
+  domain:'a array ->
+  'a Proto.Tree.t Lazy.t ->
+  entry
+
+val name : entry -> string
+val players : entry -> int
+val note : entry -> string
+val declared_cost : entry -> int option
+
+val register : entry -> unit
+(** Add a protocol to the sweep.
+    @raise Invalid_argument on a duplicate name. *)
+
+val all : unit -> entry list
+(** Built-in entries first, then registrations in order. *)
+
+val names : unit -> string list
+val find : string -> entry option

@@ -1,0 +1,301 @@
+(** Tests for the proto-lint static analyzer: one passing and one
+    failing case per rule id, the analyzer-level policy, and the
+    registry sweep that holds every shipped protocol to a clean
+    report. Malformed trees are built through the raw constructors
+    (and, for distributions, the raw {!Prob.Dist_core} record) exactly
+    because the smart constructors refuse to build them. *)
+
+module An = Analysis.Analyzer
+module Rep = Analysis.Report
+module Ru = Analysis.Rules
+module Reg = Protocols.Registry
+module T = Proto.Tree
+module Sem = Proto.Semantics
+module D = Prob.Dist_exact
+module R = Exact.Rational
+module MD = Prob.Dist_core.Make (Prob.Weight.Exact)
+open Test_util
+
+let bit_domain = [| 0; 1 |]
+let seq k = Protocols.And_protocols.sequential k
+
+(* An unnormalized / unchecked distribution: the public constructors
+   normalize, so reach for the underlying record. *)
+let raw_dist pairs : int D.t = { MD.items = Array.of_list pairs; index = None }
+
+(* A Speak node built behind the smart constructor's back. *)
+let raw_speak ~speaker ~emit children = T.Speak { speaker; emit; children }
+
+let rules_of report =
+  List.map (fun d -> d.Rep.rule) (Rep.to_list report)
+
+let has_rule rule report = List.mem rule (rules_of report)
+
+let check_flags ~msg rule report =
+  if not (has_rule rule report) then
+    Alcotest.failf "%s: expected a %s diagnostic, got: %s" msg rule
+      (Rep.to_string report)
+
+let check_silent ~msg report =
+  if Rep.count report <> 0 then
+    Alcotest.failf "%s: expected no diagnostics, got: %s" msg
+      (Rep.to_string report)
+
+(* --- (1) dist-normalized ------------------------------------------ *)
+
+let t_dist_normalized_clean () =
+  check_silent ~msg:"sequential AND"
+    (Ru.dist_normalized ~domain:bit_domain (seq 3))
+
+let t_dist_normalized_flags () =
+  let t =
+    raw_speak ~speaker:0
+      ~emit:(fun _ -> raw_dist [ (0, R.half) ])
+      [| T.output 0; T.output 1 |]
+  in
+  let report = Ru.dist_normalized ~domain:bit_domain t in
+  check_flags ~msg:"mass 1/2 emit" Ru.id_dist_normalized report;
+  Alcotest.(check bool) "error severity" true (Rep.has_errors report);
+  let coin_tree =
+    T.Chance
+      {
+        coin = raw_dist [ (0, R.of_ints 2 3) ];
+        children = [| T.output 0; T.output 1 |];
+      }
+  in
+  check_flags ~msg:"mass 2/3 coin" Ru.id_dist_normalized
+    (Ru.dist_normalized ~domain:bit_domain coin_tree)
+
+(* --- (2) support-in-arity ----------------------------------------- *)
+
+let t_support_in_arity_clean () =
+  check_silent ~msg:"sequential AND"
+    (Ru.support_in_arity ~domain:bit_domain (seq 4))
+
+let t_support_in_arity_flags () =
+  let t =
+    raw_speak ~speaker:0
+      ~emit:(fun _ -> D.return 2)
+      [| T.output 0; T.output 1 |]
+  in
+  let report = Ru.support_in_arity ~domain:bit_domain t in
+  check_flags ~msg:"symbol 2 at arity 2" Ru.id_support_in_arity report;
+  Alcotest.(check bool) "error severity" true (Rep.has_errors report);
+  let coin_tree =
+    T.Chance { coin = D.uniform [ 0; 3 ]; children = [| T.output 0; T.output 1 |] }
+  in
+  check_flags ~msg:"coin symbol 3 at arity 2" Ru.id_support_in_arity
+    (Ru.support_in_arity ~domain:bit_domain coin_tree)
+
+(* --- (3) speaker-bounds ------------------------------------------- *)
+
+let t_speaker_bounds_clean () =
+  check_silent ~msg:"k speakers, k players"
+    (Ru.speaker_bounds ~players:3 (seq 3))
+
+let t_speaker_bounds_flags () =
+  let report = Ru.speaker_bounds ~players:2 (seq 3) in
+  check_flags ~msg:"speaker 2 of 2 players" Ru.id_speaker_bounds report;
+  let neg =
+    raw_speak ~speaker:(-1)
+      ~emit:(fun b -> D.return b)
+      [| T.output 0; T.output 1 |]
+  in
+  check_flags ~msg:"negative speaker" Ru.id_speaker_bounds
+    (Ru.speaker_bounds neg)
+
+(* --- (4) broadcast-consistency ------------------------------------ *)
+
+let t_broadcast_consistency_clean () =
+  check_silent ~msg:"coin-xor wrapper"
+    (Ru.broadcast_consistency
+       (Proto.Combinators.xor_output_with_coin (seq 3)));
+  check_silent ~msg:"no chance nodes" (Ru.broadcast_consistency (seq 4))
+
+let t_broadcast_consistency_flags () =
+  let leafy = [| T.output 0; T.output 1 |] in
+  let by_coin =
+    T.chance
+      ~coin:(D.uniform [ 0; 1 ])
+      [|
+        T.speak_det ~speaker:0 ~f:(fun b -> b) leafy;
+        T.speak_det ~speaker:1 ~f:(fun b -> b) leafy;
+      |]
+  in
+  let report = Ru.broadcast_consistency by_coin in
+  check_flags ~msg:"coin steers the speaker" Ru.id_broadcast_consistency
+    report;
+  Alcotest.(check bool) "error severity" true (Rep.has_errors report);
+  (* Zero-probability branches may disagree: only realizable schedule
+     divergence counts. *)
+  let benign =
+    T.Chance
+      {
+        coin = D.return 0;
+        children =
+          [|
+            T.speak_det ~speaker:0 ~f:(fun b -> b) leafy;
+            T.speak_det ~speaker:1 ~f:(fun b -> b) leafy;
+          |];
+      }
+  in
+  check_silent ~msg:"dead branch disagreement ignored"
+    (Ru.broadcast_consistency benign)
+
+(* --- (5) dead-branch ---------------------------------------------- *)
+
+let t_dead_branch_clean () =
+  check_silent ~msg:"sequential AND" (Ru.dead_branch ~domain:bit_domain (seq 3))
+
+let t_dead_branch_flags () =
+  let t =
+    T.speak_det ~speaker:0 ~f:(fun _ -> 0) [| T.output 0; T.output 1 |]
+  in
+  let report = Ru.dead_branch ~domain:bit_domain t in
+  check_flags ~msg:"constant emit, arity 2" Ru.id_dead_branch report;
+  Alcotest.(check bool) "warning, not error" false (Rep.has_errors report);
+  Alcotest.(check int) "one dead child" 1
+    (Rep.count_severity Rep.Warning report);
+  let coin_tree =
+    T.chance ~coin:(D.return 0) [| T.output 0; T.output 1 |]
+  in
+  check_flags ~msg:"coin never lands on 1" Ru.id_dead_branch
+    (Ru.dead_branch ~domain:bit_domain coin_tree)
+
+(* --- (6) bit-accounting ------------------------------------------- *)
+
+let t_bit_accounting_clean () =
+  check_silent ~msg:"no declaration" (Ru.bit_accounting (seq 3));
+  check_silent ~msg:"correct declaration"
+    (Ru.bit_accounting ~declared_cost:3 (seq 3))
+
+let t_bit_accounting_flags () =
+  let report = Ru.bit_accounting ~declared_cost:7 (seq 3) in
+  check_flags ~msg:"wrong declared CC" Ru.id_bit_accounting report;
+  Alcotest.(check bool) "error severity" true (Rep.has_errors report);
+  (* The analyzer's independent charge agrees with the library's. *)
+  for n = 1 to 40 do
+    Alcotest.(check int)
+      (Printf.sprintf "ceil_log2 %d" n)
+      (Coding.Intcode.fixed_width n) (Ru.ceil_log2 n)
+  done
+
+(* --- (7) state-space-budget --------------------------------------- *)
+
+let t_state_space_clean () =
+  check_silent ~msg:"default budget"
+    (Ru.state_space ~players:4 ~domain:bit_domain (seq 4))
+
+let t_state_space_flags () =
+  let report =
+    Ru.state_space ~budget:10 ~players:4 ~domain:bit_domain (seq 4)
+  in
+  check_flags ~msg:"16 profiles x 5 leaves > 10" Ru.id_state_space report;
+  Alcotest.(check bool) "warning, not error" false (Rep.has_errors report)
+
+(* --- analyzer-level policy ---------------------------------------- *)
+
+let t_analyze_clean_protocol () =
+  let report =
+    An.analyze ~players:4 ~declared_cost:4 ~domain:bit_domain (seq 4)
+  in
+  Alcotest.(check bool) "clean" true (Rep.is_clean report);
+  Alcotest.(check int) "exit 0" 0 (Rep.exit_code report)
+
+let t_analyze_malformed_protocol () =
+  (* Several violations at once: out-of-arity support, unnormalized
+     law, foreign speaker. *)
+  let t =
+    raw_speak ~speaker:9
+      ~emit:(fun _ -> raw_dist [ (5, R.half) ])
+      [| T.output 0; T.output 1 |]
+  in
+  let report = An.analyze ~players:2 ~domain:bit_domain t in
+  Alcotest.(check bool) "errors" true (Rep.has_errors report);
+  Alcotest.(check int) "exit 1" 1 (Rep.exit_code report);
+  List.iter
+    (fun rule -> check_flags ~msg:"all three rules fire" rule report)
+    [ Ru.id_support_in_arity; Ru.id_dist_normalized; Ru.id_speaker_bounds ]
+
+let t_report_ordering () =
+  let d sev rule = Rep.diagnostic ~severity:sev ~rule ~path:Analysis.Path.root "m" in
+  let sorted =
+    Rep.sorted
+      (Rep.of_list [ d Rep.Info "z"; d Rep.Warning "y"; d Rep.Error "x" ])
+  in
+  Alcotest.(check (list string))
+    "worst first"
+    [ "x"; "y"; "z" ]
+    (List.map (fun di -> di.Rep.rule) sorted);
+  Alcotest.(check int) "strict exit" 1
+    (Rep.exit_code ~strict:true (Rep.of_list [ d Rep.Warning "w" ]));
+  Alcotest.(check int) "lenient exit" 0
+    (Rep.exit_code (Rep.of_list [ d Rep.Warning "w" ]))
+
+(* --- registry sweep ----------------------------------------------- *)
+
+let t_registry_all_clean () =
+  let entries = Reg.all () in
+  Alcotest.(check bool) "registry is populated" true (List.length entries >= 12);
+  List.iter
+    (fun (Reg.Entry { players; declared_cost; domain; tree; _ } as e) ->
+      let report =
+        An.analyze ~players ?declared_cost ~domain (Lazy.force tree)
+      in
+      if not (Rep.is_clean report) then
+        Alcotest.failf "registered protocol %s does not lint clean: %s"
+          (Reg.name e) (Rep.to_string report))
+    entries
+
+let t_registry_register () =
+  let n_before = List.length (Reg.all ()) in
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Registry.register: duplicate name and/sequential")
+    (fun () ->
+      Reg.register
+        (Reg.entry ~name:"and/sequential" ~players:2 ~domain:bit_domain
+           (lazy (seq 2))));
+  Alcotest.(check int) "rejected registration is not kept" n_before
+    (List.length (Reg.all ()))
+
+(* The batched DISJ tree model added for the registry really computes
+   disjointness: exact output on every input profile. *)
+let t_batched_tree_correct () =
+  let n = 2 and k = 3 in
+  let tree = Protocols.Disj_trees.batched ~n ~k in
+  let domain = Sem.all_bit_inputs n in
+  let rec profiles i acc =
+    if i = k then [ Array.of_list (List.rev acc) ]
+    else List.concat_map (fun v -> profiles (i + 1) (v :: acc)) domain
+  in
+  List.iter
+    (fun sets ->
+      let expected = Protocols.Hard_dist.disj_fn sets in
+      match D.support (Sem.output_dist tree sets) with
+      | [ v ] -> Alcotest.(check int) "batched output" expected v
+      | _ -> Alcotest.fail "batched tree should be deterministic")
+    (profiles 0 [])
+
+let suite =
+  [
+    quick "dist-normalized: clean" t_dist_normalized_clean;
+    quick "dist-normalized: flags" t_dist_normalized_flags;
+    quick "support-in-arity: clean" t_support_in_arity_clean;
+    quick "support-in-arity: flags" t_support_in_arity_flags;
+    quick "speaker-bounds: clean" t_speaker_bounds_clean;
+    quick "speaker-bounds: flags" t_speaker_bounds_flags;
+    quick "broadcast-consistency: clean" t_broadcast_consistency_clean;
+    quick "broadcast-consistency: flags" t_broadcast_consistency_flags;
+    quick "dead-branch: clean" t_dead_branch_clean;
+    quick "dead-branch: flags" t_dead_branch_flags;
+    quick "bit-accounting: clean" t_bit_accounting_clean;
+    quick "bit-accounting: flags" t_bit_accounting_flags;
+    quick "state-space-budget: clean" t_state_space_clean;
+    quick "state-space-budget: flags" t_state_space_flags;
+    quick "analyze: clean protocol" t_analyze_clean_protocol;
+    quick "analyze: malformed protocol" t_analyze_malformed_protocol;
+    quick "report: ordering and exit policy" t_report_ordering;
+    quick "registry: every shipped protocol lints clean" t_registry_all_clean;
+    quick "registry: duplicate registration rejected" t_registry_register;
+    quick "registry: batched DISJ tree is correct" t_batched_tree_correct;
+  ]

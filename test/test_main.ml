@@ -20,4 +20,5 @@ let () =
       ("lowerbound", Test_lowerbound.suite);
       ("combinators", Test_combinators.suite);
       ("random-trees", Test_random_trees.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -238,6 +238,24 @@ let t_transcript_mismatch_raises () =
     (Invalid_argument "Tree.output_of: transcript does not match tree")
     (fun () -> ignore (T.output_of t [ T.Coin 0 ]))
 
+(* Regression: [Tree.speak] used to accept an emit law whose support
+   exceeds the child array, crashing (or mis-indexing) only deep inside
+   the semantics. The smart constructor now guards every evaluation. *)
+let t_speak_rejects_wide_support () =
+  let t =
+    T.speak ~speaker:0
+      ~emit:(fun _ -> D.return 2)
+      [| T.output 0; T.output 1 |]
+  in
+  Alcotest.check_raises "support 2 at arity 2"
+    (Invalid_argument
+       "Tree.speak: emit support includes symbol 2 outside arity 2")
+    (fun () -> ignore (Sem.transcript_dist t [| 1 |]));
+  (* in-arity laws are untouched *)
+  let ok = T.speak ~speaker:0 ~emit:(fun b -> D.return b) [| T.output 0; T.output 1 |] in
+  Alcotest.(check int) "guarded tree still runs" 1
+    (D.size (Sem.transcript_dist ok [| 1 |]))
+
 let suite =
   [
     quick "tree statistics" t_tree_stats;
@@ -261,4 +279,5 @@ let suite =
     quick "alpha ratios, noisy" t_alpha_noisy_finite;
     quick "Lemma 4 posterior = direct Bayes" t_posterior_formula_matches_bayes;
     quick "transcript mismatch raises" t_transcript_mismatch_raises;
+    quick "speak rejects out-of-arity support" t_speak_rejects_wide_support;
   ]
