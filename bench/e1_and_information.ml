@@ -12,6 +12,7 @@
 
 let run () =
   Exp_util.heading "E1" "CIC_mu(AND_k) scales like log k (Theorem 1)";
+  let json_rows = ref [] and ratios = ref [] in
   let rows =
     List.map
       (fun k ->
@@ -32,6 +33,17 @@ let run () =
         in
         let ic = Proto.Information.external_ic tree mu in
         let logk = Float.log2 (float_of_int k) in
+        ratios := (cic /. logk) :: !ratios;
+        json_rows :=
+          Obs.Jsonw.
+            [
+              ("k", Int k);
+              ("cic_bits", Float cic);
+              ("ic_bits", Float ic);
+              ("log2k_bound", Float logk);
+              ("cic_over_log2k", Float (cic /. logk));
+            ]
+          :: !json_rows;
         Exp_util.
           [
             I k;
@@ -50,6 +62,10 @@ let run () =
     "Expected shape: CIC/log2 k bounded below by a constant (paper: Omega(log k)).";
   Exp_util.note
     "Corollary 1 then gives CIC(DISJ_{n,k}) >= n * CIC(AND_k) = Omega(n log k).";
+  Exp_util.record_rows "rows" (List.rev !json_rows);
+  Exp_util.record_f "cic_over_log2k_min" (List.fold_left min infinity !ratios);
+  Exp_util.record_f "cic_over_log2k_max"
+    (List.fold_left max neg_infinity !ratios);
 
   (* Ablation of the distribution's design: Section 4.1 explains that
      the non-special players' zero probability must be large enough to

@@ -32,7 +32,7 @@ let run () =
       (16384, 16); (16384, 64); (16384, 1024);
     ]
   in
-  let models = ref [] and measured = ref [] in
+  let models = ref [] and measured = ref [] and json_rows = ref [] in
   let rows =
     List.map
       (fun (n, k) ->
@@ -40,6 +40,19 @@ let run () =
         let model = Protocols.Disj_batched.cost_model ~n ~k in
         models := model :: !models;
         measured := float_of_int b.Protocols.Disj_common.bits :: !measured;
+        json_rows :=
+          Obs.Jsonw.
+            [
+              ("n", Int n);
+              ("k", Int k);
+              ("batched_bits", Int b.Protocols.Disj_common.bits);
+              ("naive_bits", Int nv.Protocols.Disj_common.bits);
+              ("trivial_bits", Int tv.Protocols.Disj_common.bits);
+              ("model_bits", Float model);
+              ( "batched_over_model",
+                Float (float_of_int b.Protocols.Disj_common.bits /. model) );
+            ]
+          :: !json_rows;
         let winner =
           let bits =
             [
@@ -67,6 +80,8 @@ let run () =
       [ "n"; "k"; "batched"; "naive"; "trivial"; "batched/(n lg k + k)"; "winner" ]
     rows;
   let c = Exp_util.fit_ratio !models !measured in
+  Exp_util.record_rows "rows" (List.rev !json_rows);
+  Exp_util.record_f "fitted_constant" c;
   Exp_util.note "Fitted constant: batched bits ~ %.2f * (n log2 k + k)." c;
   Exp_util.note
     "Expected: constant O(1) across the sweep; batched wins whenever log k << log n.";

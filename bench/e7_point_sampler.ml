@@ -48,6 +48,7 @@ let run () =
   let nu = Array.make u (1. /. float_of_int u) in
   let eps = 0.01 in
   let trials = 400 in
+  let json_rows = ref [] in
   let rows =
     List.map
       (fun p0 ->
@@ -57,6 +58,18 @@ let run () =
           measure ~eta ~nu ~eps ~trials
         in
         let model = Compress.Point_sampler.cost_model ~divergence:d ~eps in
+        json_rows :=
+          Obs.Jsonw.
+            [
+              ("p0", Float p0);
+              ("divergence_bits", Float d);
+              ("measured_bits", Float mean_bits);
+              ("model_bits", Float model);
+              ("overhead_bits", Float (mean_bits -. d));
+              ("abort_rate", Float abort_rate);
+              ("disagreements", Int disagreements);
+            ]
+          :: !json_rows;
         Exp_util.
           [
             F2 p0;
@@ -74,6 +87,10 @@ let run () =
       [ "eta(0)"; "D(eta||nu)"; "avg bits"; "model"; "overhead"; "abort rate";
         "disagree" ]
     rows;
+  Exp_util.record_rows "rows" (List.rev !json_rows);
+  Exp_util.record_i "universe" u;
+  Exp_util.record_f "eps" eps;
+  Exp_util.record_i "trials" trials;
   Exp_util.note
     "nu uniform on %d symbols; eps = %.2f; %d trials per row." u eps trials;
   Exp_util.note

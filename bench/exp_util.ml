@@ -44,6 +44,29 @@ let table ~header rows =
   print_newline ();
   List.iter print_row rows
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable records (the [--json] channel of bench/main.ml).   *)
+(* Experiments call [record_*] alongside their printed tables; the     *)
+(* harness collects everything recorded during one experiment's run    *)
+(* with [take_records] and folds it into BENCH.json. When no one       *)
+(* collects, the accumulator just grows a few cells per run — the      *)
+(* experiments never need to know whether export is on.                *)
+(* ------------------------------------------------------------------ *)
+
+let records_acc : (string * Obs.Jsonw.t) list ref = ref []
+let record name v = records_acc := (name, v) :: !records_acc
+let record_i name n = record name (Obs.Jsonw.Int n)
+let record_f name x = record name (Obs.Jsonw.Float x)
+let record_s name s = record name (Obs.Jsonw.String s)
+
+let record_rows name rows =
+  record name (Obs.Jsonw.list (List.map (fun r -> Obs.Jsonw.obj r) rows))
+
+let take_records () =
+  let r = List.rev !records_acc in
+  records_acc := [];
+  r
+
 (** Least-squares slope of y against x through the origin — used to
     report "measured = c * model" fits. *)
 let fit_ratio xs ys =

@@ -4,7 +4,10 @@
     runs the bechamel micro-benchmarks.
 
     Usage: [main.exe] runs everything; [main.exe E2 E7] runs a subset;
-    [main.exe --list] lists experiment ids. *)
+    [main.exe --list] lists experiment ids; [--json PATH] additionally
+    writes a machine-readable BENCH.json with per-experiment wall time
+    and the metrics each experiment records via {!Exp_util.record_f}
+    (schema [broadcast-ic/bench/v1]). *)
 
 let experiments =
   [
@@ -25,21 +28,88 @@ let experiments =
     ("MICRO", Micro.run);
   ]
 
+let bench_json ~entries ~metrics =
+  let open Obs.Jsonw in
+  let bitbuf = Coding.Bitbuf.Writer.stats () in
+  obj
+    [
+      ("schema", String "broadcast-ic/bench/v1");
+      ("version", String Core.version);
+      ( "experiments",
+        list
+          (List.map
+             (fun (id, wall_s, records) ->
+               obj
+                 [
+                   ("id", String id);
+                   ("wall_s", Float wall_s);
+                   ("metrics", obj records);
+                 ])
+             entries) );
+      ( "obs",
+        obj
+          [
+            ("bitbuf_writers", Int bitbuf.Coding.Bitbuf.Writer.writers);
+            ("bitbuf_bits", Int bitbuf.Coding.Bitbuf.Writer.bits);
+            ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot metrics));
+          ] );
+    ]
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* Peel off [--json PATH] anywhere in the argument list; the rest are
+     experiment ids as before. *)
+  let rec split_json acc = function
+    | [] -> (List.rev acc, None)
+    | "--json" :: path :: rest -> (List.rev acc @ rest, Some path)
+    | [ "--json" ] ->
+        prerr_endline "--json requires a path argument";
+        exit 1
+    | a :: rest -> split_json (a :: acc) rest
+  in
+  let ids, json_path = split_json [] args in
+  match ids with
   | [ "--list" ] -> List.iter (fun (id, _) -> print_endline id) experiments
-  | [] ->
-      Printf.printf
-        "Reproduction: On Information Complexity in the Broadcast Model \
-         (Braverman & Oshman, PODC 2015)\n";
-      List.iter (fun (_, run) -> run ()) experiments
-  | ids ->
-      List.iter
-        (fun id ->
-          match List.assoc_opt (String.uppercase_ascii id) experiments with
-          | Some run -> run ()
-          | None ->
-              Printf.eprintf "unknown experiment %S (try --list)\n" id;
-              exit 1)
-        ids
+  | _ ->
+      let selected =
+        match ids with
+        | [] ->
+            Printf.printf
+              "Reproduction: On Information Complexity in the Broadcast Model \
+               (Braverman & Oshman, PODC 2015)\n";
+            experiments
+        | ids ->
+            List.map
+              (fun id ->
+                let id = String.uppercase_ascii id in
+                match List.assoc_opt id experiments with
+                | Some run -> (id, run)
+                | None ->
+                    Printf.eprintf "unknown experiment %S (try --list)\n" id;
+                    exit 1)
+              ids
+      in
+      let metrics = Obs.Metrics.create () in
+      Obs.Metrics.install metrics;
+      Coding.Bitbuf.Writer.reset_stats ();
+      let entries =
+        List.map
+          (fun (id, run) ->
+            ignore (Exp_util.take_records ());
+            let t0 = Unix.gettimeofday () in
+            run ();
+            let wall_s = Unix.gettimeofday () -. t0 in
+            (id, wall_s, Exp_util.take_records ()))
+          selected
+      in
+      Obs.Metrics.uninstall ();
+      match json_path with
+      | None -> ()
+      | Some path ->
+          let doc = bench_json ~entries ~metrics in
+          let oc = open_out path in
+          Obs.Jsonw.to_channel oc doc;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "\nwrote %s (%d experiments)\n" path
+            (List.length entries)

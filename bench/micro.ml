@@ -49,6 +49,39 @@ let tests () =
            ignore (Proto.Information.external_ic and_tree6 mu6)));
   ]
 
+(* Spot check of the Obs overhead policy (DESIGN.md section 8): with the
+   null sink installed and no metrics registry, an instrumentation site
+   is one load and a predictable branch — it must not allocate. We
+   measure minor-heap words across a hot loop of guarded emits and
+   disabled bumps; the harness may have a metrics registry installed for
+   the whole run, so it is stashed for the duration of the check. *)
+let null_sink_alloc_check () =
+  let saved = Obs.Metrics.installed () in
+  Obs.Metrics.uninstall ();
+  assert (Obs.Sink.is_null (Obs.Trace.sink ()));
+  let iters = 200_000 in
+  let words_per_iter f =
+    let before = Gc.minor_words () in
+    for i = 0 to iters - 1 do
+      f i
+    done;
+    (Gc.minor_words () -. before) /. float_of_int iters
+  in
+  let guarded_emit =
+    words_per_iter (fun _ ->
+        if Obs.Trace.enabled () then
+          Obs.Trace.emit (Obs.Event.Mark { name = "hot" }))
+  in
+  let disabled_bump = words_per_iter (fun i -> Obs.Metrics.bump "hot" i) in
+  (match saved with Some m -> Obs.Metrics.install m | None -> ());
+  Exp_util.record_f "null_sink_words_per_emit" guarded_emit;
+  Exp_util.record_f "disabled_metrics_words_per_bump" disabled_bump;
+  Exp_util.note "Obs disabled-path allocation (minor words per site over %dk iterations):"
+    (iters / 1000);
+  Exp_util.note
+    "  guarded Trace.emit: %.5f   disabled Metrics.bump: %.5f   (expected: ~0)"
+    guarded_emit disabled_bump
+
 let run () =
   Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run, OLS fit)";
   let cfg =
@@ -82,4 +115,5 @@ let run () =
            else Printf.sprintf "%.0f ns" ns
          in
          Exp_util.[ S name; S pretty ])
-       rows)
+       rows);
+  null_sink_alloc_check ()

@@ -8,74 +8,135 @@
       per-copy cost against the exact information cost.
     - [sample]: exercise the Lemma-7 point sampler and report measured
       cost against the divergence.
+    - [trace]: run a protocol with a line-JSON trace sink installed and
+      write the event stream to a file.
     - [lint]: run the proto-lint static analyzer over every protocol in
-      the registry and print a diagnostics table. *)
+      the registry and print a diagnostics table (or JSON with
+      [--json]).
+
+    The [disj], [compress], and [sample] subcommands accept [--metrics]
+    to install an {!Obs.Metrics} registry for the run and print the
+    snapshot as JSON afterwards. *)
 
 open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Collect Obs metrics during the run and print the snapshot \
+                 as JSON afterwards.")
+
+(* Runs [f] with a metrics registry installed (when [enabled]) and prints
+   the snapshot once [f] returns. The registry is uninstalled even if [f]
+   raises, so a failing run never leaks instrumentation into a later one. *)
+let with_metrics enabled f =
+  if not enabled then f ()
+  else begin
+    let m = Obs.Metrics.create () in
+    Obs.Metrics.install m;
+    Fun.protect
+      ~finally:(fun () -> Obs.Metrics.uninstall ())
+      (fun () ->
+        let r = f () in
+        print_endline
+          (Obs.Jsonw.to_string ~pretty:true
+             (Obs.Metrics.to_json (Obs.Metrics.snapshot m)));
+        r)
+  end
+
+type instance_kind = Disjoint | Intersecting | Dense | Full | Empty
+
+let instance_arg =
+  let kinds =
+    [ ("disjoint", Disjoint); ("intersecting", Intersecting);
+      ("dense", Dense); ("full", Full); ("empty", Empty) ]
+  in
+  Arg.(value & opt (enum kinds) Disjoint
+       & info [ "i"; "instance" ]
+           ~doc:(Printf.sprintf "Instance kind, one of %s."
+                   (Arg.doc_alts_enum kinds)))
+
+let make_instance kind rng ~n ~k =
+  match kind with
+  | Disjoint -> Protocols.Disj_common.random_disjoint_single_zero rng ~n ~k
+  | Intersecting ->
+      Protocols.Disj_common.random_intersecting rng ~n ~k ~witnesses:1
+  | Dense -> Protocols.Disj_common.random_dense rng ~n ~k ~density:0.7
+  | Full -> Protocols.Disj_common.all_full ~n ~k
+  | Empty -> Protocols.Disj_common.all_empty ~n ~k
+
+type disj_protocol = Batched | Naive | Trivial
+
+let disj_protocols =
+  [ ("batched", Batched); ("naive", Naive); ("trivial", Trivial) ]
 
 (* ------------------------------------------------------------------ *)
 (* disj                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let disj_cmd =
-  let run n k protocol instance seed threshold naive_encoding verbose =
-    let rng = Prob.Rng.of_int_seed seed in
-    let inst =
-      match instance with
-      | "disjoint" -> Protocols.Disj_common.random_disjoint_single_zero rng ~n ~k
-      | "intersecting" ->
-          Protocols.Disj_common.random_intersecting rng ~n ~k ~witnesses:1
-      | "dense" -> Protocols.Disj_common.random_dense rng ~n ~k ~density:0.7
-      | "full" -> Protocols.Disj_common.all_full ~n ~k
-      | "empty" -> Protocols.Disj_common.all_empty ~n ~k
-      | other -> failwith ("unknown instance kind: " ^ other)
-    in
-    let truth = Protocols.Disj_common.disjoint inst in
-    let result =
-      match protocol with
-      | "batched" ->
-          let encoding =
-            if naive_encoding then Protocols.Disj_batched.NaiveFixed
-            else Protocols.Disj_batched.Combinatorial
+  let run n k protocol instance seed threshold naive_encoding verbose metrics =
+    let mismatch =
+      with_metrics metrics (fun () ->
+          let rng = Prob.Rng.of_int_seed seed in
+          let inst = make_instance instance rng ~n ~k in
+          let truth = Protocols.Disj_common.disjoint inst in
+          let result =
+            match protocol with
+            | Batched ->
+                let encoding =
+                  if naive_encoding then Protocols.Disj_batched.NaiveFixed
+                  else Protocols.Disj_batched.Combinatorial
+                in
+                let r = Protocols.Disj_batched.solve ~encoding ?threshold inst in
+                if verbose then
+                  List.iter
+                    (fun t ->
+                      Printf.printf
+                        "cycle %d [%s]: z=%d contributors=%d bits=%d\n"
+                        t.Protocols.Disj_batched.cycle
+                        (if t.Protocols.Disj_batched.phase_high then "batch"
+                         else "final")
+                        t.Protocols.Disj_batched.z_start
+                        t.Protocols.Disj_batched.contributions
+                        t.Protocols.Disj_batched.bits_in_cycle)
+                    r.Protocols.Disj_batched.trace;
+                r.Protocols.Disj_batched.result
+            | Naive -> Protocols.Disj_naive.solve inst
+            | Trivial -> Protocols.Disj_trivial.solve inst
           in
-          let r = Protocols.Disj_batched.solve ~encoding ?threshold inst in
-          if verbose then
-            List.iter
-              (fun t ->
-                Printf.printf "cycle %d [%s]: z=%d contributors=%d bits=%d\n"
-                  t.Protocols.Disj_batched.cycle
-                  (if t.Protocols.Disj_batched.phase_high then "batch" else "final")
-                  t.Protocols.Disj_batched.z_start
-                  t.Protocols.Disj_batched.contributions
-                  t.Protocols.Disj_batched.bits_in_cycle)
-              r.Protocols.Disj_batched.trace;
-          r.Protocols.Disj_batched.result
-      | "naive" -> Protocols.Disj_naive.solve inst
-      | "trivial" -> Protocols.Disj_trivial.solve inst
-      | other -> failwith ("unknown protocol: " ^ other)
+          let protocol_name =
+            List.find (fun (_, p) -> p = protocol) disj_protocols |> fst
+          in
+          Printf.printf
+            "protocol=%s n=%d k=%d: answer=%s (truth=%s) bits=%d messages=%d cycles=%d\n"
+            protocol_name n k
+            (if result.Protocols.Disj_common.answer then "disjoint"
+             else "non-disjoint")
+            (if truth then "disjoint" else "non-disjoint")
+            result.Protocols.Disj_common.bits
+            result.Protocols.Disj_common.messages
+            result.Protocols.Disj_common.cycles;
+          Printf.printf
+            "cost shapes: n*lg(k)+k = %.0f   n*lg(n)+k = %.0f   n*k = %d\n"
+            (Protocols.Disj_batched.cost_model ~n ~k)
+            (Protocols.Disj_naive.cost_model ~n ~k)
+            (n * k);
+          result.Protocols.Disj_common.answer <> truth)
     in
-    Printf.printf "protocol=%s n=%d k=%d: answer=%s (truth=%s) bits=%d messages=%d cycles=%d\n"
-      protocol n k
-      (if result.Protocols.Disj_common.answer then "disjoint" else "non-disjoint")
-      (if truth then "disjoint" else "non-disjoint")
-      result.Protocols.Disj_common.bits result.Protocols.Disj_common.messages
-      result.Protocols.Disj_common.cycles;
-    Printf.printf "cost shapes: n*lg(k)+k = %.0f   n*lg(n)+k = %.0f   n*k = %d\n"
-      (Protocols.Disj_batched.cost_model ~n ~k)
-      (Protocols.Disj_naive.cost_model ~n ~k)
-      (n * k);
-    if result.Protocols.Disj_common.answer <> truth then exit 2
+    if mismatch then exit 2
   in
   let n = Arg.(value & opt int 4096 & info [ "n" ] ~doc:"Universe size.") in
   let k = Arg.(value & opt int 16 & info [ "k" ] ~doc:"Number of players.") in
   let protocol =
-    Arg.(value & opt string "batched"
-         & info [ "p"; "protocol" ] ~doc:"batched | naive | trivial.")
-  in
-  let instance =
-    Arg.(value & opt string "disjoint"
-         & info [ "i"; "instance" ]
-             ~doc:"disjoint | intersecting | dense | full | empty.")
+    Arg.(value & opt (enum disj_protocols) Batched
+         & info [ "p"; "protocol" ]
+             ~doc:(Printf.sprintf "Protocol, one of %s."
+                     (Arg.doc_alts_enum disj_protocols)))
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
   let threshold =
@@ -93,23 +154,30 @@ let disj_cmd =
   Cmd.v
     (Cmd.info "disj" ~doc:"Run a multi-party set-disjointness protocol.")
     Term.(
-      const run $ n $ k $ protocol $ instance $ seed $ threshold
-      $ naive_encoding $ verbose)
+      const run $ n $ k $ protocol $ instance_arg $ seed $ threshold
+      $ naive_encoding $ verbose $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
 
+type and_protocol = Sequential | Broadcast | Noisy
+
 let info_cmd =
+  let protocols =
+    [ ("sequential", Sequential); ("broadcast", Broadcast); ("noisy", Noisy) ]
+  in
   let run k protocol noise =
+    let protocol_name =
+      List.find (fun (_, p) -> p = protocol) protocols |> fst
+    in
     let tree =
       match protocol with
-      | "sequential" -> Protocols.And_protocols.sequential k
-      | "broadcast" -> Protocols.And_protocols.broadcast_all k
-      | "noisy" ->
+      | Sequential -> Protocols.And_protocols.sequential k
+      | Broadcast -> Protocols.And_protocols.broadcast_all k
+      | Noisy ->
           Protocols.And_protocols.noisy_sequential ~k
             ~noise:(Exact.Rational.of_float_dyadic noise)
-      | other -> failwith ("unknown protocol: " ^ other)
     in
     let mu = Protocols.Hard_dist.mu_and ~k in
     let mu_aux = Protocols.Hard_dist.mu_and_with_aux ~k in
@@ -118,7 +186,7 @@ let info_cmd =
         (Proto.Semantics.all_bit_inputs k)
     in
     Printf.printf "protocol %s, k = %d (hard distribution of Section 4.1)\n"
-      protocol k;
+      protocol_name k;
     Printf.printf "  CC (worst case)        = %d bits\n"
       (Proto.Tree.communication_cost tree);
     Printf.printf "  worst-case error       = %s\n" (Exact.Rational.to_string err);
@@ -137,8 +205,10 @@ let info_cmd =
   in
   let k = Arg.(value & opt int 6 & info [ "k" ] ~doc:"Number of players (<= ~12).") in
   let protocol =
-    Arg.(value & opt string "sequential"
-         & info [ "p"; "protocol" ] ~doc:"sequential | broadcast | noisy.")
+    Arg.(value & opt (enum protocols) Sequential
+         & info [ "p"; "protocol" ]
+             ~doc:(Printf.sprintf "Protocol, one of %s."
+                     (Arg.doc_alts_enum protocols)))
   in
   let noise =
     Arg.(value & opt float 0.05
@@ -154,22 +224,24 @@ let info_cmd =
 (* ------------------------------------------------------------------ *)
 
 let compress_cmd =
-  let run k copies seed eps =
-    let tree = Protocols.And_protocols.sequential k in
-    let mu = Protocols.Hard_dist.mu_and ~k in
-    let ic = Proto.Information.external_ic tree mu in
-    let result, _ =
-      Compress.Amortized.compress_random ~eps ~seed ~tree ~mu ~copies ()
-    in
-    Printf.printf
-      "compressed %d copies of sequential AND_%d: %d bits total, %.3f/copy\n"
-      copies k result.Compress.Amortized.total_bits
-      result.Compress.Amortized.per_copy_bits;
-    Printf.printf "exact IC = %.3f bits; overhead = %.3f bits/copy\n" ic
-      (result.Compress.Amortized.per_copy_bits -. ic);
-    Printf.printf "rounds=%d transmissions=%d aborts=%d decoders agreed=%b\n"
-      result.Compress.Amortized.rounds result.Compress.Amortized.transmissions
-      result.Compress.Amortized.aborted result.Compress.Amortized.agreed
+  let run k copies seed eps metrics =
+    with_metrics metrics (fun () ->
+        let tree = Protocols.And_protocols.sequential k in
+        let mu = Protocols.Hard_dist.mu_and ~k in
+        let ic = Proto.Information.external_ic tree mu in
+        let result, _ =
+          Compress.Amortized.compress_random ~eps ~seed ~tree ~mu ~copies ()
+        in
+        Printf.printf
+          "compressed %d copies of sequential AND_%d: %d bits total, %.3f/copy\n"
+          copies k result.Compress.Amortized.total_bits
+          result.Compress.Amortized.per_copy_bits;
+        Printf.printf "exact IC = %.3f bits; overhead = %.3f bits/copy\n" ic
+          (result.Compress.Amortized.per_copy_bits -. ic);
+        Printf.printf "rounds=%d transmissions=%d aborts=%d decoders agreed=%b\n"
+          result.Compress.Amortized.rounds
+          result.Compress.Amortized.transmissions
+          result.Compress.Amortized.aborted result.Compress.Amortized.agreed)
   in
   let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Players.") in
   let copies =
@@ -180,39 +252,40 @@ let compress_cmd =
   let eps = Arg.(value & opt float 0.01 & info [ "eps" ] ~doc:"Sampler failure budget.") in
   Cmd.v
     (Cmd.info "compress" ~doc:"Theorem-3 amortized compression demo.")
-    Term.(const run $ k $ copies $ seed $ eps)
+    Term.(const run $ k $ copies $ seed $ eps $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* sample                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let sample_cmd =
-  let run u p0 eps trials =
-    let rest = (1. -. p0) /. float_of_int (u - 1) in
-    let eta = Array.init u (fun i -> if i = 0 then p0 else rest) in
-    let nu = Array.make u (1. /. float_of_int u) in
-    let d =
-      Array.to_list eta
-      |> List.mapi (fun i p ->
-             if p > 0. then p *. Float.log2 (p /. nu.(i)) else 0.)
-      |> List.fold_left ( +. ) 0.
-    in
-    let bits = ref 0 and aborts = ref 0 in
-    for seed = 0 to trials - 1 do
-      let rng = Prob.Rng.of_int_seed seed in
-      let round = Prob.Rng.split rng in
-      let w = Coding.Bitbuf.Writer.create () in
-      let res = Compress.Point_sampler.transmit ~rng:round ~eta ~nu ~eps w in
-      bits := !bits + res.Compress.Point_sampler.bits;
-      if res.Compress.Point_sampler.aborted then incr aborts
-    done;
-    Printf.printf
-      "u=%d D(eta||nu)=%.3f: mean cost %.3f bits over %d trials (aborts %d)\n"
-      u d
-      (float_of_int !bits /. float_of_int trials)
-      trials !aborts;
-    Printf.printf "model: D + O(log D + log 1/eps) = %.3f\n"
-      (Compress.Point_sampler.cost_model ~divergence:d ~eps)
+  let run u p0 eps trials metrics =
+    with_metrics metrics (fun () ->
+        let rest = (1. -. p0) /. float_of_int (u - 1) in
+        let eta = Array.init u (fun i -> if i = 0 then p0 else rest) in
+        let nu = Array.make u (1. /. float_of_int u) in
+        let d =
+          Array.to_list eta
+          |> List.mapi (fun i p ->
+                 if p > 0. then p *. Float.log2 (p /. nu.(i)) else 0.)
+          |> List.fold_left ( +. ) 0.
+        in
+        let bits = ref 0 and aborts = ref 0 in
+        for seed = 0 to trials - 1 do
+          let rng = Prob.Rng.of_int_seed seed in
+          let round = Prob.Rng.split rng in
+          let w = Coding.Bitbuf.Writer.create () in
+          let res = Compress.Point_sampler.transmit ~rng:round ~eta ~nu ~eps w in
+          bits := !bits + res.Compress.Point_sampler.bits;
+          if res.Compress.Point_sampler.aborted then incr aborts
+        done;
+        Printf.printf
+          "u=%d D(eta||nu)=%.3f: mean cost %.3f bits over %d trials (aborts %d)\n"
+          u d
+          (float_of_int !bits /. float_of_int trials)
+          trials !aborts;
+        Printf.printf "model: D + O(log D + log 1/eps) = %.3f\n"
+          (Compress.Point_sampler.cost_model ~divergence:d ~eps))
   in
   let u = Arg.(value & opt int 256 & info [ "u" ] ~doc:"Universe size.") in
   let p0 =
@@ -223,7 +296,135 @@ let sample_cmd =
   let trials = Arg.(value & opt int 500 & info [ "trials" ] ~doc:"Trials.") in
   Cmd.v
     (Cmd.info "sample" ~doc:"Lemma-7 point-sampling cost measurement.")
-    Term.(const run $ u $ p0 $ eps $ trials)
+    Term.(const run $ u $ p0 $ eps $ trials $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run name n k instance seed out print_metrics =
+    let target =
+      match name with
+      | "disj" | "batched" -> `Solver Batched
+      | "naive" -> `Solver Naive
+      | "trivial" -> `Solver Trivial
+      | other -> (
+          match Protocols.Registry.find other with
+          | Some e -> `Registry e
+          | None ->
+              Printf.eprintf
+                "trace: unknown protocol %S\n\
+                 operational: disj (= batched), naive, trivial\n\
+                 registry: %s\n"
+                other
+                (String.concat ", " (Protocols.Registry.names ()));
+              exit 2)
+    in
+    let oc, close_oc =
+      match out with "-" -> (stdout, false) | path -> (open_out path, true)
+    in
+    let metrics = Obs.Metrics.create () in
+    Obs.Metrics.install metrics;
+    Obs.Trace.reset ();
+    (* Tee the event stream: count events and sum the Broadcast bits on
+       the way to the line-JSON sink, so the summary can cross-check the
+       trace against the board's own accounting. *)
+    let events = ref 0 and event_bits = ref 0 in
+    let jsonl = Obs.Sink.jsonl oc in
+    let tee =
+      Obs.Sink.custom (fun ev ->
+          incr events;
+          event_bits := !event_bits + Obs.Event.board_bits ev.Obs.Event.payload;
+          Obs.Sink.send jsonl ev)
+    in
+    let label, stats =
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Metrics.uninstall ();
+          Obs.Sink.flush jsonl;
+          if close_oc then close_out oc)
+        (fun () ->
+          Obs.Trace.with_sink tee (fun () ->
+              match target with
+              | `Solver p ->
+                  let rng = Prob.Rng.of_int_seed seed in
+                  let inst = make_instance instance rng ~n ~k in
+                  let r =
+                    match p with
+                    | Batched ->
+                        (Protocols.Disj_batched.solve inst)
+                          .Protocols.Disj_batched.result
+                    | Naive -> Protocols.Disj_naive.solve inst
+                    | Trivial -> Protocols.Disj_trivial.solve inst
+                  in
+                  let stats =
+                    {
+                      Blackboard.Runtime.bits = r.Protocols.Disj_common.bits;
+                      messages = r.Protocols.Disj_common.messages;
+                      rounds = r.Protocols.Disj_common.cycles;
+                    }
+                  in
+                  Blackboard.Runtime.record_stats stats;
+                  let label =
+                    List.find (fun (_, q) -> q = p) disj_protocols |> fst
+                  in
+                  (Printf.sprintf "%s n=%d k=%d" label n k, stats)
+              | `Registry e ->
+                  let r = Protocols.Registry.run_on_board e ~seed in
+                  let stats =
+                    Blackboard.Runtime.stats_of_board
+                      ~rounds:r.Protocols.Registry.msg_rounds
+                      r.Protocols.Registry.board
+                  in
+                  Blackboard.Runtime.record_stats stats;
+                  ( Printf.sprintf "%s (registry, output=%d)"
+                      (Protocols.Registry.name e)
+                      r.Protocols.Registry.output,
+                    stats )))
+    in
+    let snap = Obs.Metrics.snapshot metrics in
+    let counted_bits = Obs.Metrics.counter_value snap "board.bits" in
+    let counted_msgs = Obs.Metrics.counter_value snap "board.messages" in
+    let consistent =
+      counted_bits = stats.Blackboard.Runtime.bits
+      && !event_bits = stats.Blackboard.Runtime.bits
+      && counted_msgs = stats.Blackboard.Runtime.messages
+    in
+    Printf.printf
+      "traced %s: %d events -> %s\n\
+       bits: board=%d metrics=%d trace-events=%d messages=%d rounds=%d\n\
+       consistent=%b\n"
+      label !events
+      (if close_oc then out else "<stdout>")
+      stats.Blackboard.Runtime.bits counted_bits !event_bits
+      stats.Blackboard.Runtime.messages stats.Blackboard.Runtime.rounds
+      consistent;
+    if print_metrics then
+      print_endline
+        (Obs.Jsonw.to_string ~pretty:true (Obs.Metrics.to_json snap));
+    if not consistent then exit 3
+  in
+  let proto_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROTOCOL"
+             ~doc:"Protocol to trace: disj (= batched), naive, trivial, or \
+                   any registry name (see $(b,broadcast_cli lint)).")
+  in
+  let n = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Universe size (operational protocols).") in
+  let k = Arg.(value & opt int 8 & info [ "k" ] ~doc:"Players (operational protocols).") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let out =
+    Arg.(value & opt string "trace.jsonl"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Line-JSON output path ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a protocol with a line-JSON trace sink and write the \
+             event stream.")
+    Term.(
+      const run $ proto_arg $ n $ k $ instance_arg $ seed $ out $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* or                                                                  *)
@@ -321,7 +522,52 @@ let lint_cmd =
     in
     (Proto.Tree.communication_cost tree, report)
   in
-  let run strict budget only =
+  let status_of report =
+    if Rep.count_severity Rep.Error report > 0 then "FAIL"
+    else if Rep.count_severity Rep.Warning report > 0 then "warn"
+    else "ok"
+  in
+  let json_of_results ~strict results =
+    let open Obs.Jsonw in
+    obj
+      [
+        ("schema", String "broadcast-ic/lint/v1");
+        ("version", String Core.version);
+        ("strict", Bool strict);
+        ( "protocols",
+          list
+            (List.map
+               (fun (e, (cc, report)) ->
+                 obj
+                   [
+                     ("name", String (Reg.name e));
+                     ("players", Int (Reg.players e));
+                     ("cc", Int cc);
+                     ("errors", Int (Rep.count_severity Rep.Error report));
+                     ("warnings", Int (Rep.count_severity Rep.Warning report));
+                     ("status", String (status_of report));
+                     ( "diagnostics",
+                       list
+                         (List.map
+                            (fun d ->
+                              obj
+                                [
+                                  ( "severity",
+                                    String
+                                      (Rep.severity_to_string d.Rep.severity)
+                                  );
+                                  ("rule", String d.Rep.rule);
+                                  ( "path",
+                                    String (Analysis.Path.to_string d.Rep.path)
+                                  );
+                                  ("message", String d.Rep.message);
+                                ])
+                            (Rep.sorted report)) );
+                   ])
+               results) );
+      ]
+  in
+  let run strict budget json only =
     let entries = Reg.all () in
     let entries =
       match only with
@@ -340,30 +586,31 @@ let lint_cmd =
     let results =
       List.map (fun e -> (e, lint_entry ~budget e)) entries
     in
-    Printf.printf "%-28s %7s %4s %6s %5s  %s\n" "protocol" "players" "CC"
-      "errors" "warns" "status";
-    List.iter
-      (fun (e, (cc, report)) ->
-        let errs = Rep.count_severity Rep.Error report in
-        let warns = Rep.count_severity Rep.Warning report in
-        let status =
-          if errs > 0 then "FAIL"
-          else if warns > 0 then "warn"
-          else "ok"
-        in
-        Printf.printf "%-28s %7d %4d %6d %5d  %s\n" (Reg.name e)
-          (Reg.players e) cc errs warns status)
-      results;
-    let dirty =
-      List.filter (fun (_, (_, r)) -> not (Rep.is_clean r)) results
-    in
-    List.iter
-      (fun (e, (_, report)) ->
-        Printf.printf "\n%s:\n" (Reg.name e);
-        List.iter
-          (fun d -> Format.printf "  %a@." Rep.pp_diagnostic d)
-          (Rep.sorted report))
-      dirty;
+    if json then
+      print_endline
+        (Obs.Jsonw.to_string ~pretty:true (json_of_results ~strict results))
+    else begin
+      Printf.printf "%-28s %7s %4s %6s %5s  %s\n" "protocol" "players" "CC"
+        "errors" "warns" "status";
+      List.iter
+        (fun (e, (cc, report)) ->
+          Printf.printf "%-28s %7d %4d %6d %5d  %s\n" (Reg.name e)
+            (Reg.players e) cc
+            (Rep.count_severity Rep.Error report)
+            (Rep.count_severity Rep.Warning report)
+            (status_of report))
+        results;
+      let dirty =
+        List.filter (fun (_, (_, r)) -> not (Rep.is_clean r)) results
+      in
+      List.iter
+        (fun (e, (_, report)) ->
+          Printf.printf "\n%s:\n" (Reg.name e);
+          List.iter
+            (fun d -> Format.printf "  %a@." Rep.pp_diagnostic d)
+            (Rep.sorted report))
+        dirty
+    end;
     let code =
       List.fold_left
         (fun acc (_, (_, r)) -> max acc (Rep.exit_code ~strict r))
@@ -380,6 +627,11 @@ let lint_cmd =
          & info [ "budget" ]
              ~doc:"State-space node budget for the exact-semantics estimate.")
   in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the report as structured JSON instead of a table.")
+  in
   let only =
     Arg.(value & pos_all string []
          & info [] ~docv:"PROTOCOL" ~doc:"Lint only the named protocols.")
@@ -387,7 +639,7 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze every registered protocol tree.")
-    Term.(const run $ strict $ budget $ only)
+    Term.(const run $ strict $ budget $ json $ only)
 
 let () =
   let doc = "Braverman-Oshman broadcast-model information complexity toolkit" in
@@ -395,5 +647,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ disj_cmd; info_cmd; compress_cmd; sample_cmd; or_cmd; oneshot_cmd;
-            lint_cmd ]))
+          [ disj_cmd; info_cmd; compress_cmd; sample_cmd; trace_cmd; or_cmd;
+            oneshot_cmd; lint_cmd ]))

@@ -18,7 +18,17 @@ let post_bits t ~player ?(label = "") bits =
   let n = List.length bits in
   t.rev_writes <- { player; bits; label } :: t.rev_writes;
   t.total <- t.total + n;
-  t.by_player.(player) <- t.by_player.(player) + n
+  t.by_player.(player) <- t.by_player.(player) + n;
+  (* Observability: every charged write in the repo funnels through
+     here, so the trace's Broadcast events and the "board.*" counters
+     are complete by construction. Guards first — with the null sink
+     and no registry installed this is two predictable branches. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit (Obs.Event.Broadcast { player; bits = n; label });
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "board.bits" n;
+    Obs.Metrics.bump "board.messages" 1
+  end
 
 let post t ~player ?label w =
   post_bits t ~player ?label (Coding.Bitbuf.Writer.to_bool_list w)

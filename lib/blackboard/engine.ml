@@ -17,13 +17,21 @@ let run ~k ~schedule ~players ?(max_writes = 1_000_000) () =
         if i < 0 || i >= k then invalid_arg "Engine.run: bad speaker index";
         if !writes >= max_writes then
           invalid_arg "Engine.run: max_writes exceeded";
+        let traced = Obs.Trace.enabled () in
+        if traced then Obs.Trace.emit (Obs.Event.Round_start { round = !writes });
+        let bits_before = Board.total_bits board in
         let message = players.(i).speak board in
         Board.post board ~player:i message;
+        if traced then
+          Obs.Trace.emit
+            (Obs.Event.Round_end
+               { round = !writes; bits = Board.total_bits board - bits_before });
         incr writes;
+        if Obs.Metrics.enabled () then Obs.Metrics.bump "engine.writes" 1;
         Array.iter (fun p -> p.observe board) players;
         loop ()
   in
-  loop ();
+  Obs.Trace.with_span "engine.run" loop;
   { board; writes = !writes }
 
 let round_robin_n_writes ~k ~total board =

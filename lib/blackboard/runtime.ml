@@ -16,6 +16,17 @@ type stats = {
 let stats_of_board ?(rounds = 0) board =
   { bits = Board.total_bits board; messages = Board.write_count board; rounds }
 
+(** Publish a run's stats as gauges on the installed metrics registry
+    ([<prefix>.bits], [<prefix>.messages], [<prefix>.rounds]); no-op
+    when none is installed. Gauges merge by [max], so the registry
+    retains the largest run recorded under one prefix. *)
+let record_stats ?(prefix = "run") stats =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.gauge (prefix ^ ".bits") stats.bits;
+    Obs.Metrics.gauge (prefix ^ ".messages") stats.messages;
+    Obs.Metrics.gauge (prefix ^ ".rounds") stats.rounds
+  end
+
 (** Private randomness for [k] players, split deterministically from a
     public seed so runs are reproducible and players' streams are
     independent. *)

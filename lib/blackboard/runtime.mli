@@ -6,6 +6,11 @@ type stats = { bits : int; messages : int; rounds : int }
 
 val stats_of_board : ?rounds:int -> Board.t -> stats
 
+val record_stats : ?prefix:string -> stats -> unit
+(** Publish stats as [<prefix>.bits] / [.messages] / [.rounds] gauges
+    on the installed {!Obs.Metrics} registry (default prefix ["run"]);
+    no-op when none is installed. *)
+
 val private_rngs : seed:int -> k:int -> Prob.Rng.t array
 (** Independent per-player streams split deterministically from a
     public seed. *)

@@ -1,7 +1,24 @@
 module Writer = struct
   type t = { mutable data : Bytes.t; mutable len : int (* in bits *) }
 
-  let create () = { data = Bytes.make 16 '\000'; len = 0 }
+  (* Process-wide emit counts, read by the observability layer (an
+     [incr] on a module-level ref is cheap enough to leave unguarded;
+     everything else in obs is branch-gated). *)
+  let stat_writers = ref 0
+  let stat_bits = ref 0
+
+  type stats = { writers : int; bits : int }
+
+  let stats () = { writers = !stat_writers; bits = !stat_bits }
+
+  let reset_stats () =
+    stat_writers := 0;
+    stat_bits := 0
+
+  let create () =
+    incr stat_writers;
+    { data = Bytes.make 16 '\000'; len = 0 }
+
   let length t = t.len
 
   let ensure t bits =
@@ -23,7 +40,8 @@ module Writer = struct
       Bytes.set t.data byte
         (Char.chr (Char.code (Bytes.get t.data byte) lor (1 lsl bit)))
     end;
-    t.len <- t.len + 1
+    t.len <- t.len + 1;
+    incr stat_bits
 
   let add_bits t v n =
     if n < 0 || n > 62 then invalid_arg "Bitbuf.add_bits: width";

@@ -11,6 +11,16 @@ module Writer : sig
   val length : t -> int
   (** Number of bits written so far. *)
 
+  type stats = { writers : int; bits : int }
+
+  val stats : unit -> stats
+  (** Process-wide emit counts since start (or the last
+      {!reset_stats}): writers created and bits appended across all
+      writers. Surfaced as gauges by the benchmark/CLI observability
+      exports. *)
+
+  val reset_stats : unit -> unit
+
   val add_bit : t -> bool -> unit
   val add_bits : t -> int -> int -> unit
   (** [add_bits w v n] appends the [n] low bits of [v], most significant

@@ -4,18 +4,30 @@ let fixed_width n =
     let rec go w v = if v >= n then w else go (w + 1) (v * 2) in
     go 0 1
 
+(* One Codec_emit trace event per top-level code written. Codes built
+   from other codes (gamma = unary + fixed tail, delta = gamma + tail)
+   go through raw helpers below so a single write emits a single
+   event. *)
+let emit_codec code bits =
+  if Obs.Trace.enabled () then Obs.Trace.emit (Obs.Event.Codec_emit { code; bits })
+
 let write_fixed w ~bound v =
   if v < 0 || v >= bound then invalid_arg "Intcode.write_fixed: out of range";
-  Bitbuf.Writer.add_bits w v (fixed_width bound)
+  Bitbuf.Writer.add_bits w v (fixed_width bound);
+  emit_codec "fixed" (fixed_width bound)
 
 let read_fixed r ~bound = Bitbuf.Reader.read_bits r (fixed_width bound)
 
-let write_unary w n =
-  if n < 0 then invalid_arg "Intcode.write_unary";
+let unary_raw w n =
   for _ = 1 to n do
     Bitbuf.Writer.add_bit w true
   done;
   Bitbuf.Writer.add_bit w false
+
+let write_unary w n =
+  if n < 0 then invalid_arg "Intcode.write_unary";
+  unary_raw w n;
+  emit_codec "unary" (n + 1)
 
 let read_unary r =
   let rec go acc = if Bitbuf.Reader.read_bit r then go (acc + 1) else acc in
@@ -25,12 +37,16 @@ let bit_length n =
   let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
   go 0 n
 
-let write_gamma w n =
-  if n < 1 then invalid_arg "Intcode.write_gamma: requires n >= 1";
+let gamma_raw w n =
   let len = bit_length n in
-  write_unary w (len - 1);
+  unary_raw w (len - 1);
   (* Low len-1 bits; the leading 1 is implied by the unary prefix. *)
   Bitbuf.Writer.add_bits w (n - (1 lsl (len - 1))) (len - 1)
+
+let write_gamma w n =
+  if n < 1 then invalid_arg "Intcode.write_gamma: requires n >= 1";
+  gamma_raw w n;
+  emit_codec "gamma" ((2 * bit_length n) - 1)
 
 let read_gamma r =
   let len1 = read_unary r in
@@ -42,8 +58,9 @@ let read_gamma0 r = read_gamma r - 1
 let write_delta w n =
   if n < 1 then invalid_arg "Intcode.write_delta: requires n >= 1";
   let len = bit_length n in
-  write_gamma w len;
-  Bitbuf.Writer.add_bits w (n - (1 lsl (len - 1))) (len - 1)
+  gamma_raw w len;
+  Bitbuf.Writer.add_bits w (n - (1 lsl (len - 1))) (len - 1);
+  emit_codec "delta" ((2 * bit_length len) - 1 + len - 1)
 
 let read_delta r =
   let len = read_gamma r in
@@ -56,8 +73,9 @@ let read_signed_gamma r = unzigzag (read_gamma0 r)
 
 let write_rice w ~k n =
   if n < 0 || k < 0 then invalid_arg "Intcode.write_rice";
-  write_unary w (n lsr k);
-  Bitbuf.Writer.add_bits w (n land ((1 lsl k) - 1)) k
+  unary_raw w (n lsr k);
+  Bitbuf.Writer.add_bits w (n land ((1 lsl k) - 1)) k;
+  emit_codec "rice" ((n lsr k) + 1 + k)
 
 let read_rice r ~k =
   let q = read_unary r in

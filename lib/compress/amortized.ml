@@ -30,6 +30,16 @@ type run = {
 
 let max_log_u = 20
 
+(* D(eta || nu) in bits — only evaluated when a trace sink is
+   installed, to label each transmission with the divergence budget it
+   is entitled to spend (Lemma 7). *)
+let divergence_bits eta nu =
+  let d = ref 0. in
+  Array.iteri
+    (fun i p -> if p > 0. then d := !d +. (p *. Float.log2 (p /. nu.(i))))
+    eta;
+  !d
+
 let mixed_radix_encode arities values =
   let code = ref 0 in
   Array.iteri (fun i v -> code := (!code * arities.(i)) + v) values;
@@ -91,6 +101,9 @@ let compress_parallel ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
   in
   while any_active () do
     incr rounds;
+    let traced = Obs.Trace.enabled () in
+    if traced then Obs.Trace.emit (Obs.Event.Round_start { round = !rounds });
+    let round_mark = Coding.Bitbuf.Writer.length writer in
     settle_chance ();
     (* Group active copies by speaker. *)
     let groups = Hashtbl.create 4 in
@@ -146,6 +159,10 @@ let compress_parallel ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
           eta.(code) <- !pe;
           nu.(code) <- !pn
         done;
+        if traced then
+          Obs.Trace.emit
+            (Obs.Event.Sampler_budget
+               { divergence = divergence_bits eta nu; eps });
         (* Fresh shared round stream; the decoder gets an equal copy. *)
         let round_rng = Prob.Rng.split public in
         let decoder_rng = Prob.Rng.copy round_rng in
@@ -173,9 +190,22 @@ let compress_parallel ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
             observers.(c) <- Observer.advance_msg observers.(c) values.(gi))
           group)
       speakers;
-    settle_chance ()
+    settle_chance ();
+    if traced then
+      Obs.Trace.emit
+        (Obs.Event.Round_end
+           {
+             round = !rounds;
+             bits = Coding.Bitbuf.Writer.length writer - round_mark;
+           })
   done;
   let total_bits = Coding.Bitbuf.Writer.length writer in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "amortized.rounds" !rounds;
+    Obs.Metrics.bump "amortized.transmissions" !transmissions;
+    Obs.Metrics.bump "amortized.aborts" !aborted;
+    Obs.Metrics.bump "amortized.bits" total_bits
+  end;
   {
     copies;
     total_bits;
@@ -232,6 +262,9 @@ let compress_parallel_factored ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
   in
   while any_active () do
     incr rounds;
+    let traced = Obs.Trace.enabled () in
+    if traced then Obs.Trace.emit (Obs.Event.Round_start { round = !rounds });
+    let round_mark = Coding.Bitbuf.Writer.length writer in
     settle_chance ();
     let groups = Hashtbl.create 4 in
     Array.iteri
@@ -263,6 +296,15 @@ let compress_parallel_factored ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
               | None -> assert false)
             group
         in
+        if traced then begin
+          (* Product-law divergence adds across the group's factors. *)
+          let d = ref 0. in
+          Array.iteri
+            (fun gi eta -> d := !d +. divergence_bits eta nus.(gi))
+            etas;
+          Obs.Trace.emit
+            (Obs.Event.Sampler_budget { divergence = !d; eps })
+        end;
         let round_rng = Prob.Rng.split public in
         let res =
           Factored_sampler.transmit ~rng:round_rng ~etas ~nus ~eps writer
@@ -275,9 +317,22 @@ let compress_parallel_factored ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
               Observer.advance_msg observers.(c) res.Factored_sampler.sent.(gi))
           group)
       speakers;
-    settle_chance ()
+    settle_chance ();
+    if traced then
+      Obs.Trace.emit
+        (Obs.Event.Round_end
+           {
+             round = !rounds;
+             bits = Coding.Bitbuf.Writer.length writer - round_mark;
+           })
   done;
   let total_bits = Coding.Bitbuf.Writer.length writer in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "amortized.rounds" !rounds;
+    Obs.Metrics.bump "amortized.transmissions" !transmissions;
+    Obs.Metrics.bump "amortized.aborts" !aborted;
+    Obs.Metrics.bump "amortized.bits" total_bits
+  end;
   {
     copies;
     total_bits;

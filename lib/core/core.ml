@@ -33,6 +33,11 @@
       protocol trees (distribution validity, schedule consistency, bit
       accounting, state-space budgets) with structured diagnostics;
       runs over the {!Protocols.Registry} in CI.
+    - {!Obs}: observability — typed trace events with pluggable sinks
+      (null / ring buffer / line-JSON), exact-int metrics with
+      snapshot-and-merge, and the hand-rolled JSON writer behind
+      [BENCH.json] and [broadcast_cli trace]. Dependency-free and
+      zero-cost when disabled.
 
     {2 Quickstart}
 
@@ -54,5 +59,6 @@ module Protocols = Protocols
 module Compress = Compress
 module Lowerbound = Lowerbound
 module Analysis = Analysis
+module Obs = Obs
 
 let version = "1.0.0"

@@ -1,0 +1,61 @@
+type payload =
+  | Round_start of { round : int }
+  | Round_end of { round : int; bits : int }
+  | Broadcast of { player : int; bits : int; label : string }
+  | Sampler_accept of { block : int; log_ratio : int; bits : int }
+  | Sampler_reject of { block : int }
+  | Sampler_abort of { bits : int }
+  | Sampler_budget of { divergence : float; eps : float }
+  | Codec_emit of { code : string; bits : int }
+  | Span_start of { name : string }
+  | Span_end of { name : string; seconds : float }
+  | Mark of { name : string }
+
+type t = { seq : int; payload : payload }
+
+let kind = function
+  | Round_start _ -> "round-start"
+  | Round_end _ -> "round-end"
+  | Broadcast _ -> "broadcast"
+  | Sampler_accept _ -> "sampler-accept"
+  | Sampler_reject _ -> "sampler-reject"
+  | Sampler_abort _ -> "sampler-abort"
+  | Sampler_budget _ -> "sampler-budget"
+  | Codec_emit _ -> "codec-emit"
+  | Span_start _ -> "span-start"
+  | Span_end _ -> "span-end"
+  | Mark _ -> "mark"
+
+let board_bits = function
+  | Broadcast { bits; _ } -> bits
+  | _ -> 0
+
+let fields = function
+  | Round_start { round } -> [ ("round", Jsonw.Int round) ]
+  | Round_end { round; bits } ->
+      [ ("round", Jsonw.Int round); ("bits", Jsonw.Int bits) ]
+  | Broadcast { player; bits; label } ->
+      ("player", Jsonw.Int player) :: ("bits", Jsonw.Int bits)
+      :: (if label = "" then [] else [ ("label", Jsonw.String label) ])
+  | Sampler_accept { block; log_ratio; bits } ->
+      [
+        ("block", Jsonw.Int block);
+        ("log_ratio", Jsonw.Int log_ratio);
+        ("bits", Jsonw.Int bits);
+      ]
+  | Sampler_reject { block } -> [ ("block", Jsonw.Int block) ]
+  | Sampler_abort { bits } -> [ ("bits", Jsonw.Int bits) ]
+  | Sampler_budget { divergence; eps } ->
+      [ ("divergence", Jsonw.Float divergence); ("eps", Jsonw.Float eps) ]
+  | Codec_emit { code; bits } ->
+      [ ("code", Jsonw.String code); ("bits", Jsonw.Int bits) ]
+  | Span_start { name } -> [ ("name", Jsonw.String name) ]
+  | Span_end { name; seconds } ->
+      [ ("name", Jsonw.String name); ("seconds", Jsonw.Float seconds) ]
+  | Mark { name } -> [ ("name", Jsonw.String name) ]
+
+let to_json { seq; payload } =
+  Jsonw.Obj
+    (("seq", Jsonw.Int seq)
+    :: ("ev", Jsonw.String (kind payload))
+    :: fields payload)

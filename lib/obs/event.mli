@@ -1,0 +1,42 @@
+(** Typed trace events.
+
+    One constructor per thing the instrumented layers can report:
+    per-cycle boundaries ([Round_start]/[Round_end]), charged board
+    writes ([Broadcast] — the only payload carrying {e charged} bits,
+    see {!board_bits}), the Lemma-7 sampler's accept/reject/abort and
+    divergence-budget telemetry, self-delimiting-code emissions, and
+    generic spans/marks. Events carry a monotonic sequence number
+    assigned by {!Trace.emit}; ordering within a trace is by [seq], not
+    by wall clock (the subsystem is clock-free by design — see
+    DESIGN.md section 8). *)
+
+type payload =
+  | Round_start of { round : int }
+  | Round_end of { round : int; bits : int }
+      (** [bits]: board bits charged during the round *)
+  | Broadcast of { player : int; bits : int; label : string }
+      (** a charged write on the blackboard *)
+  | Sampler_accept of { block : int; log_ratio : int; bits : int }
+  | Sampler_reject of { block : int }  (** a whole block without acceptance *)
+  | Sampler_abort of { bits : int }  (** fallback path taken *)
+  | Sampler_budget of { divergence : float; eps : float }
+      (** the [D(eta||nu)] a transmission is entitled to spend *)
+  | Codec_emit of { code : string; bits : int }
+      (** one self-delimiting integer code written ("gamma", "fixed", ...) *)
+  | Span_start of { name : string }
+  | Span_end of { name : string; seconds : float }
+      (** [seconds]: CPU seconds elapsed since the matching start *)
+  | Mark of { name : string }
+
+type t = { seq : int; payload : payload }
+
+val kind : payload -> string
+(** Stable kebab-case tag, the ["ev"] field of the JSON encoding. *)
+
+val board_bits : payload -> int
+(** Charged blackboard bits this event accounts for: [bits] of a
+    [Broadcast], 0 for everything else. Summing [board_bits] over a
+    trace reproduces [Board.total_bits] of the traced run. *)
+
+val to_json : t -> Jsonw.t
+(** One flat object: [{"seq":..,"ev":..,<payload fields>}]. *)

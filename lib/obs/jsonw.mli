@@ -1,0 +1,45 @@
+(** A tiny hand-rolled JSON writer (and reader, for validation).
+
+    The observability subsystem must serialize traces and metrics
+    without adding opam dependencies, so this module implements the
+    small fragment of JSON the repo needs: a value type, a writer with
+    correct string escaping, and a recursive-descent parser used by the
+    tests (round-trips) and by tooling that wants to validate a
+    [BENCH.json] or a trace line before archiving it.
+
+    Numbers: [Int] serializes exactly; [Float] uses a shortest-ish
+    ["%.12g"] rendering, and non-finite floats (which JSON cannot
+    represent) serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val obj : (string * t) list -> t
+val list : t list -> t
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the JSON string literal (including the surrounding quotes)
+    encoding the argument: ["\""], ["\\"], control characters as
+    [\u00XX] or the short escapes; everything else passes through, so
+    UTF-8 payloads stay UTF-8. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents by two spaces. *)
+
+val to_channel : out_channel -> t -> unit
+(** Compact rendering, no trailing newline. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] ([None] on anything else). *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document (surrounding whitespace allowed).
+    Numbers without [./e/E] that fit in an OCaml [int] parse as [Int],
+    everything else as [Float]. Errors carry a byte offset. *)

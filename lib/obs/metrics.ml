@@ -1,0 +1,202 @@
+(* Histograms bucket by bit length: bucket [i] counts observations [v]
+   with [bit_length v = i] (bucket 0 is exactly v = 0), i.e. power-of-two
+   buckets [2^(i-1) .. 2^i - 1]. 63 buckets cover every non-negative
+   OCaml int. *)
+let hist_buckets = 63
+
+let bucket_of v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;  (** [max_int] while empty *)
+  mutable h_max : int;  (** [min_int] while empty *)
+  h_bucket : int array;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.hists
+
+let add t name delta =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + delta
+  | None -> Hashtbl.add t.counters name (ref delta)
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
+let observe t name v =
+  if v < 0 then invalid_arg "Metrics.observe: negative observation";
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_count = 0;
+            h_sum = 0;
+            h_min = max_int;
+            h_max = min_int;
+            h_bucket = Array.make hist_buckets 0;
+          }
+        in
+        Hashtbl.add t.hists name h;
+        h
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_bucket.(b) <- h.h_bucket.(b) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;
+  max : int;
+  buckets : int array;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot (t : t) =
+  {
+    counters =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+      |> List.sort by_name;
+    gauges =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []
+      |> List.sort by_name;
+    hists =
+      Hashtbl.fold
+        (fun k h acc ->
+          ( k,
+            {
+              count = h.h_count;
+              sum = h.h_sum;
+              min = h.h_min;
+              max = h.h_max;
+              buckets = Array.copy h.h_bucket;
+            } )
+          :: acc)
+        t.hists []
+      |> List.sort by_name;
+  }
+
+let empty_snapshot = { counters = []; gauges = []; hists = [] }
+
+let counter_value snap name =
+  match List.assoc_opt name snap.counters with Some v -> v | None -> 0
+
+let gauge_value snap name = List.assoc_opt name snap.gauges
+let hist_value snap name = List.assoc_opt name snap.hists
+
+(* Merge of two sorted-by-name assoc lists with a per-value combiner;
+   keeps the result sorted so merge is closed over snapshots. *)
+let merge_alist combine xs ys =
+  let rec go xs ys acc =
+    match (xs, ys) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | (kx, vx) :: xs', (ky, vy) :: ys' ->
+        let c = compare (kx : string) ky in
+        if c = 0 then go xs' ys' ((kx, combine vx vy) :: acc)
+        else if c < 0 then go xs' ys ((kx, vx) :: acc)
+        else go xs ys' ((ky, vy) :: acc)
+  in
+  go xs ys []
+
+let merge_hist a b =
+  {
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    min = Stdlib.min a.min b.min;
+    max = Stdlib.max a.max b.max;
+    buckets = Array.init hist_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
+  }
+
+(* Counters add, gauges keep the maximum, histograms merge bucketwise —
+   all three combiners are associative and commutative, so [merge] is
+   too (tested in test_obs.ml). *)
+let merge a b =
+  {
+    counters = merge_alist ( + ) a.counters b.counters;
+    gauges = merge_alist Stdlib.max a.gauges b.gauges;
+    hists = merge_alist merge_hist a.hists b.hists;
+  }
+
+let hist_to_json h =
+  (* Trailing all-zero buckets are elided: the bucket list is exactly
+     long enough to cover the largest observation. *)
+  let last = ref 0 in
+  Array.iteri (fun i c -> if c > 0 then last := i + 1) h.buckets;
+  Jsonw.Obj
+    [
+      ("count", Jsonw.Int h.count);
+      ("sum", Jsonw.Int h.sum);
+      ("min", if h.count = 0 then Jsonw.Null else Jsonw.Int h.min);
+      ("max", if h.count = 0 then Jsonw.Null else Jsonw.Int h.max);
+      ( "buckets",
+        Jsonw.List
+          (List.init !last (fun i -> Jsonw.Int h.buckets.(i))) );
+    ]
+
+let to_json snap =
+  Jsonw.Obj
+    [
+      ( "counters",
+        Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Int v)) snap.counters) );
+      ( "gauges",
+        Jsonw.Obj (List.map (fun (k, v) -> (k, Jsonw.Int v)) snap.gauges) );
+      ( "histograms",
+        Jsonw.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) snap.hists) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The installed registry — what instrumented library code reports to.  *)
+(* ------------------------------------------------------------------ *)
+
+let installed_slot : t option ref = ref None
+
+let install t = installed_slot := Some t
+let uninstall () = installed_slot := None
+let installed () = !installed_slot
+let enabled () = !installed_slot <> None
+
+let bump name delta =
+  match !installed_slot with None -> () | Some t -> add t name delta
+
+let gauge name v =
+  match !installed_slot with None -> () | Some t -> set_gauge t name v
+
+let record name v =
+  match !installed_slot with None -> () | Some t -> observe t name v

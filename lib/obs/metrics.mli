@@ -1,0 +1,76 @@
+(** Named counters, gauges, and histograms with exact-int accounting.
+
+    Everything is an OCaml [int]: bit counts are exact integers in this
+    repo (the blackboard charges whole bits), so metrics never round.
+    Histograms bucket by power of two (bucket [i] holds observations of
+    bit-length [i]), giving a shape summary that merges exactly.
+
+    {!snapshot} freezes a registry into an immutable value; {!merge}
+    combines snapshots — counters add, gauges take the maximum,
+    histograms merge component-wise, so merging is associative and
+    commutative (shard-then-combine is well defined in any order).
+
+    Instrumented library code reports through the {e installed}
+    registry ({!install}/{!bump}/{!gauge}/{!record}); when none is
+    installed those are single-branch no-ops, same policy as the null
+    trace sink. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val add : t -> string -> int -> unit
+(** Add to a counter (created at 0 on first use). *)
+
+val set_gauge : t -> string -> int -> unit
+
+val observe : t -> string -> int -> unit
+(** Record a non-negative observation into a histogram.
+    @raise Invalid_argument on a negative value. *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min : int;  (** [max_int] when [count = 0] *)
+  max : int;  (** [min_int] when [count = 0] *)
+  buckets : int array;  (** bucket [i]: observations of bit-length [i] *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * int) list;
+  hists : (string * hist_snapshot) list;
+}
+
+val snapshot : t -> snapshot
+val empty_snapshot : snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Associative and commutative with {!empty_snapshot} as identity:
+    counters add, gauges max, histograms merge component-wise. *)
+
+val counter_value : snapshot -> string -> int
+(** 0 for an absent counter. *)
+
+val gauge_value : snapshot -> string -> int option
+val hist_value : snapshot -> string -> hist_snapshot option
+
+val to_json : snapshot -> Jsonw.t
+
+(** {1 The installed registry}
+
+    A process-global slot the instrumented libraries report to. *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+val enabled : unit -> bool
+
+val bump : string -> int -> unit
+(** Counter add on the installed registry; no-op when none is. *)
+
+val gauge : string -> int -> unit
+val record : string -> int -> unit

@@ -1,0 +1,52 @@
+type ring = {
+  buf : Event.t option array;
+  mutable next : int;  (** slot the next event lands in *)
+  mutable stored : int;  (** total events ever sent *)
+}
+
+type t =
+  | Null
+  | Memory of ring
+  | Jsonl of out_channel
+  | Custom of (Event.t -> unit)
+
+let null = Null
+
+let memory ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.memory: capacity must be positive";
+  Memory { buf = Array.make capacity None; next = 0; stored = 0 }
+
+let jsonl oc = Jsonl oc
+let custom f = Custom f
+let is_null = function Null -> true | _ -> false
+
+let send t ev =
+  match t with
+  | Null -> ()
+  | Memory r ->
+      r.buf.(r.next) <- Some ev;
+      r.next <- (r.next + 1) mod Array.length r.buf;
+      r.stored <- r.stored + 1
+  | Jsonl oc ->
+      Jsonw.to_channel oc (Event.to_json ev);
+      output_char oc '\n'
+  | Custom f -> f ev
+
+let events = function
+  | Memory r ->
+      let cap = Array.length r.buf in
+      let count = min r.stored cap in
+      let start = (r.next - count + cap) mod cap in
+      List.init count (fun i ->
+          match r.buf.((start + i) mod cap) with
+          | Some ev -> ev
+          | None -> assert false)
+  | Null | Jsonl _ | Custom _ -> []
+
+let dropped = function
+  | Memory r -> max 0 (r.stored - Array.length r.buf)
+  | Null | Jsonl _ | Custom _ -> 0
+
+let flush = function
+  | Jsonl oc -> Stdlib.flush oc
+  | Null | Memory _ | Custom _ -> ()

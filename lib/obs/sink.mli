@@ -1,0 +1,35 @@
+(** Pluggable event sinks.
+
+    - {!null}: discards everything. The overhead policy (DESIGN.md
+      section 8) requires instrumented paths to test {!is_null} (via
+      [Trace.enabled]) {e before} constructing a payload, so a disabled
+      trace costs one load and one predictable branch and allocates
+      nothing.
+    - {!memory}: a fixed-capacity ring buffer; once full, the oldest
+      events are overwritten (total sent minus capacity = {!dropped}).
+      For tests and in-process inspection.
+    - {!jsonl}: one compact JSON object per line on an [out_channel]
+      (the [trace.jsonl] format consumed by tooling). Call {!flush}
+      before closing the channel.
+    - {!custom}: arbitrary callback (counting, filtering, fan-out). *)
+
+type t
+
+val null : t
+
+val memory : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val jsonl : out_channel -> t
+val custom : (Event.t -> unit) -> t
+val is_null : t -> bool
+
+val send : t -> Event.t -> unit
+
+val events : t -> Event.t list
+(** Memory sink: retained events, oldest first. Other sinks: []. *)
+
+val dropped : t -> int
+(** Memory sink: events overwritten by ring wrap-around. *)
+
+val flush : t -> unit

@@ -98,6 +98,68 @@ let builtins =
         (lazy (Disj_trees.pointwise_or_broadcast ~n:2 ~k:3));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Trace run mode: execute an entry's tree operationally on a          *)
+(* blackboard, so registry protocols can be traced and metered by the  *)
+(* observability subsystem exactly like the hand-written solvers.      *)
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  output : int;
+  board : Blackboard.Board.t;
+  input_indices : int array;
+      (** per-player index into the entry's input domain *)
+  msg_rounds : int;  (** Speak nodes traversed (coins excluded) *)
+}
+
+(** [run_on_board entry ~seed] draws one input per player uniformly
+    from the entry's domain, then walks the tree: every [Speak] node's
+    message is sampled from its emit law and written on the board
+    fixed-width in [ceil(log2 arity)] bits — the Section-3 charging
+    {!Proto.Tree.communication_cost} assumes — and every [Chance] coin
+    is resolved with public randomness, free of charge. Board writes
+    flow through {!Blackboard.Board.post}, so an installed trace sink
+    sees one [Broadcast] event per message (plus the [Round_start] /
+    [Round_end] brackets emitted here) and the summed event bits equal
+    [Runtime.stats_of_board] of the returned board. *)
+let run_on_board (Entry { name; players; domain; tree; _ }) ~seed =
+  let rng = Prob.Rng.of_int_seed seed in
+  let input_indices =
+    Array.init players (fun _ -> Prob.Rng.int rng (Array.length domain))
+  in
+  let inputs = Array.map (fun i -> domain.(i)) input_indices in
+  let board = Blackboard.Board.create ~k:players in
+  let sample_int law =
+    Prob.Sampler.draw (Prob.Sampler.create (Prob.Dist_exact.to_float_dist law)) rng
+  in
+  let traced = Obs.Trace.enabled () in
+  let rounds = ref 0 in
+  let rec walk node =
+    match node with
+    | Proto.Tree.Output v -> v
+    | Proto.Tree.Speak { speaker; emit; children } ->
+        let round = !rounds in
+        incr rounds;
+        if traced then Obs.Trace.emit (Obs.Event.Round_start { round });
+        let msg = sample_int (emit inputs.(speaker)) in
+        let arity = Array.length children in
+        let w = Coding.Bitbuf.Writer.create () in
+        Coding.Intcode.write_fixed w ~bound:arity msg;
+        Blackboard.Board.post board ~player:speaker ~label:name w;
+        if traced then
+          Obs.Trace.emit
+            (Obs.Event.Round_end
+               { round; bits = Coding.Intcode.fixed_width arity });
+        walk children.(msg)
+    | Proto.Tree.Chance { coin; children } -> walk children.(sample_int coin)
+  in
+  let output = Obs.Trace.with_span ("registry/" ^ name) (fun () -> walk (Lazy.force tree)) in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "registry.runs" 1;
+    Obs.Metrics.bump "registry.msg_rounds" !rounds
+  end;
+  { output; board; input_indices; msg_rounds = !rounds }
+
 let registered : entry list ref = ref []
 
 let register e =

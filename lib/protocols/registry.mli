@@ -33,6 +33,23 @@ val players : entry -> int
 val note : entry -> string
 val declared_cost : entry -> int option
 
+type run = {
+  output : int;
+  board : Blackboard.Board.t;
+  input_indices : int array;
+      (** per-player index into the entry's input domain *)
+  msg_rounds : int;  (** Speak nodes traversed (coins excluded) *)
+}
+
+val run_on_board : entry -> seed:int -> run
+(** Trace run mode: draw uniform inputs from the entry's domain and
+    execute the tree operationally on a blackboard — each message
+    sampled from its emit law and charged fixed-width
+    [ceil(log2 arity)] bits via {!Blackboard.Board.post}, coins
+    resolved free. With a trace sink installed, the summed [Broadcast]
+    event bits equal [Blackboard.Runtime.stats_of_board] of the
+    returned board. *)
+
 val register : entry -> unit
 (** Add a protocol to the sweep.
     @raise Invalid_argument on a duplicate name. *)

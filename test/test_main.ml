@@ -21,4 +21,5 @@ let () =
       ("combinators", Test_combinators.suite);
       ("random-trees", Test_random_trees.suite);
       ("analysis", Test_analysis.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,247 @@
+(** Tests for the observability subsystem: the JSON writer, the metrics
+    merge algebra, the ring-buffer sink, and the regression tying the
+    traced [Broadcast] events and the metrics bit counters to the
+    board's own accounting. *)
+
+open Test_util
+module J = Obs.Jsonw
+module M = Obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Jsonw                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t_escaping () =
+  let s v = J.to_string (J.String v) in
+  Alcotest.(check string) "quote" {|"a\"b"|} (s {|a"b|});
+  Alcotest.(check string) "backslash" {|"a\\b"|} (s {|a\b|});
+  Alcotest.(check string) "newline" {|"a\nb"|} (s "a\nb");
+  Alcotest.(check string) "tab" {|"a\tb"|} (s "a\tb");
+  Alcotest.(check string) "control" {|"a\u0001b"|} (s "a\x01b");
+  Alcotest.(check string) "nan is null" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (J.to_string (J.Float Float.infinity))
+
+let t_round_trip () =
+  let doc =
+    J.obj
+      [
+        ("name", J.String "tricky \"quoted\"\n\ttabbed \\ slashed");
+        ("count", J.Int (-42));
+        ("x", J.Float 1.5);
+        ("flags", J.list [ J.Bool true; J.Bool false; J.Null ]);
+        ("nested", J.obj [ ("empty_list", J.list []); ("empty_obj", J.obj []) ]);
+      ]
+  in
+  (* compact and pretty renderings parse back to the same value *)
+  List.iter
+    (fun pretty ->
+      match J.of_string (J.to_string ~pretty doc) with
+      | Ok doc' ->
+          if doc' <> doc then
+            Alcotest.failf "round trip (pretty=%b) changed the document" pretty
+      | Error e -> Alcotest.failf "round trip (pretty=%b): %s" pretty e)
+    [ false; true ]
+
+let t_parser_rejects () =
+  List.iter
+    (fun bad ->
+      match J.of_string bad with
+      | Ok _ -> Alcotest.failf "parser accepted %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let t_event_json_parses () =
+  (* every payload variant renders to one parseable JSON object *)
+  let payloads =
+    Obs.Event.
+      [
+        Round_start { round = 0 };
+        Round_end { round = 0; bits = 3 };
+        Broadcast { player = 1; bits = 7; label = "x" };
+        Sampler_accept { block = 2; log_ratio = -1; bits = 9 };
+        Sampler_reject { block = 1 };
+        Sampler_abort { bits = 12 };
+        Sampler_budget { divergence = 0.75; eps = 0.01 };
+        Codec_emit { code = "gamma"; bits = 5 };
+        Span_start { name = "s" };
+        Span_end { name = "s"; seconds = 0.5 };
+        Mark { name = "m" };
+      ]
+  in
+  List.iteri
+    (fun i payload ->
+      let ev = { Obs.Event.seq = i; payload } in
+      match J.of_string (J.to_string (Obs.Event.to_json ev)) with
+      | Ok (J.Obj fields) ->
+          Alcotest.(check (option string))
+            "ev tag"
+            (Some (Obs.Event.kind payload))
+            (match List.assoc_opt "ev" fields with
+            | Some (J.String k) -> Some k
+            | _ -> None)
+      | Ok _ -> Alcotest.fail "event JSON is not an object"
+      | Error e -> Alcotest.failf "event JSON does not parse: %s" e)
+    payloads
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let snap_of spec =
+  let m = M.create () in
+  List.iter
+    (fun (name, kind, v) ->
+      match kind with
+      | `C -> M.add m name v
+      | `G -> M.set_gauge m name v
+      | `H -> M.observe m name v)
+    spec;
+  M.snapshot m
+
+let t_merge_algebra () =
+  let a =
+    snap_of
+      [ ("bits", `C, 10); ("runs", `C, 1); ("peak", `G, 5); ("len", `H, 3) ]
+  in
+  let b =
+    snap_of
+      [ ("bits", `C, 7); ("aborts", `C, 2); ("peak", `G, 9); ("len", `H, 100) ]
+  in
+  let c = snap_of [ ("bits", `C, 1); ("peak", `G, 2); ("other", `H, 1) ] in
+  let check_eq msg x y = if x <> y then Alcotest.fail msg in
+  check_eq "associative" (M.merge (M.merge a b) c) (M.merge a (M.merge b c));
+  check_eq "commutative" (M.merge a b) (M.merge b a);
+  check_eq "empty is neutral" (M.merge a M.empty_snapshot) a;
+  let ab = M.merge a b in
+  Alcotest.(check int) "counters add" 17 (M.counter_value ab "bits");
+  Alcotest.(check (option int)) "gauges max" (Some 9) (M.gauge_value ab "peak");
+  match M.hist_value ab "len" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+      Alcotest.(check int) "hist count" 2 h.M.count;
+      Alcotest.(check int) "hist sum" 103 h.M.sum;
+      Alcotest.(check int) "hist min" 3 h.M.min;
+      Alcotest.(check int) "hist max" 100 h.M.max
+
+let t_merge_qcheck =
+  let entry_gen =
+    QCheck.(
+      triple
+        (oneofl [ "a"; "b"; "c"; "d" ])
+        (oneofl [ `C; `G; `H ])
+        (int_range 0 1000))
+  in
+  qtest ~count:100 "metrics merge associates on random registries"
+    QCheck.(triple (small_list entry_gen) (small_list entry_gen)
+              (small_list entry_gen))
+    (fun (xs, ys, zs) ->
+      let a = snap_of xs and b = snap_of ys and c = snap_of zs in
+      M.merge (M.merge a b) c = M.merge a (M.merge b c)
+      && M.merge a b = M.merge b a)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let t_ring_overflow () =
+  let s = Obs.Sink.memory ~capacity:4 in
+  for i = 1 to 10 do
+    Obs.Sink.send s { Obs.Event.seq = i; payload = Obs.Event.Mark { name = "m" } }
+  done;
+  let seqs = List.map (fun e -> e.Obs.Event.seq) (Obs.Sink.events s) in
+  Alcotest.(check (list int)) "keeps the last capacity, oldest first"
+    [ 7; 8; 9; 10 ] seqs;
+  Alcotest.(check int) "dropped count" 6 (Obs.Sink.dropped s)
+
+let t_ring_partial () =
+  let s = Obs.Sink.memory ~capacity:8 in
+  for i = 1 to 3 do
+    Obs.Sink.send s { Obs.Event.seq = i; payload = Obs.Event.Mark { name = "m" } }
+  done;
+  Alcotest.(check int) "stored" 3 (List.length (Obs.Sink.events s));
+  Alcotest.(check int) "nothing dropped" 0 (Obs.Sink.dropped s)
+
+(* ------------------------------------------------------------------ *)
+(* Trace / board accounting regression                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs [f] with a fresh memory sink and metrics registry installed and
+   returns (f's result, traced events, metrics snapshot), restoring the
+   global slots afterwards. *)
+let with_obs f =
+  let sink = Obs.Sink.memory ~capacity:100_000 in
+  let m = M.create () in
+  M.install m;
+  Fun.protect
+    ~finally:(fun () -> M.uninstall ())
+    (fun () ->
+      let r = Obs.Trace.with_sink sink f in
+      (r, Obs.Sink.events sink, M.snapshot m))
+
+let sum_board_bits events =
+  List.fold_left
+    (fun acc e -> acc + Obs.Event.board_bits e.Obs.Event.payload)
+    0 events
+
+let t_solver_bits_agree () =
+  let rng = Prob.Rng.of_int_seed 11 in
+  let inst = Protocols.Disj_common.random_disjoint_single_zero rng ~n:64 ~k:8 in
+  let r, events, snap =
+    with_obs (fun () ->
+        (Protocols.Disj_batched.solve inst).Protocols.Disj_batched.result)
+  in
+  let claimed = r.Protocols.Disj_common.bits in
+  Alcotest.(check int) "summed Broadcast events = result bits" claimed
+    (sum_board_bits events);
+  Alcotest.(check int) "board.bits counter = result bits" claimed
+    (M.counter_value snap "board.bits");
+  Alcotest.(check int) "board.messages counter = result messages"
+    r.Protocols.Disj_common.messages
+    (M.counter_value snap "board.messages")
+
+let t_registry_bits_agree () =
+  match Protocols.Registry.find "and/sequential" with
+  | None -> Alcotest.fail "registry entry and/sequential missing"
+  | Some entry ->
+      List.iter
+        (fun seed ->
+          let run, events, snap =
+            with_obs (fun () -> Protocols.Registry.run_on_board entry ~seed)
+          in
+          let stats =
+            Blackboard.Runtime.stats_of_board
+              ~rounds:run.Protocols.Registry.msg_rounds
+              run.Protocols.Registry.board
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: events = stats_of_board" seed)
+            stats.Blackboard.Runtime.bits (sum_board_bits events);
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d: counter = stats_of_board" seed)
+            stats.Blackboard.Runtime.bits
+            (M.counter_value snap "board.bits");
+          if List.length events = 0 then
+            Alcotest.fail "registry run traced no events")
+        [ 1; 2; 3; 4; 5 ]
+
+let t_trace_disabled_by_default () =
+  Alcotest.(check bool) "null sink at rest" false (Obs.Trace.enabled ());
+  Alcotest.(check bool) "no registry at rest" false (M.enabled ())
+
+let suite =
+  [
+    quick "jsonw: escaping" t_escaping;
+    quick "jsonw: round trip through the parser" t_round_trip;
+    quick "jsonw: parser rejects malformed input" t_parser_rejects;
+    quick "event payloads render to parseable JSON" t_event_json_parses;
+    quick "metrics: merge algebra" t_merge_algebra;
+    t_merge_qcheck;
+    quick "sink: ring buffer overflow" t_ring_overflow;
+    quick "sink: ring buffer below capacity" t_ring_partial;
+    quick "trace: batched solver bits agree with events and counters"
+      t_solver_bits_agree;
+    quick "trace: registry run agrees with stats_of_board"
+      t_registry_bits_agree;
+    quick "obs: disabled at rest" t_trace_disabled_by_default;
+  ]
