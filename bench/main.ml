@@ -25,6 +25,7 @@ let experiments =
     ("E11", E11_internal_external.run);
     ("E12", E12_oneshot.run);
     ("E13", E13_oneway_baseline.run);
+    ("VERIFY", Verify_bench.run);
     ("MICRO", Micro.run);
   ]
 

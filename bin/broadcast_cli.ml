@@ -12,11 +12,15 @@
       write the event stream to a file.
     - [lint]: run the proto-lint static analyzer over every protocol in
       the registry and print a diagnostics table (or JSON with
-      [--json]).
+      [--json]); [--only]/[--ignore] filter by rule id.
+    - [verify]: run the proto-verify abstract interpreter and certifier
+      over the registry (differential sweep against executed and
+      declared costs, zero-error certification against declared specs),
+      with line-JSON diagnostics and a [--baseline] suppression file.
 
-    The [disj], [compress], and [sample] subcommands accept [--metrics]
-    to install an {!Obs.Metrics} registry for the run and print the
-    snapshot as JSON afterwards. *)
+    The [disj], [compress], [sample], and [verify] subcommands accept
+    [--metrics] to install an {!Obs.Metrics} registry for the run and
+    print the snapshot as JSON afterwards. *)
 
 open Cmdliner
 
@@ -514,12 +518,17 @@ let lint_cmd =
   let module Reg = Protocols.Registry in
   let module An = Analysis.Analyzer in
   let module Rep = Analysis.Report in
-  let lint_entry ~budget
+  let lint_entry ~budget ~only_rules ~ignore_rules
       (Reg.Entry { players; declared_cost; domain; tree; _ }) =
     let tree = Lazy.force tree in
     let report =
       An.analyze ~players ?declared_cost ?state_budget:budget ~domain tree
     in
+    let keep d =
+      (only_rules = [] || List.mem d.Rep.rule only_rules)
+      && not (List.mem d.Rep.rule ignore_rules)
+    in
+    let report = Rep.of_list (List.filter keep (Rep.to_list report)) in
     (Proto.Tree.communication_cost tree, report)
   in
   let status_of report =
@@ -546,31 +555,16 @@ let lint_cmd =
                      ("errors", Int (Rep.count_severity Rep.Error report));
                      ("warnings", Int (Rep.count_severity Rep.Warning report));
                      ("status", String (status_of report));
-                     ( "diagnostics",
-                       list
-                         (List.map
-                            (fun d ->
-                              obj
-                                [
-                                  ( "severity",
-                                    String
-                                      (Rep.severity_to_string d.Rep.severity)
-                                  );
-                                  ("rule", String d.Rep.rule);
-                                  ( "path",
-                                    String (Analysis.Path.to_string d.Rep.path)
-                                  );
-                                  ("message", String d.Rep.message);
-                                ])
-                            (Rep.sorted report)) );
+                     (* One diagnostic schema for lint and verify. *)
+                     ("diagnostics", Rep.to_json report);
                    ])
                results) );
       ]
   in
-  let run strict budget json only =
+  let run strict budget json only_rules ignore_rules protocols =
     let entries = Reg.all () in
     let entries =
-      match only with
+      match protocols with
       | [] -> entries
       | names ->
           List.map
@@ -584,7 +578,9 @@ let lint_cmd =
             names
     in
     let results =
-      List.map (fun e -> (e, lint_entry ~budget e)) entries
+      List.map
+        (fun e -> (e, lint_entry ~budget ~only_rules ~ignore_rules e))
+        entries
     in
     if json then
       print_endline
@@ -632,14 +628,199 @@ let lint_cmd =
          & info [ "json" ]
              ~doc:"Print the report as structured JSON instead of a table.")
   in
-  let only =
+  (* Rule ids are a closed vocabulary: unknown ones are a usage error
+     caught by Cmdliner's enum converter, not a silent no-op filter. *)
+  let rule_conv =
+    Arg.enum (List.map (fun id -> (id, id)) Analysis.Rules.all_ids)
+  in
+  let only_rules =
+    Arg.(value & opt_all rule_conv []
+         & info [ "only" ] ~docv:"RULE"
+             ~doc:(Printf.sprintf
+                     "Keep only diagnostics from $(docv) (repeatable), one \
+                      of %s."
+                     (Arg.doc_alts Analysis.Rules.all_ids)))
+  in
+  let ignore_rules =
+    Arg.(value & opt_all rule_conv []
+         & info [ "ignore" ] ~docv:"RULE"
+             ~doc:"Drop diagnostics from $(docv) (repeatable); same \
+                   vocabulary as $(b,--only).")
+  in
+  let protocols =
     Arg.(value & pos_all string []
          & info [] ~docv:"PROTOCOL" ~doc:"Lint only the named protocols.")
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze every registered protocol tree.")
-    Term.(const run $ strict $ budget $ json $ only)
+    Term.(
+      const run $ strict $ budget $ json $ only_rules $ ignore_rules
+      $ protocols)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let module Reg = Protocols.Registry in
+  let module V = Protocols.Verify_registry in
+  let module Rep = Analysis.Report in
+  let module Ab = Analysis.Absint in
+  let run budget seed baseline json out protocols metrics =
+    let entries =
+      match protocols with
+      | [] -> Reg.all ()
+      | names ->
+          List.map
+            (fun n ->
+              match Reg.find n with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "verify: unknown protocol %S; known: %s\n" n
+                    (String.concat ", " (Reg.names ()));
+                  exit 2)
+            names
+    in
+    let baseline =
+      match baseline with
+      | None -> V.empty_baseline
+      | Some path -> (
+          match V.load_baseline path with
+          | Ok b -> b
+          | Error e ->
+              Printf.eprintf "verify: cannot load baseline: %s\n" e;
+              exit 2)
+    in
+    let results =
+      with_metrics metrics (fun () ->
+          List.map (fun e -> V.verify_entry ?budget ~seed ~baseline e) entries)
+    in
+    let code = V.exit_code results in
+    if json then begin
+      (* Line-JSON: a header, one object per entry, a summary — the
+         shape CI archives and scripts stream. *)
+      let oc, close_oc =
+        match out with "-" -> (stdout, false) | path -> (open_out path, true)
+      in
+      let line j =
+        Obs.Jsonw.to_channel oc j;
+        output_char oc '\n'
+      in
+      line
+        (Obs.Jsonw.obj
+           [
+             ("schema", Obs.Jsonw.String "broadcast-ic/verify/v1");
+             ("version", Obs.Jsonw.String Core.version);
+             ("seed", Obs.Jsonw.Int seed);
+           ]);
+      List.iter (fun r -> line (V.result_to_json r)) results;
+      let count label p =
+        (label, Obs.Jsonw.Int (List.length (List.filter p results)))
+      in
+      let outcome_is l r = V.outcome_label r.V.outcome = l in
+      line
+        (Obs.Jsonw.obj
+           [
+             ("summary", Obs.Jsonw.Bool true);
+             count "certified" (outcome_is "certified");
+             count "refuted" (outcome_is "refuted");
+             count "inconclusive" (outcome_is "inconclusive");
+             count "no_spec" (outcome_is "no-spec");
+             ( "suppressed",
+               Obs.Jsonw.Int
+                 (List.fold_left (fun a r -> a + r.V.suppressed) 0 results) );
+             ("exit", Obs.Jsonw.Int code);
+           ]);
+      if close_oc then close_out oc
+      else flush oc
+    end
+    else begin
+      Printf.printf "%-28s %7s %9s %4s %8s %9s  %s\n" "protocol" "players"
+        "certified" "CC" "observed" "profiles" "outcome";
+      List.iter
+        (fun r ->
+          let (Reg.Entry e) = r.V.entry in
+          Printf.printf "%-28s %7d %9s %4d %8d %9d  %s\n" e.name e.players
+            (Ab.interval_to_string r.V.summary.Ab.cost)
+            r.V.static_cc r.V.observed_bits r.V.checked_profiles
+            (V.outcome_label r.V.outcome))
+        results;
+      List.iter
+        (fun r ->
+          let interesting =
+            List.filter
+              (fun d -> d.Rep.severity <> Rep.Info)
+              (Rep.sorted r.V.report)
+          in
+          if interesting <> [] then begin
+            let (Reg.Entry e) = r.V.entry in
+            Printf.printf "\n%s:\n" e.name;
+            List.iter
+              (fun d -> Format.printf "  %a@." Rep.pp_diagnostic d)
+              interesting
+          end)
+        results
+    end;
+    if code <> 0 then exit code
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ]
+             ~doc:"Abstract-interpretation node and spec-evaluation budget \
+                   (past it, subtrees widen and certification is \
+                   inconclusive).")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ]
+             ~doc:"PRNG seed of the differential blackboard run.")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Suppression file (schema broadcast-ic/verify-baseline/v1): \
+                   findings matching a (protocol, rule) pair are demoted to \
+                   info severity and stop gating the exit code.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit line-JSON (header, one object per protocol, summary) \
+                   instead of a table.")
+  in
+  let out =
+    Arg.(value & opt string "-"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Line-JSON output path with $(b,--json) ('-' for stdout).")
+  in
+  let protocols =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"PROTOCOL" ~doc:"Verify only the named protocols.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Certify registered protocol trees by abstract interpretation."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the proto-verify engine over the registry: certifies an \
+              exact $(b,[min, max]) reachable bit-cost interval per \
+              protocol, cross-checks it against the structural \
+              communication cost, the declared paper bound, and an \
+              executed blackboard run, and — for deterministic protocols \
+              with a declared reference spec — produces a zero-error \
+              correctness certificate or a concrete counterexample input.";
+           `P
+             "Exit status: 0 when everything is certified, 1 on any \
+              refutation or cross-check failure, 3 when the worst finding \
+              is an inconclusive certification (2 remains the usage-error \
+              convention).";
+         ])
+    Term.(
+      const run $ budget $ seed $ baseline $ json $ out $ protocols
+      $ metrics_flag)
 
 let () =
   let doc = "Braverman-Oshman broadcast-model information complexity toolkit" in
@@ -648,4 +829,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ disj_cmd; info_cmd; compress_cmd; sample_cmd; trace_cmd; or_cmd;
-            oneshot_cmd; lint_cmd ]))
+            oneshot_cmd; lint_cmd; verify_cmd ]))

@@ -1,0 +1,214 @@
+(** Abstract interpretation over protocol trees.
+
+    Where proto-lint ({!Rules}) checks pointwise well-formedness, this
+    engine derives {e whole-execution} guarantees without enumeration of
+    runs: per node it propagates
+
+    - an exact [\[min, max\]] bit-cost interval under the Section-3
+      fixed-width charging ([ceil(log2 arity)] per message — the same
+      charge {!Blackboard.Board.post} applies operationally and
+      {!Proto.Tree.communication_cost} applies structurally), restricted
+      to {e reachable} executions;
+    - a reachability abstraction: for each player, the set of domain
+      inputs still consistent with the transcript prefix. Because a
+      message law depends only on the speaker's own input and the board
+      contents, the set of input profiles consistent with a transcript
+      is exactly the product of the per-player sets — the combinatorial
+      rectangle behind the Lemma-6 fooling argument — so this
+      "abstraction" loses nothing: a branch it declares dead is {e
+      proven} dead, not heuristically flagged;
+    - a symbolic output map for deterministic trees: the reachable
+      leaves together with their rectangles, which partition the input
+      space and are what {!Certify} checks a declared spec against.
+
+    The traversal walks the unfolded tree. A node budget keeps it total
+    on blow-up (DAG-shared) trees: past the budget each remaining
+    subtree is {e widened} to the trivially sound summary
+    [\[0, structural max\]] with reachability top, and the analysis
+    reports itself inconclusive for certification purposes. Nodes
+    visited and widenings performed flow into {!Obs.Metrics} (keys
+    [absint.*]) and the whole analysis runs in an [absint/analyze]
+    trace span when a sink is installed. *)
+
+module D = Prob.Dist_exact
+module R = Exact.Rational
+module T = Proto.Tree
+
+type interval = { lo : int; hi : int }
+
+let pp_interval fmt { lo; hi } = Format.fprintf fmt "[%d, %d]" lo hi
+let interval_to_string iv = Format.asprintf "%a" pp_interval iv
+let mem_interval x { lo; hi } = lo <= x && x <= hi
+
+type rect = int list array
+
+type leaf = {
+  leaf_path : Path.t;
+  output : int;
+  rect : rect;
+      (** per-player sorted domain indices consistent with reaching
+          this leaf *)
+}
+
+type t = {
+  cost : interval;
+  struct_max : int;
+  nodes : int;
+  widenings : int;
+  dead : Path.t list;
+  deterministic : bool;
+  law_failures : int;
+  widened : bool;
+  leaves : leaf list;
+  players : int;
+  domain_size : int;
+}
+
+let default_budget = 200_000
+
+let rect_profiles rect =
+  Array.fold_left
+    (fun acc live ->
+      let n = List.length live in
+      if acc > max_int / (max n 1) then max_int else acc * n)
+    1 rect
+
+let analyze ?(budget = default_budget) ?players ~domain tree =
+  if Array.length domain = 0 then invalid_arg "Absint.analyze: empty domain";
+  if budget < 1 then invalid_arg "Absint.analyze: budget must be positive";
+  let players =
+    (* The rectangle needs one axis per speaker even if the declared
+       player count is too small; soundness beats the declaration. *)
+    let inferred = Rules.inferred_players tree in
+    match players with Some k -> max k inferred | None -> inferred
+  in
+  let struct_max = T.communication_cost tree in
+  let nodes = ref 0
+  and widenings = ref 0
+  and law_failures = ref 0 in
+  let dead = ref []
+  and leaves = ref [] in
+  let deterministic = ref true
+  and widened = ref false in
+  let all_indices = List.init (Array.length domain) Fun.id in
+  let full_rect = Array.init players (fun _ -> all_indices) in
+  let rec go path rect t =
+    if !nodes >= budget then begin
+      (* Widening: summarize the whole remaining subtree by the
+         trivially sound interval. The structural max of the full tree
+         bounds every suffix cost (a suffix extends to a root-to-leaf
+         path of at least its own cost). *)
+      incr widenings;
+      widened := true;
+      { lo = 0; hi = struct_max }
+    end
+    else begin
+      incr nodes;
+      match t with
+      | T.Output v ->
+          leaves := { leaf_path = path; output = v; rect } :: !leaves;
+          { lo = 0; hi = 0 }
+      | T.Chance { coin; children } ->
+          let live = ref [] in
+          Array.iteri
+            (fun i c ->
+              if R.sign (D.prob_of coin i) > 0 then live := (i, c) :: !live
+              else dead := Path.child path i :: !dead)
+            children;
+          let live = List.rev !live in
+          if List.length live > 1 then deterministic := false;
+          List.fold_left
+            (fun acc (i, c) ->
+              let iv = go (Path.child path i) rect c in
+              match acc with
+              | None -> Some iv
+              | Some a -> Some { lo = min a.lo iv.lo; hi = max a.hi iv.hi })
+            None live
+          |> Option.value ~default:{ lo = 0; hi = 0 }
+      | T.Speak { speaker; emit; children } ->
+          let arity = Array.length children in
+          let charge = T.bits_of_arity arity in
+          (* Which of the speaker's still-live inputs can emit each
+             symbol. Reversed-cons over an ascending index list keeps
+             each child's live set sorted after the final reverse. *)
+          let child_live = Array.make arity [] in
+          let top = ref false in
+          List.iter
+            (fun ix ->
+              match emit domain.(ix) with
+              | d ->
+                  let supp =
+                    List.filter (fun s -> R.sign (D.prob_of d s) > 0) (D.support d)
+                  in
+                  if List.length supp > 1 then deterministic := false;
+                  List.iter
+                    (fun s ->
+                      if s >= 0 && s < arity then
+                        child_live.(s) <- ix :: child_live.(s)
+                      else
+                        (* Out-of-arity mass has no continuation; the
+                           tree is malformed (support-in-arity reports
+                           it) and certification must not trust it. *)
+                        incr law_failures)
+                    supp
+              | exception _ ->
+                  (* A raising law could emit anything: go to top for
+                     this input so reachability stays an over-
+                     approximation. *)
+                  incr law_failures;
+                  deterministic := false;
+                  top := true)
+            rect.(speaker);
+          if !top then
+            Array.iteri
+              (fun m _ -> child_live.(m) <- List.rev rect.(speaker))
+              child_live;
+          let acc = ref None in
+          Array.iteri
+            (fun m c ->
+              match child_live.(m) with
+              | [] -> dead := Path.child path m :: !dead
+              | live_ix ->
+                  let rect' = Array.copy rect in
+                  rect'.(speaker) <- List.rev live_ix;
+                  let iv = go (Path.child path m) rect' c in
+                  acc :=
+                    Some
+                      (match !acc with
+                      | None -> iv
+                      | Some a ->
+                          { lo = min a.lo iv.lo; hi = max a.hi iv.hi }))
+            children;
+          (match !acc with
+          | None ->
+              (* No live continuation at all (every live law has empty
+                 support): the message is still charged, then the
+                 execution is stuck. Certification coverage catches the
+                 lost profiles. *)
+              { lo = charge; hi = charge }
+          | Some a -> { lo = charge + a.lo; hi = charge + a.hi })
+    end
+  in
+  let run () = go Path.root full_rect tree in
+  let cost =
+    if Obs.Trace.enabled () then Obs.Trace.with_span "absint/analyze" run
+    else run ()
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "absint.runs" 1;
+    Obs.Metrics.bump "absint.nodes" !nodes;
+    Obs.Metrics.bump "absint.widenings" !widenings
+  end;
+  {
+    cost = { cost with hi = min cost.hi struct_max };
+    struct_max;
+    nodes = !nodes;
+    widenings = !widenings;
+    dead = List.sort_uniq Path.compare !dead;
+    deterministic = !deterministic && not !widened;
+    law_failures = !law_failures;
+    widened = !widened;
+    leaves = List.rev !leaves;
+    players;
+    domain_size = Array.length domain;
+  }

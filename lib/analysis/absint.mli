@@ -1,0 +1,81 @@
+(** Abstract interpretation over protocol trees: per-node cost
+    intervals, reachability rectangles, and the symbolic output map the
+    certifier ({!Certify}) consumes.
+
+    The reachability abstraction is exact for broadcast trees: a
+    message law depends only on the speaker's own input and the board
+    contents, so the input profiles consistent with a transcript prefix
+    form a product of per-player sets (the combinatorial rectangle of
+    the Lemma-6 fooling argument). A branch reported dead is therefore
+    {e proven} unreachable — by zero coin probability or by
+    contradiction with the transcript prefix — not heuristically
+    flagged. *)
+
+type interval = { lo : int; hi : int }
+(** Inclusive bit-cost bounds over reachable executions. *)
+
+val pp_interval : Format.formatter -> interval -> unit
+val interval_to_string : interval -> string
+val mem_interval : int -> interval -> bool
+
+type rect = int list array
+(** One sorted list of domain indices per player: the inputs still
+    consistent with the transcript prefix. *)
+
+type leaf = {
+  leaf_path : Path.t;
+  output : int;
+  rect : rect;
+      (** per-player sorted domain indices consistent with reaching
+          this leaf *)
+}
+
+type t = {
+  cost : interval;
+      (** exact [\[min, max\]] charged bits over reachable executions,
+          under the fixed-width [ceil(log2 arity)] charging of
+          {!Proto.Tree.communication_cost} and
+          {!Blackboard.Board.post} *)
+  struct_max : int;
+      (** structural worst case ignoring reachability
+          (= {!Proto.Tree.communication_cost}); [cost.hi <= struct_max],
+          strictly below it exactly when dead branches carry the
+          structural maximum *)
+  nodes : int;  (** nodes visited before any widening cut in *)
+  widenings : int;  (** subtrees summarized after budget exhaustion *)
+  dead : Path.t list;
+      (** proven-dead child edges (zero-probability coin branches and
+          input-contradictory message branches), sorted in pre-order;
+          dead subtrees are not descended into *)
+  deterministic : bool;
+      (** every live message law is a point mass and every chance node
+          has a single live branch; [false] whenever [widened] *)
+  law_failures : int;
+      (** emit-law evaluations that raised or placed mass outside the
+          arity; both make certification inconclusive *)
+  widened : bool;  (** the node budget ran out somewhere *)
+  leaves : leaf list;
+      (** reachable leaves with their rectangles, in pre-order; for a
+          deterministic, unwidened tree these partition the input-
+          profile space — the symbolic output map *)
+  players : int;  (** rectangle axes (declared count or inferred) *)
+  domain_size : int;
+}
+
+val default_budget : int
+
+val rect_profiles : rect -> int
+(** Number of input profiles in a rectangle (product of axis sizes),
+    saturating at [max_int]. *)
+
+val analyze : ?budget:int -> ?players:int -> domain:'a array -> 'a Proto.Tree.t -> t
+(** [analyze ~domain tree] runs the abstract interpreter from the full
+    rectangle ([players] axes, each the whole domain). [players]
+    defaults to the inferred count (one past the largest speaker) and
+    is raised to it when declared too small. [budget] bounds nodes
+    visited (default {!default_budget}); past it, remaining subtrees
+    widen to [\[0, struct_max\]] and the result is marked [widened].
+    Reports [absint.nodes] / [absint.widenings] / [absint.runs] to the
+    installed {!Obs.Metrics} registry and runs in an [absint/analyze]
+    span when tracing is enabled.
+    @raise Invalid_argument on an empty domain or non-positive budget. *)

@@ -1,0 +1,156 @@
+(** Correctness certification for deterministic protocol trees.
+
+    {!Absint.analyze} turns a deterministic tree into a symbolic output
+    map: reachable leaves with the input rectangle that reaches each.
+    Because each input profile follows exactly one path, those
+    rectangles partition the input space — so checking a declared spec
+    against the map is a complete procedure, not a sampled one: either
+    every rectangle agrees with the spec everywhere (a machine-checkable
+    certificate) or some profile disagrees (a concrete counterexample
+    input, found without executing the protocol).
+
+    Randomized trees, trees whose laws raised or overflowed their
+    arity, and analyses cut short by the node budget are reported
+    {e inconclusive} — never silently certified. *)
+
+type counterexample = {
+  input_indices : int array;
+      (** per-player index into the domain: a real falsifying profile *)
+  expected : int;  (** what the spec demands on that profile *)
+  actual : int;  (** what the protocol outputs (the leaf it reaches) *)
+  at_leaf : Path.t;
+}
+
+let pp_counterexample fmt c =
+  Format.fprintf fmt
+    "input indices [%s] reach leaf %a with output %d, spec expects %d"
+    (String.concat "; "
+       (Array.to_list (Array.map string_of_int c.input_indices)))
+    Path.pp c.at_leaf c.actual c.expected
+
+let counterexample_to_string c = Format.asprintf "%a" pp_counterexample c
+
+let inputs_of_counterexample ~domain c =
+  Array.map (fun ix -> domain.(ix)) c.input_indices
+
+type outcome =
+  | Certified
+  | Refuted of counterexample
+  | Inconclusive of string
+
+let outcome_label = function
+  | Certified -> "certified"
+  | Refuted _ -> "refuted"
+  | Inconclusive _ -> "inconclusive"
+
+(** Exit-code contract of [broadcast_cli verify]: 0 certified,
+    1 refuted, 3 inconclusive (2 is the usage-error convention). *)
+let exit_code = function
+  | Certified -> 0
+  | Refuted _ -> 1
+  | Inconclusive _ -> 3
+
+type t = {
+  outcome : outcome;
+  summary : Absint.t;
+  checked_profiles : int;
+      (** spec evaluations performed; for a certified tree this is
+          exactly [domain_size ^ players] — every profile, once *)
+}
+
+exception Found of counterexample
+exception Budget
+
+let check_leaves ~budget ~spec ~domain (summary : Absint.t) =
+  let checked = ref 0 in
+  let choice = Array.make summary.Absint.players 0 in
+  let check (leaf : Absint.leaf) =
+    let axes = Array.map Array.of_list leaf.Absint.rect in
+    let k = Array.length axes in
+    let rec enum p =
+      if p = k then begin
+        incr checked;
+        if !checked > budget then raise Budget;
+        let inputs = Array.init k (fun i -> domain.(choice.(i))) in
+        let expected = spec inputs in
+        if expected <> leaf.Absint.output then
+          raise
+            (Found
+               {
+                 input_indices = Array.sub choice 0 k;
+                 expected;
+                 actual = leaf.Absint.output;
+                 at_leaf = leaf.Absint.leaf_path;
+               })
+      end
+      else
+        Array.iter
+          (fun ix ->
+            choice.(p) <- ix;
+            enum (p + 1))
+          axes.(p)
+    in
+    enum 0
+  in
+  match List.iter check summary.Absint.leaves with
+  | () ->
+      (* Coverage: a deterministic tree routes every profile to exactly
+         one leaf, so anything short of the full product means profiles
+         were lost (an empty-support law) and nothing was proven about
+         them. *)
+      let total =
+        let n = summary.Absint.domain_size in
+        let rec pow acc i =
+          if i = 0 then acc
+          else if acc > max_int / (max n 1) then max_int
+          else pow (acc * n) (i - 1)
+        in
+        pow 1 summary.Absint.players
+      in
+      if !checked = total then (Certified, !checked)
+      else
+        ( Inconclusive
+            (Printf.sprintf
+               "only %d of %d input profiles reach a leaf; the rest are \
+                lost to empty-support laws"
+               !checked total),
+          !checked )
+  | exception Found c -> (Refuted c, !checked)
+  | exception Budget ->
+      ( Inconclusive
+          (Printf.sprintf "spec-evaluation budget (%d) exhausted" budget),
+        !checked )
+  | exception e ->
+      ( Inconclusive
+          (Printf.sprintf "spec raised %s during certification"
+             (Printexc.to_string e)),
+        !checked )
+
+let certify ?budget ?players ~spec ~domain tree =
+  let summary = Absint.analyze ?budget ?players ~domain tree in
+  let budget = Option.value ~default:Absint.default_budget budget in
+  let outcome, checked_profiles =
+    if summary.Absint.widened then
+      ( Inconclusive
+          (Printf.sprintf
+             "node budget exhausted after %d nodes (%d widenings); the \
+              output map is incomplete"
+             summary.Absint.nodes summary.Absint.widenings),
+        0 )
+    else if summary.Absint.law_failures > 0 then
+      ( Inconclusive
+          (Printf.sprintf
+             "%d emit-law evaluations raised or overflowed their arity; \
+              run proto-lint"
+             summary.Absint.law_failures),
+        0 )
+    else if not summary.Absint.deterministic then
+      ( Inconclusive
+          "protocol is randomized; zero-error certification covers \
+           deterministic trees",
+        0 )
+    else check_leaves ~budget ~spec ~domain summary
+  in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.bump ("absint." ^ outcome_label outcome) 1;
+  { outcome; summary; checked_profiles }

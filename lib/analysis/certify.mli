@@ -1,0 +1,59 @@
+(** Correctness certification for deterministic protocol trees.
+
+    Checks a declared spec against the symbolic output map
+    {!Absint.analyze} derives (reachable leaves x input rectangles,
+    which partition the input space for deterministic trees). The
+    procedure is complete: it either certifies the protocol on every
+    input profile or returns a concrete falsifying input — and it never
+    executes the protocol. Randomized trees, malformed laws, and
+    budget-cut analyses are {e inconclusive}, never silently
+    certified. *)
+
+type counterexample = {
+  input_indices : int array;
+      (** per-player index into the domain: a real falsifying profile *)
+  expected : int;  (** what the spec demands on that profile *)
+  actual : int;  (** what the protocol outputs (the leaf it reaches) *)
+  at_leaf : Path.t;
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val counterexample_to_string : counterexample -> string
+
+val inputs_of_counterexample : domain:'a array -> counterexample -> 'a array
+(** Decode the per-player indices back to actual inputs, e.g. to replay
+    the counterexample through {!Proto.Semantics}. *)
+
+type outcome =
+  | Certified
+  | Refuted of counterexample
+  | Inconclusive of string  (** reason; nothing was proven *)
+
+val outcome_label : outcome -> string
+(** ["certified"] / ["refuted"] / ["inconclusive"]. *)
+
+val exit_code : outcome -> int
+(** Exit-code contract of [broadcast_cli verify]: 0 certified,
+    1 refuted, 3 inconclusive (2 is the usage-error convention). *)
+
+type t = {
+  outcome : outcome;
+  summary : Absint.t;  (** the underlying abstract interpretation *)
+  checked_profiles : int;
+      (** spec evaluations performed; for a certified tree, exactly
+          [domain_size ^ players] — every profile, once *)
+}
+
+val certify :
+  ?budget:int ->
+  ?players:int ->
+  spec:('a array -> int) ->
+  domain:'a array ->
+  'a Proto.Tree.t ->
+  t
+(** [certify ~spec ~domain tree] abstractly interprets [tree]
+    ({!Absint.analyze}, same [budget] and [players] defaulting) and
+    checks [spec] over the resulting output map. [budget] also bounds
+    spec evaluations. Bumps [absint.certified] / [absint.refuted] /
+    [absint.inconclusive] on the installed {!Obs.Metrics} registry.
+    @raise Invalid_argument on an empty domain or non-positive budget. *)

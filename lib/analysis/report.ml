@@ -86,6 +86,23 @@ let exit_code ?(strict = false) r =
   else if strict && not (is_clean r) then 1
   else 0
 
+(** The one JSON shape for a diagnostic, shared by [lint --json] and
+    [verify --json] so downstream tooling parses a single schema.
+    [diagnostic_fields] is exposed so callers can prepend context
+    (e.g. the protocol name) without re-encoding. *)
+let diagnostic_fields d =
+  Obs.Jsonw.
+    [
+      ("severity", String (severity_to_string d.severity));
+      ("rule", String d.rule);
+      ("path", String (Path.to_string d.path));
+      ("message", String d.message);
+    ]
+
+let diagnostic_to_json d = Obs.Jsonw.obj (diagnostic_fields d)
+
+let to_json (r : t) = Obs.Jsonw.list (List.map diagnostic_to_json (sorted r))
+
 let pp fmt (r : t) =
   match r with
   | [] -> Format.fprintf fmt "no diagnostics"

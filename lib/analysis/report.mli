@@ -50,5 +50,17 @@ val exit_code : ?strict:bool -> t -> int
 (** 0 when acceptable, 1 otherwise. Errors always fail; [strict]
     promotes warnings to failures. *)
 
+val diagnostic_fields : diagnostic -> (string * Obs.Jsonw.t) list
+(** The canonical JSON fields of one diagnostic ([severity], [rule],
+    [path], [message]) — exposed so callers can prepend context fields
+    (e.g. a protocol name) without re-encoding. *)
+
+val diagnostic_to_json : diagnostic -> Obs.Jsonw.t
+(** One flat object; the single diagnostic schema shared by
+    [broadcast_cli lint --json] and [broadcast_cli verify --json]. *)
+
+val to_json : t -> Obs.Jsonw.t
+(** The report as a JSON list, worst first ({!sorted}). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -389,6 +389,16 @@ let bit_accounting ?declared_cost tree =
   in
   let acc =
     match declared_cost with
+    | Some c when c < 0 ->
+        (* A dedicated diagnostic, not an exception: a negative
+           declaration is a caller bug the analyzer must survive and
+           report like any other wrong measure. *)
+        err ~rule ~path:Path.root
+          (Printf.sprintf
+             "declared worst-case cost %d is negative; bit costs are \
+              non-negative (arity accounting gives %d)"
+             c recomputed)
+        :: acc
     | Some c when c <> recomputed ->
         err ~rule ~path:Path.root
           (Printf.sprintf

@@ -24,6 +24,10 @@ type entry =
       tree : 'a Proto.Tree.t Lazy.t;
       declared_cost : int option;
           (** documented worst-case bits, cross-checked by proto-lint *)
+      spec : ('a array -> int) option;
+          (** reference function on input profiles; deterministic
+              entries that declare one are zero-error certified against
+              it by proto-verify *)
       note : string;
     }
       -> entry
@@ -32,9 +36,10 @@ let name (Entry e) = e.name
 let players (Entry e) = e.players
 let note (Entry e) = e.note
 let declared_cost (Entry e) = e.declared_cost
+let has_spec (Entry e) = Option.is_some e.spec
 
-let entry ~name ~players ?declared_cost ?(note = "") ~domain tree =
-  Entry { name; players; domain; tree; declared_cost; note }
+let entry ~name ~players ?declared_cost ?spec ?(note = "") ~domain tree =
+  Entry { name; players; domain; tree; declared_cost; spec; note }
 
 (* Per-player input domains. *)
 let bit_domain = [| 0; 1 |]
@@ -42,17 +47,29 @@ let bit_domain = [| 0; 1 |]
 let vector_domain n =
   Array.of_list (Proto.Semantics.all_bit_inputs n)
 
+(* Reference functions certified by proto-verify. The randomized
+   entries (and/noisy, compress/xor-coin-sequential) declare none:
+   zero-error certification covers deterministic trees only. *)
+let and_of_coord c xs =
+  Array.fold_left (fun acc x -> acc land x.(c)) 1 xs
+
+let pack_vector x =
+  Array.fold_left (fun acc b -> (2 * acc) + b) 0 x
+
 let builtins =
   lazy
     [
       entry ~name:"and/sequential" ~players:5 ~declared_cost:5
+        ~spec:Hard_dist.and_fn
         ~note:"halt at the first zero; CC = k" ~domain:bit_domain
         (lazy (And_protocols.sequential 5));
       entry ~name:"and/broadcast-all" ~players:4 ~declared_cost:4
+        ~spec:Hard_dist.and_fn
         ~note:"everyone speaks; the maximally leaky baseline"
         ~domain:bit_domain
         (lazy (And_protocols.broadcast_all 4));
       entry ~name:"and/truncated" ~players:5 ~declared_cost:3
+        ~spec:(fun x -> x.(0) land x.(1) land x.(2))
         ~note:"only the first m = 3 of k = 5 players speak (Lemma 6)"
         ~domain:bit_domain
         (lazy (And_protocols.truncated_sequential ~k:5 ~m:3));
@@ -63,10 +80,12 @@ let builtins =
           (And_protocols.noisy_sequential ~k:4
              ~noise:(Exact.Rational.of_ints 1 10)));
       entry ~name:"and/two-copy" ~players:3 ~declared_cost:6
+        ~spec:(fun xs -> (2 * and_of_coord 0 xs) + and_of_coord 1 xs)
         ~note:"two independent sequential copies (Theorem 4 witness)"
         ~domain:(vector_domain 2)
         (lazy (And_protocols.two_copy_sequential 3));
       entry ~name:"and/constant" ~players:4 ~declared_cost:0
+        ~spec:(fun _ -> 1)
         ~note:"ignores inputs; the zero-information point"
         ~domain:bit_domain
         (lazy (And_protocols.constant ~k:4 1));
@@ -75,24 +94,30 @@ let builtins =
         ~domain:bit_domain
         (lazy (Proto.Combinators.xor_output_with_coin (And_protocols.sequential 4)));
       entry ~name:"compress/parallel-copies" ~players:3 ~declared_cost:6
+        ~spec:(fun xs -> and_of_coord 0 xs lor (and_of_coord 1 xs lsl 1))
         ~note:"Combinators.parallel_copies of sequential AND_3, 2 copies"
         ~domain:(vector_domain 2)
         (lazy
           (Proto.Combinators.parallel_copies (And_protocols.sequential 3)
              ~copies:2));
       entry ~name:"disj/trivial-tree" ~players:3 ~declared_cost:6
+        ~spec:Hard_dist.disj_fn
         ~note:"tree model of Disj_trivial: everyone announces its set"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.broadcast_all ~n:2 ~k:3));
       entry ~name:"disj/naive-tree" ~players:3 ~declared_cost:6
+        ~spec:Hard_dist.disj_fn
         ~note:"tree model of Disj_naive: coordinate-by-coordinate"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.sequential ~n:2 ~k:3));
       entry ~name:"disj/batched-tree" ~players:3 ~declared_cost:6
+        ~spec:Hard_dist.disj_fn
         ~note:"tree model of Disj_batched: shrinking-alphabet batches"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.batched ~n:2 ~k:3));
       entry ~name:"or/pointwise-tree" ~players:3 ~declared_cost:6
+        ~spec:(fun xs ->
+          Array.fold_left (fun acc x -> acc lor pack_vector x) 0 xs)
         ~note:"pointwise-OR broadcast tree (output-entropy floor witness)"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.pointwise_or_broadcast ~n:2 ~k:3));

@@ -15,6 +15,10 @@ type entry =
       tree : 'a Proto.Tree.t Lazy.t;
       declared_cost : int option;
           (** documented worst-case bits, cross-checked by proto-lint *)
+      spec : ('a array -> int) option;
+          (** reference function on input profiles; deterministic
+              entries that declare one are zero-error certified against
+              it by proto-verify ({!Verify_registry}) *)
       note : string;
     }
       -> entry
@@ -23,6 +27,7 @@ val entry :
   name:string ->
   players:int ->
   ?declared_cost:int ->
+  ?spec:('a array -> int) ->
   ?note:string ->
   domain:'a array ->
   'a Proto.Tree.t Lazy.t ->
@@ -32,6 +37,7 @@ val name : entry -> string
 val players : entry -> int
 val note : entry -> string
 val declared_cost : entry -> int option
+val has_spec : entry -> bool
 
 type run = {
   output : int;

@@ -1,0 +1,267 @@
+(** Proto-verify differential mode: cross-check every registry entry's
+    certified guarantees against its executed and declared measures.
+
+    For each entry the verifier runs the abstract interpreter
+    ({!Analysis.Absint}) — and, when the entry declares a reference
+    [spec], the zero-error certifier ({!Analysis.Certify}) — and then
+    checks three independent derivations of the same quantity against
+    each other:
+
+    - the certified [\[min, max\]] reachable bit-cost interval must
+      contain the bits an actual seeded run charges on the blackboard
+      ([Registry.run_on_board], which posts through the same
+      fixed-width accounting);
+    - the certified worst case must equal the structural
+      [Tree.communication_cost] (strictly below it only when proven-dead
+      branches carry the structural maximum — reported as advisory);
+    - the certified worst case must equal the declared paper bound when
+      the entry documents one (e.g. the batched [DISJ] tree's
+      Theorem-2-shaped cost).
+
+    Findings are ordinary {!Analysis.Report} diagnostics under the
+    [verify-*] rule ids, so the severity and exit policy are shared
+    with proto-lint; a {e baseline} file can suppress known-advisory
+    findings (demoting them to [Info]) so they do not break CI. *)
+
+module An = Analysis
+module Rep = Analysis.Report
+module J = Obs.Jsonw
+
+let id_observed_bits = "verify-observed-bits"
+let id_cost_interval = "verify-cost-interval"
+let id_declared_bound = "verify-declared-bound"
+let id_spec = "verify-spec"
+let id_inconclusive = "verify-inconclusive"
+let id_no_spec = "verify-no-spec"
+
+let all_rule_ids =
+  [
+    id_observed_bits;
+    id_cost_interval;
+    id_declared_bound;
+    id_spec;
+    id_inconclusive;
+    id_no_spec;
+  ]
+
+type result = {
+  entry : Registry.entry;
+  summary : An.Absint.t;
+  outcome : An.Certify.outcome option;  (** [None] when no spec *)
+  checked_profiles : int;
+  static_cc : int;
+  observed_bits : int;
+  seed : int;
+  report : Rep.t;
+  suppressed : int;  (** diagnostics demoted to [Info] by the baseline *)
+}
+
+let outcome_label = function
+  | None -> "no-spec"
+  | Some o -> An.Certify.outcome_label o
+
+(* ------------------------------------------------------------------ *)
+(* Baseline suppression                                                *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_schema = "broadcast-ic/verify-baseline/v1"
+
+type baseline = { suppress : (string * string) list }
+    (* (protocol, rule) pairs; "*" is a wildcard on either side *)
+
+let empty_baseline = { suppress = [] }
+
+let baseline_of_json json =
+  match J.member "schema" json with
+  | Some (J.String s) when s = baseline_schema -> (
+      match J.member "suppress" json with
+      | None | Some (J.List []) -> Ok empty_baseline
+      | Some (J.List items) ->
+          let rec decode acc = function
+            | [] -> Ok { suppress = List.rev acc }
+            | item :: rest -> (
+                match (J.member "protocol" item, J.member "rule" item) with
+                | Some (J.String p), Some (J.String r) ->
+                    decode ((p, r) :: acc) rest
+                | _ ->
+                    Error
+                      "baseline: each suppress item needs string fields \
+                       \"protocol\" and \"rule\"")
+          in
+          decode [] items
+      | Some _ -> Error "baseline: \"suppress\" must be a list")
+  | Some (J.String s) ->
+      Error (Printf.sprintf "baseline: unknown schema %S (want %S)" s baseline_schema)
+  | _ -> Error (Printf.sprintf "baseline: missing schema field (want %S)" baseline_schema)
+
+let load_baseline path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | raw -> (
+      match J.of_string raw with
+      | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" path e)
+      | Ok json -> baseline_of_json json)
+
+(** Demote matched diagnostics to [Info] (annotated, never dropped:
+    the finding stays visible in reports and artifacts, it just stops
+    gating). Returns the rewritten report and the number suppressed. *)
+let apply_baseline baseline ~protocol report =
+  let matches d =
+    List.exists
+      (fun (p, r) ->
+        (p = "*" || p = protocol) && (r = "*" || r = d.Rep.rule))
+      baseline.suppress
+  in
+  let suppressed = ref 0 in
+  let report' =
+    List.map
+      (fun d ->
+        if d.Rep.severity <> Rep.Info && matches d then begin
+          incr suppressed;
+          { d with Rep.severity = Rep.Info;
+            message = d.Rep.message ^ " [suppressed by baseline]" }
+        end
+        else d)
+      (Rep.to_list report)
+  in
+  (Rep.of_list report', !suppressed)
+
+(* ------------------------------------------------------------------ *)
+(* Per-entry verification                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
+    (Registry.Entry e as entry) =
+  let tree = Lazy.force e.tree in
+  let static_cc = Proto.Tree.communication_cost tree in
+  let outcome, summary, checked_profiles =
+    match e.spec with
+    | Some spec ->
+        let cert =
+          An.Certify.certify ?budget ~players:e.players ~spec
+            ~domain:e.domain tree
+        in
+        (Some cert.An.Certify.outcome, cert.An.Certify.summary,
+         cert.An.Certify.checked_profiles)
+    | None ->
+        (None, An.Absint.analyze ?budget ~players:e.players ~domain:e.domain tree, 0)
+  in
+  let run = Registry.run_on_board entry ~seed in
+  let observed_bits = Blackboard.Board.total_bits run.Registry.board in
+  let cost = summary.An.Absint.cost in
+  let root = An.Path.root in
+  let err rule msg = Rep.diagnostic ~severity:Rep.Error ~rule ~path:root msg in
+  let warn rule msg = Rep.diagnostic ~severity:Rep.Warning ~rule ~path:root msg in
+  let info rule msg = Rep.diagnostic ~severity:Rep.Info ~rule ~path:root msg in
+  let diags = ref [] in
+  let push d = diags := d :: !diags in
+  if not (An.Absint.mem_interval observed_bits cost) then
+    push
+      (err id_observed_bits
+         (Printf.sprintf
+            "executed run (seed %d) charged %d bits, outside the certified \
+             interval %s"
+            seed observed_bits (An.Absint.interval_to_string cost)));
+  if summary.An.Absint.widened then
+    push
+      (warn id_inconclusive
+         (Printf.sprintf
+            "node budget exhausted after %d nodes (%d widenings); certified \
+             bounds are widened and the output map is incomplete"
+            summary.An.Absint.nodes summary.An.Absint.widenings))
+  else begin
+    if cost.An.Absint.hi > static_cc then
+      push
+        (err id_cost_interval
+           (Printf.sprintf
+              "certified worst case %d bits exceeds the structural \
+               communication cost %d — the analyzer is unsound or the tree \
+               changed underneath it"
+              cost.An.Absint.hi static_cc));
+    if cost.An.Absint.hi < static_cc then
+      push
+        (info id_cost_interval
+           (Printf.sprintf
+              "certified worst case %d bits is below the structural cost %d: \
+               %d proven-dead branches carry the structural maximum"
+              cost.An.Absint.hi static_cc
+              (List.length summary.An.Absint.dead)));
+    match e.declared_cost with
+    | Some c when c <> cost.An.Absint.hi ->
+        push
+          (err id_declared_bound
+             (Printf.sprintf
+                "declared paper bound %d bits but certified worst case is %d"
+                c cost.An.Absint.hi))
+    | _ -> ()
+  end;
+  (match outcome with
+  | None ->
+      push
+        (info id_no_spec
+           "no reference spec declared; output correctness not certified")
+  | Some An.Certify.Certified -> ()
+  | Some (An.Certify.Refuted cex) ->
+      push
+        (Rep.diagnostic ~severity:Rep.Error ~rule:id_spec
+           ~path:cex.An.Certify.at_leaf
+           (Printf.sprintf "spec refuted: %s"
+              (An.Certify.counterexample_to_string cex)))
+  | Some (An.Certify.Inconclusive reason) ->
+      push (warn id_inconclusive ("certification inconclusive: " ^ reason)));
+  let report, suppressed =
+    apply_baseline baseline ~protocol:e.name (Rep.of_list (List.rev !diags))
+  in
+  {
+    entry;
+    summary;
+    outcome;
+    checked_profiles;
+    static_cc;
+    observed_bits;
+    seed;
+    report;
+    suppressed;
+  }
+
+let verify_all ?budget ?seed ?baseline () =
+  List.map (fun e -> verify_entry ?budget ?seed ?baseline e) (Registry.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Exit policy and JSON rendering                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** 0 when every entry is certified (or advisory-only), 1 on any
+    refutation or cross-check failure (error diagnostics), 3 when the
+    worst finding is an inconclusive certification (warnings). *)
+let exit_code results =
+  let has p = List.exists (fun r -> p r.report) results in
+  if has Rep.has_errors then 1
+  else if has (fun rep -> Rep.count_severity Rep.Warning rep > 0) then 3
+  else 0
+
+let result_to_json r =
+  let (Registry.Entry e) = r.entry in
+  let s = r.summary in
+  J.obj
+    [
+      ("protocol", J.String e.name);
+      ("players", J.Int e.players);
+      ("cost_min", J.Int s.An.Absint.cost.An.Absint.lo);
+      ("cost_max", J.Int s.An.Absint.cost.An.Absint.hi);
+      ("cc", J.Int r.static_cc);
+      ( "declared_cost",
+        match e.declared_cost with
+        | Some c -> J.Int c
+        | None -> J.Null );
+      ("observed_bits", J.Int r.observed_bits);
+      ("seed", J.Int r.seed);
+      ("outcome", J.String (outcome_label r.outcome));
+      ("deterministic", J.Bool s.An.Absint.deterministic);
+      ("nodes", J.Int s.An.Absint.nodes);
+      ("widenings", J.Int s.An.Absint.widenings);
+      ("dead_branches", J.Int (List.length s.An.Absint.dead));
+      ("checked_profiles", J.Int r.checked_profiles);
+      ("suppressed", J.Int r.suppressed);
+      ("diagnostics", Rep.to_json r.report);
+    ]

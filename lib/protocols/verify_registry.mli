@@ -1,0 +1,78 @@
+(** Proto-verify differential mode over the protocol registry.
+
+    Cross-checks, per entry, three independent derivations of the bit
+    cost — the certified reachable [\[min, max\]] interval
+    ({!Analysis.Absint}), the structural [Tree.communication_cost], and
+    an actual seeded blackboard run — plus the declared paper bound and,
+    when the entry carries a reference [spec], the zero-error output
+    certificate ({!Analysis.Certify}). Findings are
+    {!Analysis.Report} diagnostics under [verify-*] rule ids; a
+    baseline file suppresses known-advisory findings by demoting them
+    to [Info]. *)
+
+val id_observed_bits : string
+val id_cost_interval : string
+val id_declared_bound : string
+val id_spec : string
+val id_inconclusive : string
+val id_no_spec : string
+val all_rule_ids : string list
+
+type result = {
+  entry : Registry.entry;
+  summary : Analysis.Absint.t;
+  outcome : Analysis.Certify.outcome option;  (** [None] when no spec *)
+  checked_profiles : int;
+  static_cc : int;  (** structural [Tree.communication_cost] *)
+  observed_bits : int;  (** blackboard bits of the seeded run *)
+  seed : int;
+  report : Analysis.Report.t;  (** [verify-*] diagnostics, post-baseline *)
+  suppressed : int;  (** diagnostics demoted to [Info] by the baseline *)
+}
+
+val outcome_label : Analysis.Certify.outcome option -> string
+(** ["certified"] / ["refuted"] / ["inconclusive"] / ["no-spec"]. *)
+
+(** {1 Baseline suppression} *)
+
+val baseline_schema : string
+(** ["broadcast-ic/verify-baseline/v1"]. *)
+
+type baseline
+
+val empty_baseline : baseline
+
+val baseline_of_json : Obs.Jsonw.t -> (baseline, string) Stdlib.result
+(** Expects [{"schema": baseline_schema, "suppress": \[{"protocol": p,
+    "rule": r}, ...\]}]; ["*"] wildcards either field. Extra fields
+    (e.g. ["reason"]) are allowed and ignored. *)
+
+val load_baseline : string -> (baseline, string) Stdlib.result
+
+val apply_baseline :
+  baseline -> protocol:string -> Analysis.Report.t -> Analysis.Report.t * int
+(** Demote matched above-[Info] diagnostics to [Info], annotated
+    [\[suppressed by baseline\]] — never dropped, so the finding stays
+    visible in artifacts while no longer gating. Returns the rewritten
+    report and the number suppressed. *)
+
+(** {1 Verification} *)
+
+val verify_entry :
+  ?budget:int -> ?seed:int -> ?baseline:baseline -> Registry.entry -> result
+(** [budget] as in {!Analysis.Absint.analyze}; [seed] (default 1)
+    drives the differential blackboard run. *)
+
+val verify_all :
+  ?budget:int -> ?seed:int -> ?baseline:baseline -> unit -> result list
+(** {!verify_entry} over [Registry.all ()]. *)
+
+val exit_code : result list -> int
+(** 0 all certified (or advisory-only), 1 any refutation or cross-check
+    failure, 3 inconclusive-at-worst — the CLI contract of
+    [broadcast_cli verify]. *)
+
+val result_to_json : result -> Obs.Jsonw.t
+(** One flat object per entry (schema [broadcast-ic/verify/v1] lines);
+    diagnostics use the shared {!Analysis.Report.diagnostic_to_json}
+    shape. *)

@@ -1,0 +1,375 @@
+(** Tests for proto-verify: the abstract interpreter ({!Analysis.Absint}),
+    the zero-error certifier ({!Analysis.Certify}), the registry
+    differential verifier ({!Protocols.Verify_registry}), and the
+    {!Analysis.Path} edge cases the diagnostics machinery leans on.
+
+    The refutation tests build deliberately-wrong AND trees and check
+    that the returned counterexample is a {e real} falsifying input by
+    replaying it through the operational semantics. *)
+
+module Ab = Analysis.Absint
+module Cert = Analysis.Certify
+module P = Analysis.Path
+module Rep = Analysis.Report
+module V = Protocols.Verify_registry
+module Reg = Protocols.Registry
+module T = Proto.Tree
+module Sem = Proto.Semantics
+module D = Prob.Dist_exact
+module J = Obs.Jsonw
+open Test_util
+
+let bit_domain = [| 0; 1 |]
+let seq k = Protocols.And_protocols.sequential k
+let out = T.output
+let id b = b
+
+let check_interval ~msg (lo, hi) (iv : Ab.interval) =
+  if iv.Ab.lo <> lo || iv.Ab.hi <> hi then
+    Alcotest.failf "%s: expected [%d, %d], got %s" msg lo hi
+      (Ab.interval_to_string iv)
+
+(* --- Path edge cases ---------------------------------------------- *)
+
+let t_path_root () =
+  Alcotest.(check string) "root renders" "root" (P.to_string P.root);
+  Alcotest.(check int) "root depth" 0 (P.depth P.root);
+  Alcotest.(check (list int)) "root steps" [] (P.to_list P.root)
+
+let t_path_build () =
+  let p = P.child (P.child P.root 2) 0 in
+  Alcotest.(check string) "nested path" "root/2/0" (P.to_string p);
+  Alcotest.(check int) "depth" 2 (P.depth p);
+  (* to_list is root-first even though the representation is reversed *)
+  Alcotest.(check (list int)) "root-first steps" [ 2; 0 ] (P.to_list p)
+
+let t_path_compare () =
+  let p steps = List.fold_left P.child P.root steps in
+  Alcotest.(check bool) "root before any child" true
+    (P.compare P.root (p [ 0 ]) < 0);
+  (* Numeric, not string, order on each step: 2 < 10. *)
+  Alcotest.(check bool) "root/2 < root/10" true
+    (P.compare (p [ 2 ]) (p [ 10 ]) < 0);
+  Alcotest.(check bool) "prefix before extension" true
+    (P.compare (p [ 1 ]) (p [ 1; 0 ]) < 0);
+  Alcotest.(check int) "equal paths" 0 (P.compare (p [ 3; 1 ]) (p [ 3; 1 ]));
+  let sorted =
+    List.sort_uniq P.compare [ p [ 10 ]; p [ 2 ]; p [ 2 ]; P.root; p [ 2; 0 ] ]
+  in
+  Alcotest.(check (list string))
+    "sort_uniq is pre-order with dedup"
+    [ "root"; "root/2"; "root/2/0"; "root/10" ]
+    (List.map P.to_string sorted)
+
+(* --- Absint: cost intervals and the output map -------------------- *)
+
+let t_absint_sequential_and () =
+  let s = Ab.analyze ~domain:bit_domain (seq 3) in
+  (* x_0 = 0 halts after 1 bit; all-ones costs k = 3. *)
+  check_interval ~msg:"AND_3 cost" (1, 3) s.Ab.cost;
+  Alcotest.(check int) "struct max = CC" 3 s.Ab.struct_max;
+  Alcotest.(check bool) "deterministic" true s.Ab.deterministic;
+  Alcotest.(check bool) "not widened" false s.Ab.widened;
+  Alcotest.(check int) "no law failures" 0 s.Ab.law_failures;
+  Alcotest.(check int) "players inferred" 3 s.Ab.players;
+  Alcotest.(check (list string)) "no dead branches" []
+    (List.map P.to_string s.Ab.dead);
+  (* Halt-at-first-zero has one leaf per prefix plus the all-ones leaf. *)
+  Alcotest.(check int) "4 leaves" 4 (List.length s.Ab.leaves);
+  (* The rectangles partition the 2^3 input profiles. *)
+  Alcotest.(check int) "leaves cover every profile" 8
+    (List.fold_left
+       (fun acc l -> acc + Ab.rect_profiles l.Ab.rect)
+       0 s.Ab.leaves)
+
+let t_absint_dead_branch () =
+  (* Constant emit: child 1 is unreachable, so its subtree's bit never
+     gets charged and the certified max drops below the structural CC. *)
+  let t =
+    T.speak_det ~speaker:0
+      ~f:(fun _ -> 0)
+      [| out 0; T.speak_det ~speaker:1 ~f:id [| out 0; out 1 |] |]
+  in
+  let s = Ab.analyze ~domain:bit_domain t in
+  Alcotest.(check (list string))
+    "child 1 proven dead" [ "root/1" ]
+    (List.map P.to_string s.Ab.dead);
+  check_interval ~msg:"only the first bit reachable" (1, 1) s.Ab.cost;
+  Alcotest.(check int) "structural CC still 2" 2 s.Ab.struct_max;
+  Alcotest.(check bool) "certified max below CC" true
+    (s.Ab.cost.Ab.hi < Proto.Tree.communication_cost t)
+
+let t_absint_input_contradiction () =
+  (* Speaker 0 echoes its bit twice. After it says 1 the rectangle pins
+     x_0 = 1, so the second node's child 0 contradicts the transcript:
+     proven dead, and the output 99 leaf never appears in the map. *)
+  let t =
+    T.speak_det ~speaker:0 ~f:id
+      [| out 0; T.speak_det ~speaker:0 ~f:id [| out 99; out 1 |] |]
+  in
+  let s = Ab.analyze ~domain:bit_domain t in
+  Alcotest.(check (list string))
+    "contradictory branch proven dead" [ "root/1/0" ]
+    (List.map P.to_string s.Ab.dead);
+  check_interval ~msg:"both real paths chargeable" (1, 2) s.Ab.cost;
+  Alcotest.(check bool) "still deterministic" true s.Ab.deterministic;
+  let outputs = List.map (fun l -> l.Ab.output) s.Ab.leaves in
+  Alcotest.(check bool) "no unreachable output in the map" false
+    (List.mem 99 outputs);
+  Alcotest.(check int) "profiles conserved" 2
+    (List.fold_left
+       (fun acc l -> acc + Ab.rect_profiles l.Ab.rect)
+       0 s.Ab.leaves)
+
+let t_absint_widening () =
+  let s = Ab.analyze ~budget:1 ~domain:bit_domain (seq 3) in
+  Alcotest.(check bool) "widened" true s.Ab.widened;
+  Alcotest.(check bool) "widenings counted" true (s.Ab.widenings > 0);
+  Alcotest.(check bool) "widened is never deterministic" false
+    s.Ab.deterministic;
+  (* Widened bounds stay sound: every real path cost is inside. *)
+  Alcotest.(check bool) "hi clamped to structural CC" true
+    (s.Ab.cost.Ab.hi <= s.Ab.struct_max);
+  List.iter
+    (fun cost ->
+      Alcotest.(check bool)
+        (Printf.sprintf "path cost %d covered" cost)
+        true
+        (Ab.mem_interval cost s.Ab.cost))
+    [ 1; 2; 3 ]
+
+let t_absint_bad_args () =
+  Alcotest.check_raises "empty domain"
+    (Invalid_argument "Absint.analyze: empty domain") (fun () ->
+      ignore (Ab.analyze ~domain:[||] (out 0)));
+  Alcotest.check_raises "non-positive budget"
+    (Invalid_argument "Absint.analyze: budget must be positive") (fun () ->
+      ignore (Ab.analyze ~budget:0 ~domain:bit_domain (out 0)))
+
+(* --- Certify: certificates and counterexamples -------------------- *)
+
+let t_certify_and_correct () =
+  let c =
+    Cert.certify ~spec:Protocols.Hard_dist.and_fn ~domain:bit_domain (seq 3)
+  in
+  (match c.Cert.outcome with
+  | Cert.Certified -> ()
+  | o -> Alcotest.failf "expected certified, got %s" (Cert.outcome_label o));
+  Alcotest.(check int) "every profile checked exactly once" 8
+    c.Cert.checked_profiles;
+  Alcotest.(check int) "exit 0" 0 (Cert.exit_code c.Cert.outcome)
+
+(* Sequential AND_2 with the all-ones leaf deliberately flipped to 0. *)
+let wrong_and_tree =
+  T.speak_det ~speaker:0 ~f:id
+    [| out 0; T.speak_det ~speaker:1 ~f:id [| out 0; out 0 |] |]
+
+let t_certify_and_refuted () =
+  let spec = Protocols.Hard_dist.and_fn in
+  let c = Cert.certify ~spec ~domain:bit_domain wrong_and_tree in
+  match c.Cert.outcome with
+  | Cert.Refuted cex ->
+      Alcotest.(check int) "exit 1" 1 (Cert.exit_code c.Cert.outcome);
+      (* The counterexample must be a real falsifying input: decode it
+         and replay it through the operational semantics. *)
+      let inputs = Cert.inputs_of_counterexample ~domain:bit_domain cex in
+      Alcotest.(check (array int)) "the all-ones profile" [| 1; 1 |] inputs;
+      Alcotest.(check int) "spec on it" cex.Cert.expected (spec inputs);
+      (match D.support (Sem.output_dist wrong_and_tree inputs) with
+      | [ v ] -> Alcotest.(check int) "replayed output" cex.Cert.actual v
+      | _ -> Alcotest.fail "wrong tree should still be deterministic");
+      Alcotest.(check bool) "it actually falsifies" true
+        (cex.Cert.expected <> cex.Cert.actual);
+      Alcotest.(check string) "at the flipped leaf" "root/1/1"
+        (P.to_string cex.Cert.at_leaf)
+  | o -> Alcotest.failf "expected refuted, got %s" (Cert.outcome_label o)
+
+let t_certify_randomized_inconclusive () =
+  let t =
+    T.chance ~coin:(D.uniform [ 0; 1 ]) [| out 0; out 1 |]
+  in
+  let c = Cert.certify ~spec:(fun _ -> 0) ~domain:bit_domain t in
+  (match c.Cert.outcome with
+  | Cert.Inconclusive _ -> ()
+  | o -> Alcotest.failf "expected inconclusive, got %s" (Cert.outcome_label o));
+  Alcotest.(check int) "exit 3" 3 (Cert.exit_code c.Cert.outcome)
+
+let t_certify_budget_inconclusive () =
+  let c =
+    Cert.certify ~budget:1 ~spec:Protocols.Hard_dist.and_fn
+      ~domain:bit_domain (seq 3)
+  in
+  match c.Cert.outcome with
+  | Cert.Inconclusive _ -> Alcotest.(check bool) "widened" true c.Cert.summary.Ab.widened
+  | o -> Alcotest.failf "expected inconclusive, got %s" (Cert.outcome_label o)
+
+(* --- Verify_registry: the differential sweep ---------------------- *)
+
+let t_verify_registry_sweep () =
+  let results = V.verify_all () in
+  Alcotest.(check bool) "sweep covers the registry" true
+    (List.length results >= 12);
+  Alcotest.(check int) "whole registry verifies clean" 0 (V.exit_code results);
+  List.iter
+    (fun r ->
+      let name = Reg.name r.V.entry in
+      if Rep.has_errors r.V.report then
+        Alcotest.failf "%s has verify errors: %s" name
+          (Rep.to_string r.V.report);
+      Alcotest.(check bool)
+        (name ^ ": executed run inside certified interval")
+        true
+        (Ab.mem_interval r.V.observed_bits r.V.summary.Ab.cost);
+      if Reg.has_spec r.V.entry then
+        match r.V.outcome with
+        | Some Cert.Certified -> ()
+        | o -> Alcotest.failf "%s: expected certified, got %s" name
+                 (V.outcome_label o))
+    results
+
+let t_verify_batched_bound () =
+  let entry =
+    match Reg.find "disj/batched-tree" with
+    | Some e -> e
+    | None -> Alcotest.fail "disj/batched-tree not registered"
+  in
+  let r = V.verify_entry entry in
+  Alcotest.(check (option int))
+    "certified worst case equals the declared Theorem-2 bound" (Some 6)
+    (Some r.V.summary.Ab.cost.Ab.hi);
+  Alcotest.(check (option int)) "declared bound" (Some 6)
+    (Reg.declared_cost entry)
+
+let t_verify_refutes_wrong_entry () =
+  (* Built ad hoc, NOT registered: registration is global state and
+     would poison the sweep above. *)
+  let entry =
+    Reg.entry ~name:"test/wrong-and" ~players:2 ~declared_cost:2
+      ~spec:Protocols.Hard_dist.and_fn ~domain:bit_domain
+      (lazy wrong_and_tree)
+  in
+  let r = V.verify_entry entry in
+  Alcotest.(check int) "refutation exits 1" 1 (V.exit_code [ r ]);
+  Alcotest.(check bool) "verify-spec error" true
+    (List.exists
+       (fun d -> d.Rep.rule = V.id_spec && d.Rep.severity = Rep.Error)
+       (Rep.to_list r.V.report));
+  match r.V.outcome with
+  | Some (Cert.Refuted cex) ->
+      let inputs = Cert.inputs_of_counterexample ~domain:bit_domain cex in
+      Alcotest.(check int) "counterexample really falsifies"
+        cex.Cert.expected
+        (Protocols.Hard_dist.and_fn inputs);
+      Alcotest.(check bool) "outputs differ" true
+        (cex.Cert.expected <> cex.Cert.actual)
+  | o -> Alcotest.failf "expected refuted, got %s" (V.outcome_label o)
+
+let t_verify_flags_wrong_declared () =
+  let entry =
+    Reg.entry ~name:"test/wrong-bound" ~players:2 ~declared_cost:5
+      ~spec:Protocols.Hard_dist.and_fn ~domain:bit_domain (lazy (seq 2))
+  in
+  let r = V.verify_entry entry in
+  Alcotest.(check bool) "verify-declared-bound error" true
+    (List.exists
+       (fun d -> d.Rep.rule = V.id_declared_bound && d.Rep.severity = Rep.Error)
+       (Rep.to_list r.V.report));
+  Alcotest.(check int) "exits 1" 1 (V.exit_code [ r ])
+
+(* --- Baseline suppression ----------------------------------------- *)
+
+let t_baseline_parse () =
+  let good =
+    J.obj
+      [
+        ("schema", J.String V.baseline_schema);
+        ( "suppress",
+          J.list
+            [
+              J.obj
+                [
+                  ("protocol", J.String "p");
+                  ("rule", J.String "verify-spec");
+                  ("reason", J.String "extra fields are fine");
+                ];
+            ] );
+      ]
+  in
+  (match V.baseline_of_json good with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "good baseline rejected: %s" e);
+  (match V.baseline_of_json (J.obj [ ("schema", J.String "nope/v0") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted");
+  match
+    V.baseline_of_json
+      (J.obj
+         [
+           ("schema", J.String V.baseline_schema);
+           ("suppress", J.list [ J.obj [ ("protocol", J.String "p") ] ]);
+         ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "suppress item without rule accepted"
+
+let t_baseline_suppresses () =
+  let entry =
+    Reg.entry ~name:"test/wrong-bound" ~players:2 ~declared_cost:5
+      ~spec:Protocols.Hard_dist.and_fn ~domain:bit_domain (lazy (seq 2))
+  in
+  let baseline =
+    match
+      V.baseline_of_json
+        (J.obj
+           [
+             ("schema", J.String V.baseline_schema);
+             ( "suppress",
+               J.list
+                 [
+                   J.obj
+                     [
+                       ("protocol", J.String "*");
+                       ("rule", J.String V.id_declared_bound);
+                     ];
+                 ] );
+           ])
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.failf "baseline parse: %s" e
+  in
+  let r = V.verify_entry ~baseline entry in
+  Alcotest.(check int) "one diagnostic suppressed" 1 r.V.suppressed;
+  Alcotest.(check bool) "no longer an error" false (Rep.has_errors r.V.report);
+  Alcotest.(check int) "stops gating" 0 (V.exit_code [ r ]);
+  (* Demoted, not dropped: still visible and annotated. *)
+  Alcotest.(check bool) "finding survives as info" true
+    (List.exists
+       (fun d ->
+         d.Rep.rule = V.id_declared_bound
+         && d.Rep.severity = Rep.Info
+         && String.length d.Rep.message > 0)
+       (Rep.to_list r.V.report))
+
+let suite =
+  [
+    quick "path: root" t_path_root;
+    quick "path: build and render" t_path_build;
+    quick "path: pre-order compare" t_path_compare;
+    quick "absint: sequential AND interval and map" t_absint_sequential_and;
+    quick "absint: dead branch drops certified max" t_absint_dead_branch;
+    quick "absint: input contradiction proven dead"
+      t_absint_input_contradiction;
+    quick "absint: widening stays sound" t_absint_widening;
+    quick "absint: argument validation" t_absint_bad_args;
+    quick "certify: correct AND certified" t_certify_and_correct;
+    quick "certify: wrong AND refuted with real input" t_certify_and_refuted;
+    quick "certify: randomized tree inconclusive"
+      t_certify_randomized_inconclusive;
+    quick "certify: budget cut inconclusive" t_certify_budget_inconclusive;
+    quick "verify: registry sweep certifies clean" t_verify_registry_sweep;
+    quick "verify: batched DISJ matches declared bound" t_verify_batched_bound;
+    quick "verify: seeded-wrong entry refuted" t_verify_refutes_wrong_entry;
+    quick "verify: wrong declared bound flagged" t_verify_flags_wrong_declared;
+    quick "baseline: parse and validation" t_baseline_parse;
+    quick "baseline: demotes without dropping" t_baseline_suppresses;
+  ]

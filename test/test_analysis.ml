@@ -180,6 +180,29 @@ let t_bit_accounting_flags () =
       (Coding.Intcode.fixed_width n) (Ru.ceil_log2 n)
   done
 
+let t_bit_accounting_negative_declared () =
+  (* Regression: a negative declaration used to blow up inside the
+     analyzer (Invalid_argument from the arity arithmetic); it must be
+     an ordinary diagnostic instead. *)
+  let report = An.analyze ~players:3 ~declared_cost:(-1) ~domain:bit_domain (seq 3) in
+  check_flags ~msg:"negative declared cost" Ru.id_bit_accounting report;
+  Alcotest.(check bool) "error severity" true (Rep.has_errors report);
+  let mentions_negative =
+    List.exists
+      (fun d ->
+        d.Rep.rule = Ru.id_bit_accounting
+        && String.length d.Rep.message >= 8
+        && (let lower = String.lowercase_ascii d.Rep.message in
+            let rec find i =
+              i + 8 <= String.length lower
+              && (String.sub lower i 8 = "negative" || find (i + 1))
+            in
+            find 0))
+      (Rep.to_list report)
+  in
+  Alcotest.(check bool) "diagnostic names the sign error" true
+    mentions_negative
+
 (* --- (7) state-space-budget --------------------------------------- *)
 
 let t_state_space_clean () =
@@ -231,6 +254,31 @@ let t_report_ordering () =
     (Rep.exit_code ~strict:true (Rep.of_list [ d Rep.Warning "w" ]));
   Alcotest.(check int) "lenient exit" 0
     (Rep.exit_code (Rep.of_list [ d Rep.Warning "w" ]))
+
+let t_diagnostic_json () =
+  let d =
+    Rep.diagnostic ~severity:Rep.Warning ~rule:"dead-branch"
+      ~path:(Analysis.Path.child Analysis.Path.root 2)
+      "say \"hi\""
+  in
+  let json = Rep.diagnostic_to_json d in
+  let field name =
+    match Obs.Jsonw.member name json with
+    | Some (Obs.Jsonw.String s) -> s
+    | _ -> Alcotest.failf "missing string field %s" name
+  in
+  Alcotest.(check string) "severity" "warning" (field "severity");
+  Alcotest.(check string) "rule" "dead-branch" (field "rule");
+  Alcotest.(check string) "path" "root/2" (field "path");
+  Alcotest.(check string) "message" "say \"hi\"" (field "message");
+  (* The rendered line is valid JSON (escaping included) and the report
+     list serializer wraps the same objects. *)
+  (match Obs.Jsonw.of_string (Obs.Jsonw.to_string json) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "diagnostic JSON does not re-parse: %s" e);
+  match Rep.to_json (Rep.of_list [ d; d ]) with
+  | Obs.Jsonw.List [ _; _ ] -> ()
+  | j -> Alcotest.failf "report JSON shape: %s" (Obs.Jsonw.to_string j)
 
 (* --- registry sweep ----------------------------------------------- *)
 
@@ -290,11 +338,14 @@ let suite =
     quick "dead-branch: flags" t_dead_branch_flags;
     quick "bit-accounting: clean" t_bit_accounting_clean;
     quick "bit-accounting: flags" t_bit_accounting_flags;
+    quick "bit-accounting: negative declaration is a diagnostic"
+      t_bit_accounting_negative_declared;
     quick "state-space-budget: clean" t_state_space_clean;
     quick "state-space-budget: flags" t_state_space_flags;
     quick "analyze: clean protocol" t_analyze_clean_protocol;
     quick "analyze: malformed protocol" t_analyze_malformed_protocol;
     quick "report: ordering and exit policy" t_report_ordering;
+    quick "report: diagnostic JSON schema" t_diagnostic_json;
     quick "registry: every shipped protocol lints clean" t_registry_all_clean;
     quick "registry: duplicate registration rejected" t_registry_register;
     quick "registry: batched DISJ tree is correct" t_batched_tree_correct;

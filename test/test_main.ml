@@ -21,5 +21,6 @@ let () =
       ("combinators", Test_combinators.suite);
       ("random-trees", Test_random_trees.suite);
       ("analysis", Test_analysis.suite);
+      ("absint", Test_absint.suite);
       ("obs", Test_obs.suite);
     ]
