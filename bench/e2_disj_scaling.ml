@@ -32,27 +32,41 @@ let run () =
       (16384, 16); (16384, 64); (16384, 1024);
     ]
   in
-  let models = ref [] and measured = ref [] and json_rows = ref [] in
-  let rows =
-    List.map
+  (* Per-config runs are independent (each seeds its own instance);
+     fan out and derive the fit/JSON/table sequentially afterwards. *)
+  let data =
+    Par.parallel_map
       (fun (n, k) ->
         let b, nv, tv = measure_one ~seed:((n * 13) + k) ~n ~k in
         let model = Protocols.Disj_batched.cost_model ~n ~k in
-        models := model :: !models;
-        measured := float_of_int b.Protocols.Disj_common.bits :: !measured;
-        json_rows :=
-          Obs.Jsonw.
-            [
-              ("n", Int n);
-              ("k", Int k);
-              ("batched_bits", Int b.Protocols.Disj_common.bits);
-              ("naive_bits", Int nv.Protocols.Disj_common.bits);
-              ("trivial_bits", Int tv.Protocols.Disj_common.bits);
-              ("model_bits", Float model);
-              ( "batched_over_model",
-                Float (float_of_int b.Protocols.Disj_common.bits /. model) );
-            ]
-          :: !json_rows;
+        (n, k, b, nv, tv, model))
+      configs
+  in
+  let models = List.map (fun (_, _, _, _, _, m) -> m) data in
+  let measured =
+    List.map
+      (fun (_, _, b, _, _, _) -> float_of_int b.Protocols.Disj_common.bits)
+      data
+  in
+  let json_rows =
+    List.map
+      (fun (n, k, b, nv, tv, model) ->
+        Obs.Jsonw.
+          [
+            ("n", Int n);
+            ("k", Int k);
+            ("batched_bits", Int b.Protocols.Disj_common.bits);
+            ("naive_bits", Int nv.Protocols.Disj_common.bits);
+            ("trivial_bits", Int tv.Protocols.Disj_common.bits);
+            ("model_bits", Float model);
+            ( "batched_over_model",
+              Float (float_of_int b.Protocols.Disj_common.bits /. model) );
+          ])
+      data
+  in
+  let rows =
+    List.map
+      (fun (n, k, b, nv, tv, model) ->
         let winner =
           let bits =
             [
@@ -73,14 +87,14 @@ let run () =
             F2 (float_of_int b.Protocols.Disj_common.bits /. model);
             S winner;
           ])
-      configs
+      data
   in
   Exp_util.table
     ~header:
       [ "n"; "k"; "batched"; "naive"; "trivial"; "batched/(n lg k + k)"; "winner" ]
     rows;
-  let c = Exp_util.fit_ratio !models !measured in
-  Exp_util.record_rows "rows" (List.rev !json_rows);
+  let c = Exp_util.fit_ratio models measured in
+  Exp_util.record_rows "rows" json_rows;
   Exp_util.record_f "fitted_constant" c;
   Exp_util.note "Fitted constant: batched bits ~ %.2f * (n log2 k + k)." c;
   Exp_util.note
@@ -89,7 +103,7 @@ let run () =
   (* Crossover: at fixed k, find where batched overtakes naive. *)
   Exp_util.heading "E2b" "Crossover: batched vs naive as n grows (k = 16)";
   let rows =
-    List.map
+    Par.parallel_map
       (fun n ->
         let b, nv, _ = measure_one ~seed:(n + 977) ~n ~k:16 in
         Exp_util.

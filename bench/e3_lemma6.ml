@@ -12,32 +12,42 @@ let run () =
   Exp_util.heading "E3" "Lemma 6: protocols with few speakers must err";
   let k = 16 in
   let eps' = 0.2 in
-  let json_rows = ref [] and all_hold = ref true in
-  let rows =
-    List.map
+  (* Per-m rows are independent exact computations; fan out, then
+     print and record in input order. *)
+  let data =
+    Par.parallel_map
       (fun m ->
         let _, predicted, exact = Lowerbound.Fooling.truncated_row ~k ~m ~eps' in
         let holds = exact +. 1e-12 >= predicted in
-        all_hold := !all_hold && holds;
-        json_rows :=
-          Obs.Jsonw.
-            [
-              ("speakers", Int m);
-              ("predicted_err_bound", Float predicted);
-              ("exact_err", Float exact);
-              ("holds", Bool holds);
-            ]
-          :: !json_rows;
-        Exp_util.[ I m; F predicted; F exact; B holds ])
+        (m, predicted, exact, holds))
       [ 0; 2; 4; 6; 8; 10; 12; 14; 15; 16 ]
+  in
+  let all_hold = List.for_all (fun (_, _, _, holds) -> holds) data in
+  let json_rows =
+    List.map
+      (fun (m, predicted, exact, holds) ->
+        Obs.Jsonw.
+          [
+            ("speakers", Int m);
+            ("predicted_err_bound", Float predicted);
+            ("exact_err", Float exact);
+            ("holds", Bool holds);
+          ])
+      data
+  in
+  let rows =
+    List.map
+      (fun (m, predicted, exact, holds) ->
+        Exp_util.[ I m; F predicted; F exact; B holds ])
+      data
   in
   Exp_util.table
     ~header:[ "speakers m"; "predicted err >=" ; "exact error"; "holds" ]
     rows;
-  Exp_util.record_rows "rows" (List.rev !json_rows);
+  Exp_util.record_rows "rows" json_rows;
   Exp_util.record_i "k" k;
   Exp_util.record_f "eps_prime" eps';
-  Exp_util.record_s "bound_holds_all" (if !all_hold then "yes" else "NO");
+  Exp_util.record_s "bound_holds_all" (if all_hold then "yes" else "NO");
   Exp_util.note "k = %d, eps' = %.2f; the full protocol (m = k) has error 0." k eps';
   Exp_util.note
     "Expected: to reach error <= eps, need m >= (1 - eps/(1-eps')) k = Omega(k) speakers,";
@@ -45,9 +55,8 @@ let run () =
 
   (* Scaling in k: minimum speakers needed to reach 10% error. *)
   Exp_util.heading "E3b" "Minimum speakers for error <= 0.1 as k grows";
-  let fraction_rows = ref [] in
-  let rows =
-    List.map
+  let data =
+    Par.parallel_map
       (fun k ->
         let rec find m =
           if m > k then k
@@ -56,15 +65,20 @@ let run () =
             if exact <= 0.1 then m else find (m + 1)
         in
         let m_min = find 0 in
-        let fraction = float_of_int m_min /. float_of_int k in
-        fraction_rows :=
-          Obs.Jsonw.
-            [ ("k", Int k); ("min_speakers", Int m_min);
-              ("fraction", Float fraction) ]
-          :: !fraction_rows;
-        Exp_util.[ I k; I m_min; F2 fraction ])
+        (k, m_min, float_of_int m_min /. float_of_int k))
       [ 4; 8; 16; 32; 64 ]
   in
-  Exp_util.record_rows "min_speakers" (List.rev !fraction_rows);
+  let fraction_rows =
+    List.map
+      (fun (k, m_min, fraction) ->
+        Obs.Jsonw.
+          [ ("k", Int k); ("min_speakers", Int m_min);
+            ("fraction", Float fraction) ])
+      data
+  in
+  let rows =
+    List.map (fun (k, m_min, fraction) -> Exp_util.[ I k; I m_min; F2 fraction ]) data
+  in
+  Exp_util.record_rows "min_speakers" fraction_rows;
   Exp_util.table ~header:[ "k"; "min speakers"; "fraction of k" ] rows;
   Exp_util.note "Expected: the fraction column is constant — the Omega(k) bound."

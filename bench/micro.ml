@@ -20,6 +20,17 @@ let tests () =
   let nu = Array.make 64 (1. /. 64.) in
   let and_tree6 = Protocols.And_protocols.sequential 6 in
   let mu6 = Protocols.Hard_dist.mu_and ~k:6 in
+  (* ~2048-bit operands: far above the native-int Euclid fast path and
+     the Karatsuba threshold, so these exercise the bigint slow paths. *)
+  let big_a = Exact.Bigint.of_string (String.make 620 '7') in
+  let big_b = Exact.Bigint.of_string (String.make 619 '3') in
+  (* Small-word rationals: stays on the native-int representation. *)
+  let r13 = Exact.Rational.of_ints 1 3 in
+  let r57 = Exact.Rational.of_ints 5 7 in
+  (* DAG-shaped tree: two_copy_sequential shares subtrees heavily, so
+     transcript_dist hits the per-node memo table. *)
+  let two_copy = Protocols.And_protocols.two_copy_sequential 3 in
+  let two_copy_input = Array.make 3 [| 1; 1 |] in
   [
     Test.make ~name:"bigint-mul-256bit"
       (Staged.stage
@@ -47,6 +58,17 @@ let tests () =
     Test.make ~name:"exact-ic-and6"
       (Staged.stage (fun () ->
            ignore (Proto.Information.external_ic and_tree6 mu6)));
+    Test.make ~name:"bigint-gcd-2048bit"
+      (Staged.stage (fun () -> ignore (Exact.Bigint.gcd big_a big_b)));
+    Test.make ~name:"bigint-mul-2048bit"
+      (Staged.stage (fun () -> ignore (Exact.Bigint.mul big_a big_b)));
+    Test.make ~name:"rational-add-small"
+      (Staged.stage (fun () -> ignore (Exact.Rational.add r13 r57)));
+    Test.make ~name:"rational-mul-small"
+      (Staged.stage (fun () -> ignore (Exact.Rational.mul r13 r57)));
+    Test.make ~name:"transcript-dist-two-copy"
+      (Staged.stage (fun () ->
+           ignore (Proto.Semantics.transcript_dist two_copy two_copy_input)));
   ]
 
 (* Spot check of the Obs overhead policy (DESIGN.md section 8): with the
@@ -115,5 +137,12 @@ let run () =
            else Printf.sprintf "%.0f ns" ns
          in
          Exp_util.[ S name; S pretty ])
+       rows);
+  (* Kernel timings also land in BENCH.json so perf PRs can quote
+     before/after numbers from the same artifact CI archives. *)
+  Exp_util.record_rows "kernels"
+    (List.map
+       (fun (name, ns) ->
+         Obs.Jsonw.[ ("kernel", String name); ("ns_per_run", Float ns) ])
        rows);
   null_sink_alloc_check ()

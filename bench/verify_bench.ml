@@ -15,53 +15,62 @@ module Ab = Analysis.Absint
 let run () =
   Exp_util.heading "VERIFY" "proto-verify certification sweep (analyzer wall time)";
   let entries = Reg.all () in
-  let results = ref [] in
-  let rows, json_rows, total_s, total_nodes =
-    List.fold_left
-      (fun (rows, json_rows, total_s, total_nodes) entry ->
+  (* Entries verify independently on the domain pool; per-entry wall
+     time is measured inside each worker, totals are summed after. *)
+  let data =
+    Par.parallel_map
+      (fun entry ->
         let t0 = Unix.gettimeofday () in
         let r = V.verify_entry entry in
         let wall_s = Unix.gettimeofday () -. t0 in
-        results := r :: !results;
+        (entry, r, wall_s))
+      entries
+  in
+  let results = List.map (fun (_, r, _) -> r) data in
+  let total_s = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. data in
+  let total_nodes =
+    List.fold_left (fun acc (_, r, _) -> acc + r.V.summary.Ab.nodes) 0 data
+  in
+  let rows =
+    List.map
+      (fun (entry, r, wall_s) ->
         let s = r.V.summary in
-        let name = Reg.name entry in
-        let outcome = V.outcome_label r.V.outcome in
-        let row =
-          Exp_util.
-            [
-              S name;
-              S (Ab.interval_to_string s.Ab.cost);
-              I r.V.static_cc;
-              I s.Ab.nodes;
-              I r.V.checked_profiles;
-              S outcome;
-              F (wall_s *. 1e3);
-            ]
-        in
-        let json_row =
-          Obs.Jsonw.
-            [
-              ("protocol", String name);
-              ("cost_min", Int s.Ab.cost.Ab.lo);
-              ("cost_max", Int s.Ab.cost.Ab.hi);
-              ("nodes", Int s.Ab.nodes);
-              ("checked_profiles", Int r.V.checked_profiles);
-              ("outcome", String outcome);
-              ("wall_ms", Float (wall_s *. 1e3));
-            ]
-        in
-        (row :: rows, json_row :: json_rows, total_s +. wall_s,
-         total_nodes + s.Ab.nodes))
-      ([], [], 0., 0) entries
+        Exp_util.
+          [
+            S (Reg.name entry);
+            S (Ab.interval_to_string s.Ab.cost);
+            I r.V.static_cc;
+            I s.Ab.nodes;
+            I r.V.checked_profiles;
+            S (V.outcome_label r.V.outcome);
+            F (wall_s *. 1e3);
+          ])
+      data
+  in
+  let json_rows =
+    List.map
+      (fun (entry, r, wall_s) ->
+        let s = r.V.summary in
+        Obs.Jsonw.
+          [
+            ("protocol", String (Reg.name entry));
+            ("cost_min", Int s.Ab.cost.Ab.lo);
+            ("cost_max", Int s.Ab.cost.Ab.hi);
+            ("nodes", Int s.Ab.nodes);
+            ("checked_profiles", Int r.V.checked_profiles);
+            ("outcome", String (V.outcome_label r.V.outcome));
+            ("wall_ms", Float (wall_s *. 1e3));
+          ])
+      data
   in
   Exp_util.table
     ~header:
       [ "protocol"; "certified"; "CC"; "nodes"; "profiles"; "outcome"; "ms" ]
-    (List.rev rows);
-  let exit = V.exit_code !results in
+    rows;
+  let exit = V.exit_code results in
   Exp_util.note "entries %d  nodes %d  total %.2f ms  exit %d"
     (List.length entries) total_nodes (total_s *. 1e3) exit;
-  Exp_util.record_rows "rows" (List.rev json_rows);
+  Exp_util.record_rows "rows" json_rows;
   Exp_util.record_i "entries" (List.length entries);
   Exp_util.record_i "nodes" total_nodes;
   Exp_util.record_f "analyzer_wall_s" total_s;

@@ -561,7 +561,7 @@ let lint_cmd =
                results) );
       ]
   in
-  let run strict budget json only_rules ignore_rules protocols =
+  let run strict budget json only_rules ignore_rules jobs protocols =
     let entries = Reg.all () in
     let entries =
       match protocols with
@@ -578,7 +578,7 @@ let lint_cmd =
             names
     in
     let results =
-      List.map
+      Par.parallel_map ?domains:jobs
         (fun e -> (e, lint_entry ~budget ~only_rules ~ignore_rules e))
         entries
     in
@@ -651,11 +651,17 @@ let lint_cmd =
     Arg.(value & pos_all string []
          & info [] ~docv:"PROTOCOL" ~doc:"Lint only the named protocols.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domains for the sweep (default: autodetect; 1 forces \
+                   the sequential loop).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze every registered protocol tree.")
     Term.(
-      const run $ strict $ budget $ json $ only_rules $ ignore_rules
+      const run $ strict $ budget $ json $ only_rules $ ignore_rules $ jobs
       $ protocols)
 
 (* ------------------------------------------------------------------ *)
@@ -667,7 +673,7 @@ let verify_cmd =
   let module V = Protocols.Verify_registry in
   let module Rep = Analysis.Report in
   let module Ab = Analysis.Absint in
-  let run budget seed baseline json out protocols metrics =
+  let run budget seed baseline json out jobs protocols metrics =
     let entries =
       match protocols with
       | [] -> Reg.all ()
@@ -694,7 +700,9 @@ let verify_cmd =
     in
     let results =
       with_metrics metrics (fun () ->
-          List.map (fun e -> V.verify_entry ?budget ~seed ~baseline e) entries)
+          Par.parallel_map ?domains:jobs
+            (fun e -> V.verify_entry ?budget ~seed ~baseline e)
+            entries)
     in
     let code = V.exit_code results in
     if json then begin
@@ -798,6 +806,12 @@ let verify_cmd =
     Arg.(value & pos_all string []
          & info [] ~docv:"PROTOCOL" ~doc:"Verify only the named protocols.")
   in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domains for the sweep (default: autodetect; 1 forces \
+                   the sequential loop). Results are identical either way.")
+  in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Certify registered protocol trees by abstract interpretation."
@@ -819,7 +833,7 @@ let verify_cmd =
               convention).";
          ])
     Term.(
-      const run $ budget $ seed $ baseline $ json $ out $ protocols
+      const run $ budget $ seed $ baseline $ json $ out $ jobs $ protocols
       $ metrics_flag)
 
 let () =

@@ -1,22 +1,23 @@
 module Writer = struct
   type t = { mutable data : Bytes.t; mutable len : int (* in bits *) }
 
-  (* Process-wide emit counts, read by the observability layer (an
-     [incr] on a module-level ref is cheap enough to leave unguarded;
-     everything else in obs is branch-gated). *)
-  let stat_writers = ref 0
-  let stat_bits = ref 0
+  (* Process-wide emit counts, read by the observability layer. Atomic
+     because writers are created and fed from several domains during
+     parallel registry sweeps; uncontended atomic increments stay cheap
+     enough for the per-bit path. *)
+  let stat_writers = Atomic.make 0
+  let stat_bits = Atomic.make 0
 
   type stats = { writers : int; bits : int }
 
-  let stats () = { writers = !stat_writers; bits = !stat_bits }
+  let stats () = { writers = Atomic.get stat_writers; bits = Atomic.get stat_bits }
 
   let reset_stats () =
-    stat_writers := 0;
-    stat_bits := 0
+    Atomic.set stat_writers 0;
+    Atomic.set stat_bits 0
 
   let create () =
-    incr stat_writers;
+    Atomic.incr stat_writers;
     { data = Bytes.make 16 '\000'; len = 0 }
 
   let length t = t.len
@@ -41,7 +42,7 @@ module Writer = struct
         (Char.chr (Char.code (Bytes.get t.data byte) lor (1 lsl bit)))
     end;
     t.len <- t.len + 1;
-    incr stat_bits
+    Atomic.incr stat_bits
 
   let add_bits t v n =
     if n < 0 || n > 62 then invalid_arg "Bitbuf.add_bits: width";

@@ -38,6 +38,9 @@
       snapshot-and-merge, and the hand-rolled JSON writer behind
       [BENCH.json] and [broadcast_cli trace]. Dependency-free and
       zero-cost when disabled.
+    - {!Par}: domain-pool [parallel_map] used by the verification and
+      lint registry sweeps and the benchmark experiment loops; runs
+      sequentially when only one domain is available.
 
     {2 Quickstart}
 
@@ -60,5 +63,6 @@ module Compress = Compress
 module Lowerbound = Lowerbound
 module Analysis = Analysis
 module Obs = Obs
+module Par = Par
 
 let version = "1.0.0"

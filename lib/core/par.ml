@@ -1,0 +1,73 @@
+(** Domain-pool parallel map for embarrassingly parallel sweeps.
+
+    A single order-preserving [parallel_map] over a shared work queue.
+    Degrades to plain [List.map] when only one domain is available (or
+    requested), so callers can use it unconditionally: on a one-core
+    machine the behavior and the allocation profile are those of the
+    sequential loop.
+
+    Workers pull indices from an atomic counter, so uneven per-item cost
+    load-balances automatically. Used by the verification and lint
+    registry sweeps and by the per-input loops of the benchmark
+    experiments — all of which apply a pure-ish function independently
+    per element (any shared mutable state they touch must be
+    thread-safe; see {!Obs.Metrics} and {!Coding.Bitbuf}). *)
+
+let default_domains () =
+  match Sys.getenv_opt "BROADCAST_PAR_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(** [parallel_map ?domains f xs] is [List.map f xs], computed by a pool
+    of [domains] domains (default: [BROADCAST_PAR_DOMAINS] if set, else
+    [Domain.recommended_domain_count ()]). Results are returned in input
+    order regardless of completion order.
+
+    If any application of [f] raises, one of the raised exceptions is
+    re-raised (with its backtrace) after all domains have stopped;
+    remaining queued items are not started. *)
+let parallel_map ?domains f xs =
+  let workers =
+    match domains with Some d -> Stdlib.max d 1 | None -> default_domains ()
+  in
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if workers <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else
+          match f input.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+              continue := false
+      done
+    in
+    (* The calling domain participates, so spawn one fewer. *)
+    let spawned =
+      Array.init (Stdlib.min workers n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) results)
+  end
+
+(** [parallel_iter ?domains f xs] runs [f] on every element for its
+    effects, with the same pool, ordering of completion unspecified. *)
+let parallel_iter ?domains f xs =
+  ignore (parallel_map ?domains f xs : unit list)

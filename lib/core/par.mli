@@ -1,0 +1,21 @@
+(** Domain-pool parallel map for embarrassingly parallel sweeps.
+
+    Order-preserving [List.map] over a pool of domains, degrading to the
+    sequential loop when only one domain is available or requested, so
+    callers can use it unconditionally. Elements must be independent;
+    any shared mutable state touched by [f] must be thread-safe. *)
+
+val default_domains : unit -> int
+(** Pool size used when [?domains] is omitted: the
+    [BROADCAST_PAR_DOMAINS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ?domains f xs] is [List.map f xs] computed by a pool
+    of [domains] domains. Results come back in input order regardless of
+    completion order; workers pull from a shared atomic queue, so uneven
+    per-item cost load-balances. If an application of [f] raises, one of
+    the raised exceptions is re-raised with its backtrace after all
+    domains have stopped, and remaining items are not started. *)
+
+val parallel_iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

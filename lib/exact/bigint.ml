@@ -69,7 +69,7 @@ let sub_mag a b =
   assert (!borrow = 0);
   normalize r
 
-let mul_mag a b =
+let mul_mag_schoolbook a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then [||]
   else begin
@@ -156,6 +156,39 @@ let shift_right_mag a n =
 let testbit_mag a i =
   let limb = i / base_bits and bit = i mod base_bits in
   limb < Array.length a && (a.(limb) lsr bit) land 1 = 1
+
+(* Karatsuba above this limb count; below it the O(n^2) schoolbook loop
+   wins on constant factors. The crossover was measured with the
+   bigint-mul micro-benchmarks (bench/micro.ml). *)
+let karatsuba_threshold = 24
+
+(* Split [x] at limb [m]: low part [x[0..m)], high part [x[m..)], both
+   normalized so the magnitude invariants hold for the recursive calls. *)
+let split_mag x m =
+  let lx = Array.length x in
+  if lx <= m then (x, [||])
+  else (normalize (Array.sub x 0 m), normalize (Array.sub x m (lx - m)))
+
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then
+    mul_mag_schoolbook a b
+  else begin
+    (* a = a1*B^m + a0, b = b1*B^m + b0 with B = 2^base_bits:
+       a*b = z2*B^2m + z1*B^m + z0 where z0 = a0*b0, z2 = a1*b1 and
+       z1 = (a0+a1)(b0+b1) - z0 - z2 — three recursive multiplies. *)
+    let m = (Stdlib.max la lb + 1) / 2 in
+    let a0, a1 = split_mag a m and b0, b1 = split_mag b m in
+    let z0 = mul_mag a0 b0 in
+    let z2 = mul_mag a1 b1 in
+    let z1 =
+      sub_mag (sub_mag (mul_mag (add_mag a0 a1) (add_mag b0 b1)) z0) z2
+    in
+    add_mag
+      (add_mag z0 (shift_left_mag z1 (m * base_bits)))
+      (shift_left_mag z2 (2 * m * base_bits))
+  end
 
 (* Fast path: divisor fits in one limb. Word-wise long division,
    O(limbs of a). *)
@@ -288,9 +321,63 @@ let shift_right x n =
   if n < 0 then invalid_arg "Bigint.shift_right";
   if x.sign = 0 then zero else make x.sign (shift_right_mag x.mag n)
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+(* Trailing zero bits of a non-empty magnitude. *)
+let ctz_mag a =
+  let i = ref 0 in
+  while a.(!i) = 0 do
+    incr i
+  done;
+  let rec tz v acc = if v land 1 = 1 then acc else tz (v lsr 1) (acc + 1) in
+  (!i * base_bits) + tz a.(!i) 0
+
+let rec int_gcd a b = if b = 0 then a else int_gcd b (a mod b)
+
+(* [to_int_opt] needs [num_bits]/[equal], which are defined below; the
+   magnitude check here is all gcd needs for its word-size fast path. *)
+let mag_fits_int mag = num_bits_mag mag <= 62
+
+let mag_to_int mag = Array.fold_right (fun limb acc -> (acc * base) + limb) mag 0
+
+(* Binary (Stein) GCD on magnitudes. Compared to Euclid over [div_mod]
+   — whose multi-limb path peels one quotient bit per iteration, each
+   with a full-magnitude shift/compare/subtract — every iteration here
+   is a single subtract and a trailing-zero shift, and word-size
+   operands drop to native-int Euclid immediately. *)
+let gcd a b =
+  let a = a.mag and b = b.mag in
+  if mag_is_zero a then make 1 b
+  else if mag_is_zero b then make 1 a
+  else if mag_fits_int a && mag_fits_int b then
+    of_int (int_gcd (mag_to_int a) (mag_to_int b))
+  else begin
+    let za = ctz_mag a and zb = ctz_mag b in
+    let shift = Stdlib.min za zb in
+    let a = ref (shift_right_mag a za) in
+    let b = ref (shift_right_mag b zb) in
+    (* both odd from here on; the loop keeps them odd *)
+    let continue = ref true in
+    while !continue do
+      if mag_fits_int !a && mag_fits_int !b then begin
+        a := (of_int (int_gcd (mag_to_int !a) (mag_to_int !b))).mag;
+        continue := false
+      end
+      else begin
+        let c = cmp_mag !a !b in
+        if c = 0 then continue := false
+        else begin
+          if c < 0 then begin
+            let t = !a in
+            a := !b;
+            b := t
+          end;
+          let d = sub_mag !a !b in
+          (* d > 0 and even: both were odd *)
+          a := shift_right_mag d (ctz_mag d)
+        end
+      end
+    done;
+    make 1 (shift_left_mag !a shift)
+  end
 
 let num_bits x = num_bits_mag x.mag
 let testbit x i = testbit_mag x.mag i
@@ -373,6 +460,24 @@ let binomial n k =
     done;
     !c
   end
+
+module For_testing = struct
+  let karatsuba_threshold = karatsuba_threshold
+
+  let mul_schoolbook a b =
+    if a.sign = 0 || b.sign = 0 then zero
+    else make (a.sign * b.sign) (mul_mag_schoolbook a.mag b.mag)
+
+  let rec gcd_euclid a b =
+    let a = abs a and b = abs b in
+    if is_zero b then a else gcd_euclid b (rem a b)
+
+  let of_limb_count n =
+    (* smallest magnitude with exactly [n] limbs: 2^((n-1)*base_bits) *)
+    if n <= 0 then zero else shift_left one ((n - 1) * base_bits)
+
+  let limb_count x = Array.length x.mag
+end
 
 module Infix = struct
   let ( + ) = add

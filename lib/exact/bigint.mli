@@ -70,7 +70,10 @@ val shift_left : t -> int -> t
 val shift_right : t -> int -> t
 
 val gcd : t -> t -> t
-(** Greatest common divisor of the absolute values; [gcd zero zero = zero]. *)
+(** Greatest common divisor of the absolute values; [gcd zero zero = zero].
+    Binary (Stein) GCD with a native-int Euclid fast path for word-size
+    operands; differentially tested against the reference Euclid
+    implementation in {!For_testing}. *)
 
 (** {1 Number-theoretic helpers} *)
 
@@ -82,6 +85,27 @@ val num_bits : t -> int
 (** Number of bits in the magnitude; [num_bits zero = 0]. *)
 
 val testbit : t -> int -> bool
+
+(** {1 Testing hooks}
+
+    Reference implementations and representation probes for the
+    differential test suite. Not part of the supported API. *)
+
+module For_testing : sig
+  val karatsuba_threshold : int
+  (** Limb count at which {!mul} switches to Karatsuba. *)
+
+  val mul_schoolbook : t -> t -> t
+  (** The O(n{^2}) schoolbook product, regardless of size. *)
+
+  val gcd_euclid : t -> t -> t
+  (** Division-based Euclid GCD (the pre-binary reference). *)
+
+  val of_limb_count : int -> t
+  (** Smallest positive value stored in exactly [n] limbs. *)
+
+  val limb_count : t -> int
+end
 
 (** {1 Infix operators} *)
 

@@ -4,7 +4,16 @@
     [gcd (num, den) = 1]. Used for exact transcript probabilities and
     exact error-probability computations in the protocol semantics,
     where accumulated floating-point error would make equality checks
-    meaningless. *)
+    meaningless.
+
+    Values whose numerator and denominator both fit a 30-bit word are
+    stored as native ints and all arithmetic between two such values
+    runs without touching {!Bigint}; results that outgrow the word
+    bounds fall back to the bigint pair transparently. Both
+    representations are canonical (positive denominator, reduced,
+    small-word whenever it fits), so exactness and equality semantics
+    are unchanged — the fast path is an invisible optimization,
+    differentially tested against the bigint path. *)
 
 type t
 
@@ -36,6 +45,10 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 val sign : t -> int
 val is_zero : t -> bool
+val is_one : t -> bool
+(** O(1) structural test for exactly 1 — the cheap normalization check
+    used by {!Prob.Dist_core} before dividing by a total mass. *)
+
 val min : t -> t -> t
 val max : t -> t -> t
 
@@ -61,6 +74,24 @@ val log2 : t -> float
 (** Floating-point base-2 logarithm of a positive rational, computed as
     [log2 num - log2 den] to stay accurate for tiny values.
     @raise Invalid_argument on non-positive input. *)
+
+(** {1 Testing hooks}
+
+    Representation probes for the fast-path differential suite. Not part
+    of the supported API. *)
+
+module For_testing : sig
+  val small_max : int
+  (** Inclusive magnitude bound of the small-word representation. *)
+
+  val is_small : t -> bool
+  (** Whether the value currently sits on the native-int fast path. *)
+
+  val force_big : t -> t
+  (** Same value on the bigint representation, violating canonicity:
+      [equal] against the small form returns false (use {!compare} for
+      value equality); any arithmetic re-canonicalizes the result. *)
+end
 
 module Infix : sig
   val ( + ) : t -> t -> t

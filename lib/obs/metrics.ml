@@ -20,6 +20,10 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
+  (* Registry sweeps run instrumented code from several domains (see
+     {!Par}); the mutation paths take this lock. The disabled path in
+     [bump]/[gauge]/[record] stays lock-free. *)
+  lock : Mutex.t;
 }
 
 let create () =
@@ -27,47 +31,56 @@ let create () =
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     hists = Hashtbl.create 16;
+    lock = Mutex.create ();
   }
 
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let clear t =
-  Hashtbl.reset t.counters;
-  Hashtbl.reset t.gauges;
-  Hashtbl.reset t.hists
+  with_lock t (fun () ->
+      Hashtbl.reset t.counters;
+      Hashtbl.reset t.gauges;
+      Hashtbl.reset t.hists)
 
 let add t name delta =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + delta
-  | None -> Hashtbl.add t.counters name (ref delta)
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + delta
+      | None -> Hashtbl.add t.counters name (ref delta))
 
 let set_gauge t name v =
-  match Hashtbl.find_opt t.gauges name with
-  | Some r -> r := v
-  | None -> Hashtbl.add t.gauges name (ref v)
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.add t.gauges name (ref v))
 
 let observe t name v =
   if v < 0 then invalid_arg "Metrics.observe: negative observation";
-  let h =
-    match Hashtbl.find_opt t.hists name with
-    | Some h -> h
-    | None ->
-        let h =
-          {
-            h_count = 0;
-            h_sum = 0;
-            h_min = max_int;
-            h_max = min_int;
-            h_bucket = Array.make hist_buckets 0;
-          }
-        in
-        Hashtbl.add t.hists name h;
-        h
-  in
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let b = bucket_of v in
-  h.h_bucket.(b) <- h.h_bucket.(b) + 1
+  with_lock t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists name with
+        | Some h -> h
+        | None ->
+            let h =
+              {
+                h_count = 0;
+                h_sum = 0;
+                h_min = max_int;
+                h_max = min_int;
+                h_bucket = Array.make hist_buckets 0;
+              }
+            in
+            Hashtbl.add t.hists name h;
+            h
+      in
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let b = bucket_of v in
+      h.h_bucket.(b) <- h.h_bucket.(b) + 1)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
@@ -90,28 +103,29 @@ type snapshot = {
 let by_name (a, _) (b, _) = compare (a : string) b
 
 let snapshot (t : t) =
-  {
-    counters =
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
-      |> List.sort by_name;
-    gauges =
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []
-      |> List.sort by_name;
-    hists =
-      Hashtbl.fold
-        (fun k h acc ->
-          ( k,
-            {
-              count = h.h_count;
-              sum = h.h_sum;
-              min = h.h_min;
-              max = h.h_max;
-              buckets = Array.copy h.h_bucket;
-            } )
-          :: acc)
-        t.hists []
-      |> List.sort by_name;
-  }
+  with_lock t (fun () ->
+      {
+        counters =
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+          |> List.sort by_name;
+        gauges =
+          Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.gauges []
+          |> List.sort by_name;
+        hists =
+          Hashtbl.fold
+            (fun k h acc ->
+              ( k,
+                {
+                  count = h.h_count;
+                  sum = h.h_sum;
+                  min = h.h_min;
+                  max = h.h_max;
+                  buckets = Array.copy h.h_bucket;
+                } )
+              :: acc)
+            t.hists []
+          |> List.sort by_name;
+      })
 
 let empty_snapshot = { counters = []; gauges = []; hists = [] }
 

@@ -46,7 +46,20 @@ val of_fun : 'a list -> ('a -> float) -> 'a t
 (** {1 Monadic structure} *)
 
 val map : ('a -> 'b) -> 'a t -> 'b t
+
+val map_injective : ('a -> 'b) -> 'a t -> 'b t
+(** [map f d] when [f] is injective on the support of [d]: skips
+    deduplication and renormalization, preserving item order and
+    weights exactly. Unchecked precondition. *)
+
 val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val bind_disjoint : 'a t -> ('a -> 'b t) -> 'b t
+(** [bind d f] when the supports of [f v] are pairwise disjoint across
+    the support of [d]: skips deduplication and renormalization.
+    Unchecked precondition; on float weights prefer {!bind} unless
+    bit-exact item order matters. *)
+
 val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
 val product : 'a t -> 'b t -> ('a * 'b) t
 val product_array : 'a t array -> 'a array t

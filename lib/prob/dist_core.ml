@@ -18,32 +18,61 @@ module Make (W : Weight.S) = struct
     mutable index : ('a, W.t) Hashtbl.t option;
   }
 
-  let dedupe pairs =
+  (* Deduplicate in one hash lookup per pair: the table maps a value to
+     its mutable weight cell, so repeated values accumulate in place and
+     no second lookup is needed to read the weights back. [order] holds
+     the [(value, cell)] pairs in reverse insertion order. *)
+  let dedupe_cells pairs =
     let tbl = Hashtbl.create 16 in
     let order = ref [] in
+    let n = ref 0 in
     List.iter
       (fun (v, w) ->
         if W.compare w W.zero > 0 then
           match Hashtbl.find_opt tbl v with
+          | Some cell -> cell := W.add !cell w
           | None ->
-              Hashtbl.add tbl v w;
-              order := v :: !order
-          | Some w0 -> Hashtbl.replace tbl v (W.add w0 w))
+              let cell = ref w in
+              Hashtbl.add tbl v cell;
+              order := (v, cell) :: !order;
+              incr n)
       pairs;
-    List.rev_map (fun v -> (v, Hashtbl.find tbl v)) !order
+    (!order, !n)
 
   let total pairs = List.fold_left (fun acc (_, w) -> W.add acc w) W.zero pairs
 
-  let of_weighted pairs =
-    let pairs = dedupe pairs in
-    let z = total pairs in
+  let total_arr items =
+    Array.fold_left (fun acc (_, w) -> W.add acc w) W.zero items
+
+  (* Renormalize in place only when the mass isn't already exactly one
+     ([W.is_one] is O(1); on the exact instance this skips allocating a
+     division closure per item for the common mass-preserving case). *)
+  let normalize_arr items =
+    let z = total_arr items in
     if W.compare z W.zero <= 0 then
       invalid_arg "Dist.of_weighted: no positive mass";
+    if W.is_one z then items
+    else Array.map (fun (v, w) -> (v, W.div w z)) items
+
+  let of_weighted pairs =
+    let rev_order, n = dedupe_cells pairs in
+    if n = 0 then invalid_arg "Dist.of_weighted: no positive mass";
+    (* Fill the items array back-to-front straight from the reversed
+       insertion list — no intermediate forward list. *)
     let items =
-      if W.equal z W.one then pairs
-      else List.map (fun (v, w) -> (v, W.div w z)) pairs
+      match rev_order with
+      | [] -> assert false
+      | (v0, c0) :: tl ->
+          let arr = Array.make n (v0, !c0) in
+          let i = ref (n - 2) in
+          List.iter
+            (fun (v, c) ->
+              arr.(!i) <- (v, !c);
+              decr i)
+            tl;
+          arr
     in
-    { items = Array.of_list items; index = None }
+    { items = normalize_arr items; index = None }
 
   let return v = { items = [| (v, W.one) |]; index = None }
 
@@ -73,6 +102,14 @@ module Make (W : Weight.S) = struct
   let map f d =
     of_weighted (List.map (fun (v, w) -> (f v, w)) (to_alist d))
 
+  (* [map_injective f d] equals [map f d] when [f] is injective on the
+     support of [d]: the image has no duplicates and carries the same
+     weights, so deduplication and renormalization are skipped. Item
+     order is preserved exactly (downstream float folds are
+     order-sensitive). Unchecked — callers own the injectivity proof. *)
+  let map_injective f d =
+    { items = Array.map (fun (v, w) -> (f v, w)) d.items; index = None }
+
   let bind d f =
     let pieces =
       List.concat_map
@@ -81,6 +118,23 @@ module Make (W : Weight.S) = struct
         (to_alist d)
     in
     of_weighted pieces
+
+  (* [bind_disjoint d f] equals [bind d f] when the supports of [f v]
+     are pairwise disjoint across the support of [d]: the concatenation
+     is duplicate-free and its mass is exactly the product mass (one on
+     the exact instance), so deduplication and renormalization are
+     skipped. Items appear in the same concatenation order as [bind]'s.
+     Unchecked — callers own the disjointness proof. On the float
+     instance the skipped renormalization can leave mass 1 only up to
+     rounding; use [bind] unless bit-compatibility is the point. *)
+  let bind_disjoint d f =
+    let pieces =
+      List.concat_map
+        (fun (v, w) ->
+          List.map (fun (u, wu) -> (u, W.mul w wu)) (to_alist (f v)))
+        (to_alist d)
+    in
+    { items = Array.of_list pieces; index = None }
 
   let ( let* ) = bind
 
@@ -102,10 +156,15 @@ module Make (W : Weight.S) = struct
     else if W.equal w W.zero then return false
     else of_weighted [ (true, w); (false, W.sub W.one w) ]
 
+  (* Items are already deduplicated, so conditioning only filters and
+     renormalizes — no hash pass. *)
   let condition d pred =
-    let kept = List.filter (fun (v, _) -> pred v) (to_alist d) in
-    if W.compare (total kept) W.zero <= 0 then None
-    else Some (of_weighted kept)
+    let kept =
+      Array.of_list (List.filter (fun (v, _) -> pred v) (to_alist d))
+    in
+    if Array.length kept = 0 || W.compare (total_arr kept) W.zero <= 0 then
+      None
+    else Some { items = normalize_arr kept; index = None }
 
   let condition_exn d pred =
     match condition d pred with

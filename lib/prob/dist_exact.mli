@@ -15,7 +15,9 @@ val return : 'a -> 'a t
 val uniform : 'a list -> 'a t
 val bernoulli : weight -> bool t
 val map : ('a -> 'b) -> 'a t -> 'b t
+val map_injective : ('a -> 'b) -> 'a t -> 'b t
 val bind : 'a t -> ('a -> 'b t) -> 'b t
+val bind_disjoint : 'a t -> ('a -> 'b t) -> 'b t
 val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
 val product : 'a t -> 'b t -> ('a * 'b) t
 val product_array : 'a t array -> 'a array t

@@ -16,6 +16,12 @@ module type S = sig
   val div : t -> t -> t
   val compare : t -> t -> int
   val equal : t -> t -> bool
+
+  val is_one : t -> bool
+  (** O(1) test for exactly one — the fast path {!Dist_core.Make} uses
+      to skip renormalization when a total mass is already 1. Must
+      agree with [equal one]. *)
+
   val of_int_ratio : int -> int -> t
   (** [of_int_ratio a b] embeds the rational [a/b]. *)
 
@@ -34,6 +40,7 @@ module Float : S with type t = float = struct
   let div = ( /. )
   let compare = Float.compare
   let equal = Float.equal
+  let is_one x = x = 1.0
   let of_int_ratio a b = float_of_int a /. float_of_int b
   let to_float x = x
   let pp fmt x = Format.fprintf fmt "%.6g" x

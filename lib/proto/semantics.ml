@@ -3,19 +3,55 @@
 module D = Prob.Dist_exact
 module R = Exact.Rational
 
+(* Physical-identity hashing for protocol-tree nodes. [Hashtbl.hash] is
+   a bounded-depth structural hash, so it is cheap and total even on
+   nodes that capture closures; collisions only cost an extra [==]. *)
+module Phys = Hashtbl.Make (struct
+  type t = Obj.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
 (** [transcript_dist tree inputs] is the exact law of the full transcript
-    when player [i] holds [inputs.(i)]. *)
+    when player [i] holds [inputs.(i)].
+
+    Subtree laws are memoized per physical node within one call:
+    combinators such as {!Combinators.sequence} build DAGs in which
+    subtrees are shared across many branches, and the law of a node is a
+    function of the node alone once [inputs] is fixed, so each distinct
+    node is evaluated exactly once.
+
+    The continuation under a [Speak] or [Chance] node prefixes every
+    transcript with that node's event, so the child laws have pairwise
+    disjoint supports and prefixing is injective — [bind_disjoint] and
+    [map_injective] therefore produce the same items, weights, and item
+    order as the generic [bind]/[map], without the dedupe/renormalize
+    round-trip. *)
 let transcript_dist tree inputs =
+  let memo = Phys.create 64 in
   let rec go tree =
-    match tree with
-    | Tree.Output _ -> D.return []
-    | Tree.Speak { speaker; emit; children } ->
-        let msg_dist = emit inputs.(speaker) in
-        D.bind msg_dist (fun m ->
-            D.map (fun rest -> Tree.Msg (speaker, m) :: rest) (go children.(m)))
-    | Tree.Chance { coin; children } ->
-        D.bind coin (fun c ->
-            D.map (fun rest -> Tree.Coin c :: rest) (go children.(c)))
+    let key = Obj.repr tree in
+    match Phys.find_opt memo key with
+    | Some d -> d
+    | None ->
+        let d =
+          match tree with
+          | Tree.Output _ -> D.return []
+          | Tree.Speak { speaker; emit; children } ->
+              let msg_dist = emit inputs.(speaker) in
+              D.bind_disjoint msg_dist (fun m ->
+                  D.map_injective
+                    (fun rest -> Tree.Msg (speaker, m) :: rest)
+                    (go children.(m)))
+          | Tree.Chance { coin; children } ->
+              D.bind_disjoint coin (fun c ->
+                  D.map_injective
+                    (fun rest -> Tree.Coin c :: rest)
+                    (go children.(c)))
+        in
+        Phys.add memo key d;
+        d
   in
   go tree
 

@@ -224,8 +224,14 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
     suppressed;
   }
 
-let verify_all ?budget ?seed ?baseline () =
-  List.map (fun e -> verify_entry ?budget ?seed ?baseline e) (Registry.all ())
+(* Entries are independent, so the sweep fans out over a domain pool
+   (sequential when only one domain is available). Results keep registry
+   order; the shared state each entry touches — Obs metrics, Bitbuf
+   counters — is thread-safe. *)
+let verify_all ?budget ?seed ?baseline ?domains () =
+  Par.parallel_map ?domains
+    (fun e -> verify_entry ?budget ?seed ?baseline e)
+    (Registry.all ())
 
 (* ------------------------------------------------------------------ *)
 (* Exit policy and JSON rendering                                      *)

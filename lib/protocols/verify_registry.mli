@@ -64,8 +64,12 @@ val verify_entry :
     drives the differential blackboard run. *)
 
 val verify_all :
-  ?budget:int -> ?seed:int -> ?baseline:baseline -> unit -> result list
-(** {!verify_entry} over [Registry.all ()]. *)
+  ?budget:int -> ?seed:int -> ?baseline:baseline -> ?domains:int -> unit ->
+  result list
+(** {!verify_entry} over [Registry.all ()], fanned out over a domain
+    pool ({!Par.parallel_map}; [domains] defaults to
+    {!Par.default_domains}). Results keep registry order and are
+    identical to the sequential sweep. *)
 
 val exit_code : result list -> int
 (** 0 all certified (or advisory-only), 1 any refutation or cross-check

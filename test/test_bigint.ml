@@ -183,6 +183,120 @@ let prop_gcd_divides =
       let g = B.gcd (B.of_int a) (B.of_int b) in
       B.is_zero (B.rem (B.of_int a) g) && B.is_zero (B.rem (B.of_int b) g))
 
+(* --- fast-path differential suite --------------------------------- *)
+(* [mul] switches to Karatsuba above a limb threshold and [gcd] is a
+   binary GCD with a native-int Euclid fast path; both are checked
+   against the reference implementations kept in {!B.For_testing},
+   with operand sizes straddling every switch-over boundary. *)
+
+module BT = B.For_testing
+
+(* A pseudo-random positive value of exactly [limbs] limbs, derived
+   deterministically from [salt] (tests stay reproducible). *)
+let value_of_limbs ~salt limbs =
+  let rec go i acc =
+    if i = limbs then acc
+    else
+      let limb = (((salt + i) * 2654435761) lxor (i * 40503)) land 0x3FFFFFFF in
+      go (i + 1) (B.add (B.shift_left acc 30) (B.of_int limb))
+  in
+  (* top limb forced nonzero so the limb count is exact *)
+  go 1 (B.of_int (1 + (salt land 0xFFFF)))
+
+let t_limb_probe () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "of_limb_count %d" n)
+        n
+        (BT.limb_count (BT.of_limb_count n));
+      Alcotest.(check int)
+        (Printf.sprintf "value_of_limbs %d" n)
+        n
+        (BT.limb_count (value_of_limbs ~salt:97 n)))
+    [ 1; 2; BT.karatsuba_threshold - 1; BT.karatsuba_threshold;
+      BT.karatsuba_threshold + 1; 2 * BT.karatsuba_threshold ]
+
+(* Limb counts covering both sides of the Karatsuba threshold plus the
+   unbalanced and recursive (>= 2x threshold) regimes. *)
+let threshold_limbs =
+  let t = BT.karatsuba_threshold in
+  [ 1; t - 1; t; t + 1; (2 * t) - 1; 2 * t; (2 * t) + 1; 4 * t ]
+
+let t_karatsuba_matches_schoolbook () =
+  List.iter
+    (fun la ->
+      List.iter
+        (fun lb ->
+          let a = value_of_limbs ~salt:(la * 131) la in
+          let b = value_of_limbs ~salt:(lb * 733) lb in
+          check_b
+            ~msg:(Printf.sprintf "mul %dx%d limbs" la lb)
+            (BT.mul_schoolbook a b) (B.mul a b);
+          check_b
+            ~msg:(Printf.sprintf "mul (-)%dx%d limbs" la lb)
+            (BT.mul_schoolbook (B.neg a) b)
+            (B.mul (B.neg a) b))
+        threshold_limbs)
+    threshold_limbs
+
+let prop_karatsuba_random_sizes =
+  qtest "Karatsuba mul = schoolbook mul across the threshold" ~count:60
+    (QCheck.triple
+       (QCheck.int_range 1 (3 * BT.karatsuba_threshold))
+       (QCheck.int_range 1 (3 * BT.karatsuba_threshold))
+       (QCheck.int_range 0 1000000))
+    (fun (la, lb, salt) ->
+      let a = value_of_limbs ~salt la in
+      let b = value_of_limbs ~salt:(salt + 17) lb in
+      B.equal (B.mul a b) (BT.mul_schoolbook a b))
+
+let t_gcd_binary_matches_euclid_edges () =
+  (* word-size boundary: inputs at and just past the native fast path,
+     including the max_int/min_int edges *)
+  let edge_ints =
+    [ 0; 1; 2; 3; (1 lsl 30) - 1; 1 lsl 30; (1 lsl 31) - 1;
+      (1 lsl 62) - 1; 1 lsl 62; max_int - 1; max_int ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_b
+            ~msg:(Printf.sprintf "gcd %d %d" a b)
+            (BT.gcd_euclid (B.of_int a) (B.of_int b))
+            (B.gcd (B.of_int a) (B.of_int b)))
+        edge_ints)
+    edge_ints;
+  check_b ~msg:"gcd min_int max_int"
+    (BT.gcd_euclid (B.of_int min_int) (B.of_int max_int))
+    (B.gcd (B.of_int min_int) (B.of_int max_int));
+  check_b ~msg:"gcd min_int min_int"
+    (BT.gcd_euclid (B.of_int min_int) (B.of_int min_int))
+    (B.gcd (B.of_int min_int) (B.of_int min_int))
+
+let prop_gcd_binary_matches_euclid =
+  (* random multi-limb operands sharing a planted common factor, so the
+     result is itself often multi-limb *)
+  qtest "binary gcd = Euclid gcd on big operands" ~count:60
+    (QCheck.triple (QCheck.int_range 1 8) (QCheck.int_range 1 8)
+       (QCheck.int_range 0 1000000))
+    (fun (la, lb, salt) ->
+      let g = value_of_limbs ~salt:(salt + 3) ((la + lb) / 2) in
+      let a = B.mul g (value_of_limbs ~salt la) in
+      let b = B.mul g (value_of_limbs ~salt:(salt + 11) lb) in
+      B.equal (B.gcd a b) (BT.gcd_euclid a b))
+
+let prop_gcd_shifted =
+  (* heavy shared powers of two exercise the binary GCD's ctz paths *)
+  qtest "gcd with planted 2-adic factors" ~count:60
+    (QCheck.triple (QCheck.int_range 0 100) (QCheck.int_range 1 1000000)
+       (QCheck.int_range 1 1000000))
+    (fun (sh, a, b) ->
+      let ba = B.shift_left (B.of_int a) sh in
+      let bb = B.shift_left (B.of_int b) (sh / 2) in
+      B.equal (B.gcd ba bb) (BT.gcd_euclid ba bb))
+
 let suite =
   [
     quick "int roundtrip" t_roundtrip_int;
@@ -208,4 +322,10 @@ let suite =
     prop_divmod_big;
     prop_shift_is_mul_pow2;
     prop_gcd_divides;
+    quick "limb-count probes" t_limb_probe;
+    quick "Karatsuba = schoolbook at the threshold" t_karatsuba_matches_schoolbook;
+    prop_karatsuba_random_sizes;
+    quick "binary gcd = Euclid at word-size edges" t_gcd_binary_matches_euclid_edges;
+    prop_gcd_binary_matches_euclid;
+    prop_gcd_shifted;
   ]

@@ -158,6 +158,35 @@ let prop_tv_triangle =
       D.total_variation a c
       <= D.total_variation a b +. D.total_variation b c +. 1e-12)
 
+(* --- unsafe-fast monadic ops: must equal the generic ones ---------- *)
+(* [map_injective]/[bind_disjoint] skip dedupe and renormalization under
+   preconditions the callers prove; on inputs satisfying them the result
+   must be identical to [map]/[bind] — same items, same weights, same
+   order (downstream float folds are order-sensitive). *)
+
+let exact_alist_equal a b =
+  let la = De.to_alist a and lb = De.to_alist b in
+  List.length la = List.length lb
+  && List.for_all2 (fun (v, w) (v', w') -> v = v' && R.equal w w') la lb
+
+let prop_map_injective_matches_map =
+  qtest "map_injective = map for injective f" exact_dist_gen (fun d ->
+      exact_alist_equal
+        (De.map (fun x -> (x * 7) + 1) d)
+        (De.map_injective (fun x -> (x * 7) + 1) d))
+
+let prop_bind_disjoint_matches_bind =
+  qtest "bind_disjoint = bind for disjoint continuations" exact_dist_gen
+    (fun d ->
+      (* tagging by the source value keeps supports pairwise disjoint *)
+      let f v = De.uniform [ (v, 0); (v, 1); (v, 2) ] in
+      exact_alist_equal (De.bind d f) (De.bind_disjoint d f))
+
+let t_map_injective_keeps_order () =
+  let d = De.of_weighted [ (3, R.half); (1, R.of_ints 1 3); (2, R.of_ints 1 6) ] in
+  Alcotest.(check (list int)) "support order preserved" [ 30; 10; 20 ]
+    (De.support (De.map_injective (fun x -> 10 * x) d))
+
 let suite =
   [
     quick "normalization" t_normalization;
@@ -185,4 +214,7 @@ let suite =
     prop_map_preserves_mass;
     prop_tv_symmetric;
     prop_tv_triangle;
+    prop_map_injective_matches_map;
+    prop_bind_disjoint_matches_bind;
+    quick "map_injective keeps order" t_map_injective_keeps_order;
   ]

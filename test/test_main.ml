@@ -23,4 +23,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("absint", Test_absint.suite);
       ("obs", Test_obs.suite);
+      ("par", Test_par.suite);
     ]

@@ -1,0 +1,87 @@
+(** Tests for the domain-pool parallel map and the parallel registry
+    sweeps built on it. *)
+
+module V = Protocols.Verify_registry
+open Test_util
+
+exception Boom of int
+
+let t_order_preserved () =
+  let xs = List.init 500 (fun i -> i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "squares in order (domains=%d)" domains)
+        (List.map (fun x -> x * x) xs)
+        (Par.parallel_map ~domains (fun x -> x * x) xs))
+    [ 1; 2; 4; 7 ]
+
+let t_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" []
+    (Par.parallel_map ~domains:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 99 ]
+    (Par.parallel_map ~domains:4 (fun x -> x + 1) [ 98 ])
+
+let t_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "raises through the pool (domains=%d)" domains)
+        (Boom 250)
+        (fun () ->
+          ignore
+            (Par.parallel_map ~domains
+               (fun x -> if x = 250 then raise (Boom x) else x)
+               (List.init 500 (fun i -> i)))))
+    [ 1; 4 ]
+
+let t_uneven_work_balances () =
+  (* items with wildly different costs still come back in order *)
+  let cost x = if x mod 7 = 0 then 20_000 else 10 in
+  let burn n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := !acc + i
+    done;
+    !acc
+  in
+  let xs = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int)) "uneven loads, ordered results"
+    (List.map (fun x -> burn (cost x)) xs)
+    (Par.parallel_map ~domains:4 (fun x -> burn (cost x)) xs)
+
+let prop_matches_list_map =
+  qtest "parallel_map = List.map" ~count:50
+    (QCheck.pair (QCheck.small_list QCheck.int) (QCheck.int_range 1 6))
+    (fun (xs, domains) ->
+      Par.parallel_map ~domains (fun x -> (2 * x) - 1) xs
+      = List.map (fun x -> (2 * x) - 1) xs)
+
+(* --- the parallel verify sweep is bit-identical to sequential ------ *)
+
+let sweep_lines ~domains =
+  V.verify_all ~domains ()
+  |> List.map (fun r -> Obs.Jsonw.to_string (V.result_to_json r))
+
+let t_verify_sweep_deterministic () =
+  let seq = sweep_lines ~domains:1 in
+  let par = sweep_lines ~domains:4 in
+  Alcotest.(check int) "same entry count" (List.length seq) (List.length par);
+  (* parallel_map preserves order, so even the unsorted line lists must
+     match byte for byte; sort anyway so a failure here pinpoints
+     content drift rather than ordering drift *)
+  Alcotest.(check (list string)) "sorted line-JSON identical"
+    (List.sort String.compare seq)
+    (List.sort String.compare par);
+  Alcotest.(check (list string)) "ordering identical too" seq par
+
+let suite =
+  [
+    quick "order preserved" t_order_preserved;
+    quick "empty and singleton inputs" t_empty_and_singleton;
+    quick "exceptions propagate" t_exception_propagates;
+    quick "uneven work balances" t_uneven_work_balances;
+    prop_matches_list_map;
+    slow "parallel verify sweep = sequential (line-JSON)"
+      t_verify_sweep_deterministic;
+  ]

@@ -256,6 +256,58 @@ let t_speak_rejects_wide_support () =
   Alcotest.(check int) "guarded tree still runs" 1
     (D.size (Sem.transcript_dist ok [| 1 |]))
 
+(* --- memoized transcript law vs the unmemoized reference ----------- *)
+(* [Sem.transcript_dist] memoizes subtree laws per physical node and
+   uses the dedupe-free monadic fast paths. This reference is the
+   pre-optimization semantics, literal generic [bind]/[map] with no
+   sharing; on every registry entry and every input profile the two must
+   produce identical laws — values, weights, AND item order, because
+   downstream information measures fold the alist with floats. *)
+let reference_transcript_dist tree inputs =
+  let rec go tree =
+    match tree with
+    | T.Output _ -> D.return []
+    | T.Speak { speaker; emit; children } ->
+        D.bind (emit inputs.(speaker)) (fun m ->
+            D.map (fun rest -> T.Msg (speaker, m) :: rest) (go children.(m)))
+    | T.Chance { coin; children } ->
+        D.bind coin (fun c ->
+            D.map (fun rest -> T.Coin c :: rest) (go children.(c)))
+  in
+  go tree
+
+let t_memoized_law_matches_reference () =
+  List.iter
+    (fun (Protocols.Registry.Entry e) ->
+      let tree = Lazy.force e.tree in
+      let dom = Array.length e.domain in
+      (* full input domain: every registry entry is registered at an
+         exactly-enumerable parameter point *)
+      let profiles = ref 1 in
+      for _ = 1 to e.players do
+        profiles := !profiles * dom
+      done;
+      for code = 0 to !profiles - 1 do
+        let inputs =
+          Array.init e.players (fun i ->
+              let rec nth c j = if j = 0 then c mod dom else nth (c / dom) (j - 1) in
+              e.domain.(nth code i))
+        in
+        let fast = Sem.transcript_dist tree inputs in
+        let slow = reference_transcript_dist tree inputs in
+        let la = D.to_alist fast and lb = D.to_alist slow in
+        if
+          List.length la <> List.length lb
+          || not
+               (List.for_all2
+                  (fun (t1, w1) (t2, w2) -> t1 = t2 && R.equal w1 w2)
+                  la lb)
+        then
+          Alcotest.failf "%s: memoized law differs from reference on profile %d"
+            e.name code
+      done)
+    (Protocols.Registry.all ())
+
 let suite =
   [
     quick "tree statistics" t_tree_stats;
@@ -280,4 +332,6 @@ let suite =
     quick "Lemma 4 posterior = direct Bayes" t_posterior_formula_matches_bayes;
     quick "transcript mismatch raises" t_transcript_mismatch_raises;
     quick "speak rejects out-of-arity support" t_speak_rejects_wide_support;
+    quick "memoized law = reference law (full registry)"
+      t_memoized_law_matches_reference;
   ]

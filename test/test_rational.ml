@@ -96,6 +96,137 @@ let prop_compare_consistent_with_float =
       if R.equal a b then c = 0
       else (c < 0) = (fa < fb) || Float.abs (fa -. fb) < 1e-12)
 
+(* --- small-word fast path: differential and invariant suite -------- *)
+(* Every value fitting the 30-bit word bounds must sit on the native
+   representation (canonicity), and every operation must agree with the
+   forced-bigint path. [RT.force_big] breaks canonicity on purpose, so
+   value comparisons below use [R.compare], not [R.equal]. *)
+
+module RT = R.For_testing
+
+let is_small_by_value r =
+  let bound = B.of_int RT.small_max in
+  B.compare (B.abs (R.num r)) bound <= 0 && B.compare (R.den r) bound <= 0
+
+(* Rationals whose numerator/denominator straddle the small_max bound,
+   so reduced results land on both sides of the demotion boundary. *)
+let boundary_rat_gen =
+  QCheck.map
+    (fun (dn, dd, sign) ->
+      let n = RT.small_max + dn and d = RT.small_max + dd in
+      R.of_ints (if sign then -n else n) d)
+    (QCheck.triple (QCheck.int_range (-4) 4) (QCheck.int_range (-4) 4)
+       QCheck.bool)
+
+(* Mix of comfortably-small, boundary, and clearly-big magnitudes. *)
+let mixed_rat_gen =
+  QCheck.oneof
+    [ rat_gen; boundary_rat_gen;
+      QCheck.map
+        (fun (a, b) ->
+          R.make
+            (B.mul (B.of_int a) (B.of_int ((1 lsl 40) + 9)))
+            (B.of_int (1 + abs b)))
+        (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range 0 1000));
+    ]
+
+let prop_canonical_representation =
+  qtest "small values always demote to the word representation"
+    (QCheck.pair mixed_rat_gen mixed_rat_gen)
+    (fun (a, b) ->
+      List.for_all
+        (fun r -> RT.is_small r = is_small_by_value r)
+        [ a; b; R.add a b; R.sub a b; R.mul a b;
+          (if R.is_zero b then R.zero else R.div a b) ])
+
+let prop_ops_match_big_path =
+  qtest "fast-path ops = forced-bigint ops"
+    (QCheck.pair mixed_rat_gen mixed_rat_gen)
+    (fun (a, b) ->
+      let ba = RT.force_big a and bb = RT.force_big b in
+      let same op_s op_b = R.compare op_s op_b = 0 in
+      same (R.add a b) (R.add ba bb)
+      && same (R.sub a b) (R.sub ba bb)
+      && same (R.mul a b) (R.mul ba bb)
+      && (R.is_zero b || same (R.div a b) (R.div ba bb))
+      && same (R.neg a) (R.neg ba)
+      && same (R.abs a) (R.abs ba)
+      && (R.is_zero a || same (R.inv a) (R.inv ba))
+      && R.compare a b = R.compare ba bb)
+
+let prop_representation_invisible =
+  qtest "to_float/to_string/sign agree across representations"
+    mixed_rat_gen
+    (fun a ->
+      let bigged = RT.force_big a in
+      (* bit-for-bit float equality: downstream Kahan sums must not see
+         the representation *)
+      Int64.equal
+        (Int64.bits_of_float (R.to_float a))
+        (Int64.bits_of_float (R.to_float bigged))
+      && String.equal (R.to_string a) (R.to_string bigged)
+      && R.sign a = R.sign bigged
+      && Float.equal (R.log2 (R.add (R.abs a) R.one))
+           (R.log2 (R.add (R.abs bigged) R.one)))
+
+let prop_int_ops_match =
+  qtest "mul_int/div_int/pow match their generic forms"
+    (QCheck.pair mixed_rat_gen (QCheck.int_range (-1000) 1000))
+    (fun (a, m) ->
+      R.compare (R.mul_int a m) (R.mul a (R.of_int m)) = 0
+      && (m = 0 || R.compare (R.div_int a m) (R.div a (R.of_int m)) = 0)
+      && R.compare (R.pow a 3) (R.mul a (R.mul a a)) = 0)
+
+let t_word_boundary_edges () =
+  let m = RT.small_max in
+  Alcotest.(check bool) "small_max is small" true (RT.is_small (R.of_int m));
+  Alcotest.(check bool) "small_max+1 is big" false
+    (RT.is_small (R.of_int (m + 1)));
+  Alcotest.(check bool) "-small_max is small" true
+    (RT.is_small (R.of_int (-m)));
+  Alcotest.(check bool) "-(small_max+1) is big" false
+    (RT.is_small (R.of_int (-(m + 1))));
+  (* reduction can bring a big-looking fraction back onto the word *)
+  Alcotest.(check bool) "(2(m+1)) / (m+1) demotes" true
+    (RT.is_small (R.make (B.of_int (2 * (m + 1))) (B.of_int (m + 1))));
+  check_rational ~msg:"and equals 2" (R.of_int 2)
+    (R.make (B.of_int (2 * (m + 1))) (B.of_int (m + 1)));
+  (* sums that overflow the word bounds promote, exactly *)
+  let big_sum = R.add (R.of_ints 1 m) (R.of_ints 1 (m - 1)) in
+  Alcotest.(check bool) "1/m + 1/(m-1) promotes" false (RT.is_small big_sum);
+  check_rational ~msg:"promoted sum exact" big_sum
+    (R.make
+       (B.of_int ((2 * m) - 1))
+       (B.mul (B.of_int m) (B.of_int (m - 1))))
+
+let t_min_int_edges () =
+  (* min_int magnitudes cannot be negated in native ints; these must
+     route through the bigint path and still canonicalize *)
+  check_rational ~msg:"min_int/min_int" R.one (R.of_ints min_int min_int);
+  check_rational ~msg:"max_int/max_int" R.one (R.of_ints max_int max_int);
+  Alcotest.(check string) "min_int/1 prints" (string_of_int min_int)
+    (R.to_string (R.of_ints min_int 1));
+  check_rational ~msg:"min_int/2 = min_int/2"
+    (R.make (B.of_int min_int) (B.of_int 2))
+    (R.of_ints min_int 2);
+  check_rational ~msg:"1/min_int = -1/|min_int|"
+    (R.make B.minus_one (B.neg (B.of_int min_int)))
+    (R.of_ints 1 min_int);
+  check_rational ~msg:"div_int by min_int"
+    (R.make B.one (B.neg (B.of_int min_int)))
+    (R.div_int (R.of_int (-1)) min_int);
+  check_rational ~msg:"mul_int by min_int"
+    (R.make (B.of_int min_int) B.one)
+    (R.mul_int R.one min_int)
+
+let t_is_one () =
+  Alcotest.(check bool) "one" true (R.is_one R.one);
+  Alcotest.(check bool) "2/2" true (R.is_one (R.of_ints 2 2));
+  Alcotest.(check bool) "half" false (R.is_one R.half);
+  Alcotest.(check bool) "zero" false (R.is_one R.zero);
+  Alcotest.(check bool) "big-path one reduces small" true
+    (R.is_one (R.make (B.of_int ((1 lsl 40) + 1)) (B.of_int ((1 lsl 40) + 1))))
+
 let suite =
   [
     quick "canonical form" t_canonical;
@@ -111,4 +242,11 @@ let suite =
     prop_inv_involution;
     prop_canonical_gcd;
     prop_compare_consistent_with_float;
+    prop_canonical_representation;
+    prop_ops_match_big_path;
+    prop_representation_invisible;
+    prop_int_ops_match;
+    quick "word-boundary edges" t_word_boundary_edges;
+    quick "min_int edges" t_min_int_edges;
+    quick "is_one" t_is_one;
   ]
