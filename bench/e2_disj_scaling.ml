@@ -121,6 +121,52 @@ let run () =
   Exp_util.note
     "Expected: ratio grows like log n / log k once n >> k^2 (here k^2 = 256)."
 
+(* E2S — the [n <= 1024] prefix of the E2 sweep, cheap enough to run on
+   every CI push. Its rows are gated bit-for-bit against the committed
+   benchmark baseline (see .github/workflows/ci.yml): any protocol or
+   wire-representation change that moves a single measured bit fails the
+   smoke job instead of silently shifting the paper tables. *)
+let run_small () =
+  Exp_util.heading "E2S"
+    "DISJ_{n,k} smoke sweep (n <= 1024): bit-exact gate for CI";
+  let configs =
+    [ (256, 4); (256, 16); (256, 64); (1024, 4); (1024, 16); (1024, 64); (1024, 256) ]
+  in
+  let data =
+    Par.parallel_map
+      (fun (n, k) ->
+        let b, nv, tv = measure_one ~seed:((n * 13) + k) ~n ~k in
+        (n, k, b, nv, tv))
+      configs
+  in
+  Exp_util.record_rows "rows"
+    (List.map
+       (fun (n, k, b, nv, tv) ->
+         Obs.Jsonw.
+           [
+             ("n", Int n);
+             ("k", Int k);
+             ("batched_bits", Int b.Protocols.Disj_common.bits);
+             ("naive_bits", Int nv.Protocols.Disj_common.bits);
+             ("trivial_bits", Int tv.Protocols.Disj_common.bits);
+           ])
+       data);
+  Exp_util.table
+    ~header:[ "n"; "k"; "batched"; "naive"; "trivial" ]
+    (List.map
+       (fun (n, k, b, nv, tv) ->
+         Exp_util.
+           [
+             I n;
+             I k;
+             I b.Protocols.Disj_common.bits;
+             I nv.Protocols.Disj_common.bits;
+             I tv.Protocols.Disj_common.bits;
+           ])
+       data);
+  Exp_util.note
+    "Expected: rows byte-identical to the committed full-run baseline."
+
 let run_ablations () =
   Exp_util.heading "E2-abl1"
     "Ablation: phase-switch threshold (paper uses z < k^2), n=16384 k=16";

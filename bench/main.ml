@@ -13,6 +13,7 @@ let experiments =
   [
     ("E1", E1_and_information.run);
     ("E2", E2_disj_scaling.run);
+    ("E2S", E2_disj_scaling.run_small);
     ("E2-ABL", E2_disj_scaling.run_ablations);
     ("E3", E3_lemma6.run);
     ("E4", E4_batched_accounting.run);

@@ -31,7 +31,43 @@ let tests () =
      transcript_dist hits the per-node memo table. *)
   let two_copy = Protocols.And_protocols.two_copy_sequential 3 in
   let two_copy_input = Array.make 3 [| 1; 1 |] in
+  (* Packed bit-plane kernels (PR 5): the wire representation of every
+     posted message. The boxed-read kernel is the old per-bit boxed
+     traversal, kept as the baseline the packed reader is compared
+     against. *)
+  let vec_4096 =
+    let w = Coding.Bitbuf.Writer.create () in
+    for i = 0 to 127 do
+      Coding.Bitbuf.Writer.add_bits w (i * 0x9e3779b1 land 0x3fffffff) 32
+    done;
+    Coding.Bitbuf.Writer.freeze w
+  in
   [
+    Test.make ~name:"bitvec-append-4096"
+      (Staged.stage (fun () -> ignore (Coding.Bitvec.append vec_4096 vec_4096)));
+    Test.make ~name:"writer-fill-freeze-4096"
+      (Staged.stage (fun () ->
+           let w = Coding.Bitbuf.Writer.create () in
+           for i = 0 to 127 do
+             Coding.Bitbuf.Writer.add_bits w (i land 0xffff) 32
+           done;
+           ignore (Coding.Bitbuf.Writer.freeze w)));
+    Test.make ~name:"bitvec-read-packed-4096"
+      (Staged.stage (fun () ->
+           let r = Coding.Bitbuf.Reader.of_vec vec_4096 in
+           let acc = ref 0 in
+           for _ = 0 to 127 do
+             acc := !acc lxor Coding.Bitbuf.Reader.read_bits r 32
+           done;
+           ignore !acc));
+    Test.make ~name:"bitvec-read-boxed-4096"
+      (Staged.stage (fun () ->
+           (* pre-packing baseline: box every bit, walk the list *)
+           let acc = ref 0 in
+           List.iter
+             (fun b -> if b then incr acc)
+             (Coding.Bitvec.For_testing.to_bool_list vec_4096);
+           ignore !acc));
     Test.make ~name:"bigint-mul-256bit"
       (Staged.stage
          (let a = Exact.Bigint.of_string (String.make 70 '7') in

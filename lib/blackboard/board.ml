@@ -1,4 +1,4 @@
-type write = { player : int; bits : bool list; label : string }
+type write = { player : int; vec : Coding.Bitvec.t; label : string }
 
 type t = {
   k : int;
@@ -13,16 +13,17 @@ let create ~k =
 
 let players t = t.k
 
-let post_bits t ~player ?(label = "") bits =
+let post_vec t ~player ?(label = "") vec =
   if player < 0 || player >= t.k then invalid_arg "Board.post: bad player";
-  let n = List.length bits in
-  t.rev_writes <- { player; bits; label } :: t.rev_writes;
+  let n = Coding.Bitvec.length vec in
+  t.rev_writes <- { player; vec; label } :: t.rev_writes;
   t.total <- t.total + n;
   t.by_player.(player) <- t.by_player.(player) + n;
   (* Observability: every charged write in the repo funnels through
      here, so the trace's Broadcast events and the "board.*" counters
-     are complete by construction. Guards first — with the null sink
-     and no registry installed this is two predictable branches. *)
+     are complete by construction — one event and one bump per message,
+     never per bit. Guards first: with the null sink and no registry
+     installed this is two predictable branches. *)
   if Obs.Trace.enabled () then
     Obs.Trace.emit (Obs.Event.Broadcast { player; bits = n; label });
   if Obs.Metrics.enabled () then begin
@@ -31,14 +32,16 @@ let post_bits t ~player ?(label = "") bits =
   end
 
 let post t ~player ?label w =
-  post_bits t ~player ?label (Coding.Bitbuf.Writer.to_bool_list w)
+  (* Zero-copy: freezing hands the writer's packed buffer straight to
+     the board; the message is never re-boxed on its way across. *)
+  post_vec t ~player ?label (Coding.Bitbuf.Writer.freeze w)
 
 let writes t = List.rev t.rev_writes
 let total_bits t = t.total
 let write_count t = List.length t.rev_writes
 let bits_by t i = t.by_player.(i)
 let last_write t = match t.rev_writes with [] -> None | w :: _ -> Some w
-let reader_of_write w = Coding.Bitbuf.Reader.of_bool_list w.bits
+let reader_of_write w = Coding.Bitbuf.Reader.of_vec w.vec
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>board (%d players, %d bits):@," t.k t.total;
@@ -46,7 +49,6 @@ let pp fmt t =
     (fun w ->
       Format.fprintf fmt "  p%d%s: %s@," w.player
         (if w.label = "" then "" else " [" ^ w.label ^ "]")
-        (String.concat ""
-           (List.map (fun b -> if b then "1" else "0") w.bits)))
+        (Coding.Bitvec.to_string w.vec))
     (writes t);
   Format.fprintf fmt "@]"

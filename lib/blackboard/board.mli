@@ -3,13 +3,17 @@
     An append-only log of bit-string writes. Every player can read the
     whole board for free; writing is charged per bit. The experiment
     harnesses read the communication cost of a run straight off the
-    board, so no protocol can under-count its own communication. *)
+    board, so no protocol can under-count its own communication.
+
+    Messages are stored packed: a posted write holds the
+    {!Coding.Bitvec.t} frozen out of the writer (zero-copy), never a
+    boxed per-bit structure. *)
 
 type t
 
 type write = {
   player : int;  (** who wrote *)
-  bits : bool list;  (** the payload, in board order *)
+  vec : Coding.Bitvec.t;  (** the payload, packed, in board order *)
   label : string;  (** free-form tag for traces ("pass", "batch", ...) *)
 }
 
@@ -19,9 +23,12 @@ val create : k:int -> t
 val players : t -> int
 
 val post : t -> player:int -> ?label:string -> Coding.Bitbuf.Writer.t -> unit
-(** Append a write. @raise Invalid_argument for an out-of-range player. *)
+(** Append a write, freezing the writer in O(1) (it cannot be appended
+    to afterwards). @raise Invalid_argument for an out-of-range
+    player. *)
 
-val post_bits : t -> player:int -> ?label:string -> bool list -> unit
+val post_vec : t -> player:int -> ?label:string -> Coding.Bitvec.t -> unit
+(** Append an already-frozen payload. *)
 
 val writes : t -> write list
 (** All writes, oldest first. *)
@@ -34,6 +41,7 @@ val bits_by : t -> int -> int
 val last_write : t -> write option
 
 val reader_of_write : write -> Coding.Bitbuf.Reader.t
-(** Re-read a write's payload (what the other players do). *)
+(** Re-read a write's payload (what the other players do). Zero-copy:
+    a cursor over the stored packed vector. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,10 +1,16 @@
 module Writer = struct
-  type t = { mutable data : Bytes.t; mutable len : int (* in bits *) }
+  type t = {
+    mutable data : Bytes.t;
+    mutable len : int; (* in bits *)
+    mutable frozen : bool;
+  }
 
   (* Process-wide emit counts, read by the observability layer. Atomic
      because writers are created and fed from several domains during
-     parallel registry sweeps; uncontended atomic increments stay cheap
-     enough for the per-bit path. *)
+     parallel registry sweeps. The multi-bit entry points below publish
+     once per call ([Atomic.fetch_and_add] of the whole span), never per
+     bit, so the accounting stays exact without a per-bit RMW on the hot
+     path. *)
   let stat_writers = Atomic.make 0
   let stat_bits = Atomic.make 0
 
@@ -16,13 +22,16 @@ module Writer = struct
     Atomic.set stat_writers 0;
     Atomic.set stat_bits 0
 
+  let publish n = if n > 0 then ignore (Atomic.fetch_and_add stat_bits n)
+
   let create () =
     Atomic.incr stat_writers;
-    { data = Bytes.make 16 '\000'; len = 0 }
+    { data = Bytes.make 16 '\000'; len = 0; frozen = false }
 
   let length t = t.len
 
   let ensure t bits =
+    if t.frozen then invalid_arg "Bitbuf.Writer: frozen";
     let needed = (t.len + bits + 7) / 8 in
     if needed > Bytes.length t.data then begin
       let cap = ref (Bytes.length t.data) in
@@ -34,72 +43,202 @@ module Writer = struct
       t.data <- fresh
     end
 
-  let add_bit t b =
+  (* Append one bit with no stats accounting; every public entry point
+     below publishes its whole span in one shot. *)
+  let raw_add_bit t b =
     ensure t 1;
     if b then begin
-      let byte = t.len / 8 and bit = t.len mod 8 in
-      Bytes.set t.data byte
-        (Char.chr (Char.code (Bytes.get t.data byte) lor (1 lsl bit)))
+      let byte = t.len lsr 3 and bit = t.len land 7 in
+      Bytes.unsafe_set t.data byte
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.data byte) lor (1 lsl bit)))
     end;
-    t.len <- t.len + 1;
-    Atomic.incr stat_bits
+    t.len <- t.len + 1
+
+  let add_bit t b =
+    raw_add_bit t b;
+    publish 1
+
+  (* OR the low [n] bits of [chunk] — already in LSB-first stream order —
+     at the end of the buffer, a byte at a time. *)
+  let or_chunk t chunk n =
+    ensure t n;
+    let pos = t.len in
+    let byte = ref (pos lsr 3) in
+    let off = pos land 7 in
+    let first = min n (8 - off) in
+    Bytes.unsafe_set t.data !byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get t.data !byte)
+         lor ((chunk land ((1 lsl first) - 1)) lsl off)));
+    incr byte;
+    let c = ref (chunk lsr first) and rem = ref (n - first) in
+    while !rem > 0 do
+      let take = min 8 !rem in
+      Bytes.unsafe_set t.data !byte
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get t.data !byte)
+           lor (!c land ((1 lsl take) - 1))));
+      c := !c lsr take;
+      rem := !rem - take;
+      incr byte
+    done;
+    t.len <- pos + n
+
+  (* The stream writes values most-significant bit first while bytes
+     pack LSB-first, so the in-register chunk is the bit-reversal of the
+     value's low [n] bits. *)
+  let rev_bits v n =
+    let r = ref 0 and v = ref v in
+    for _ = 1 to n do
+      r := (!r lsl 1) lor (!v land 1);
+      v := !v lsr 1
+    done;
+    !r
 
   let add_bits t v n =
     if n < 0 || n > 62 then invalid_arg "Bitbuf.add_bits: width";
     if v < 0 then invalid_arg "Bitbuf.add_bits: negative value";
-    for i = n - 1 downto 0 do
-      add_bit t ((v lsr i) land 1 = 1)
-    done
+    if n > 0 then begin
+      or_chunk t (rev_bits v n) n;
+      publish n
+    end
 
   let add_bigint_bits t v n =
     if Exact.Bigint.sign v < 0 then invalid_arg "Bitbuf.add_bigint_bits";
     for i = n - 1 downto 0 do
-      add_bit t (Exact.Bigint.testbit v i)
-    done
+      raw_add_bit t (Exact.Bigint.testbit v i)
+    done;
+    publish n
+
+  let add_run t b n =
+    if n < 0 then invalid_arg "Bitbuf.add_run";
+    if n > 0 then begin
+      if not b then begin
+        ensure t n;
+        t.len <- t.len + n
+      end
+      else begin
+        let rem = ref n in
+        while !rem > 0 do
+          let take = min 8 !rem in
+          or_chunk t ((1 lsl take) - 1) take;
+          rem := !rem - take
+        done
+      end;
+      publish n
+    end
+
+  let add_bools t arr =
+    let n = Array.length arr in
+    ensure t n;
+    let i = ref 0 in
+    while !i < n do
+      let take = min 8 (n - !i) in
+      let chunk = ref 0 in
+      for j = take - 1 downto 0 do
+        chunk := (!chunk lsl 1) lor if Array.unsafe_get arr (!i + j) then 1 else 0
+      done;
+      or_chunk t !chunk take;
+      i := !i + take
+    done;
+    publish n
 
   let get_bit t i =
-    let byte = i / 8 and bit = i mod 8 in
-    (Char.code (Bytes.get t.data byte) lsr bit) land 1 = 1
+    let byte = i lsr 3 and bit = i land 7 in
+    (Char.code (Bytes.unsafe_get t.data byte) lsr bit) land 1 = 1
 
   let append dst src =
-    for i = 0 to src.len - 1 do
-      add_bit dst (get_bit src i)
-    done
+    let n = src.len in
+    ensure dst n;
+    Bitvec.unsafe_blit src.data 0 dst.data dst.len n;
+    dst.len <- dst.len + n;
+    publish n
 
-  let to_bool_list t = List.init t.len (get_bit t)
+  let add_vec t v =
+    let n = Bitvec.length v in
+    ensure t n;
+    Bitvec.unsafe_blit (Bitvec.unsafe_data v) 0 t.data t.len n;
+    t.len <- t.len + n;
+    publish n
 
-  let to_string t =
-    String.init t.len (fun i -> if get_bit t i then '1' else '0')
+  let freeze t =
+    t.frozen <- true;
+    Bitvec.unsafe_of_bytes t.data ~len:t.len
+
+  let extract t ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > t.len then
+      invalid_arg "Bitbuf.Writer.extract: out of bounds";
+    if len = 0 then Bitvec.empty
+    else begin
+      let data = Bytes.make ((len + 7) lsr 3) '\000' in
+      Bitvec.unsafe_blit t.data pos data 0 len;
+      Bitvec.unsafe_of_bytes data ~len
+    end
+
+  let to_string t = String.init t.len (fun i -> if get_bit t i then '1' else '0')
 end
 
 module Reader = struct
-  type t = { bits : bool array; mutable pos : int }
+  type t = { data : Bytes.t; len : int; mutable pos : int }
 
-  let of_writer w = { bits = Array.of_list (Writer.to_bool_list w); pos = 0 }
-  let of_bool_list l = { bits = Array.of_list l; pos = 0 }
+  (* Zero-copy snapshot: the writer only ever appends (growth swaps in a
+     fresh buffer, leaving this one intact), so bits below the snapshot
+     length never change under the reader. *)
+  let of_writer (w : Writer.t) = { data = w.Writer.data; len = w.Writer.len; pos = 0 }
+  let of_vec v = { data = Bitvec.unsafe_data v; len = Bitvec.length v; pos = 0 }
   let pos t = t.pos
-  let remaining t = Array.length t.bits - t.pos
+  let remaining t = t.len - t.pos
 
   let read_bit t =
-    if t.pos >= Array.length t.bits then
-      invalid_arg "Bitbuf.Reader.read_bit: past end";
-    let b = t.bits.(t.pos) in
-    t.pos <- t.pos + 1;
-    b
+    if t.pos >= t.len then invalid_arg "Bitbuf.Reader.read_bit: past end";
+    let p = t.pos in
+    t.pos <- p + 1;
+    (Char.code (Bytes.unsafe_get t.data (p lsr 3)) lsr (p land 7)) land 1 = 1
 
   let read_bits t n =
     if n < 0 || n > 62 then invalid_arg "Bitbuf.Reader.read_bits: width";
-    let v = ref 0 in
-    for _ = 1 to n do
-      v := (!v lsl 1) lor if read_bit t then 1 else 0
-    done;
-    !v
+    if t.pos + n > t.len then invalid_arg "Bitbuf.Reader.read_bit: past end";
+    if n = 0 then 0
+    else begin
+      let pos = t.pos in
+      (* Gather the n stream bits LSB-first into a register... *)
+      let byte = ref (pos lsr 3) in
+      let off = pos land 7 in
+      let u = ref (Char.code (Bytes.unsafe_get t.data !byte) lsr off) in
+      let got = ref (8 - off) in
+      while !got < n do
+        u := !u lor (Char.code (Bytes.unsafe_get t.data (!byte + 1)) lsl !got);
+        incr byte;
+        got := !got + 8
+      done;
+      (* ...then reverse to the MSB-first value the stream encodes. *)
+      let v = ref 0 and uu = ref !u in
+      for _ = 1 to n do
+        v := (!v lsl 1) lor (!uu land 1);
+        uu := !uu lsr 1
+      done;
+      t.pos <- pos + n;
+      !v
+    end
 
   let read_bigint_bits t n =
     let v = ref Exact.Bigint.zero in
-    for _ = 1 to n do
-      v := Exact.Bigint.shift_left !v 1;
-      if read_bit t then v := Exact.Bigint.add !v Exact.Bigint.one
+    let rem = ref n in
+    while !rem > 0 do
+      let take = min 62 !rem in
+      let chunk = read_bits t take in
+      v := Exact.Bigint.add (Exact.Bigint.shift_left !v take) (Exact.Bigint.of_int chunk);
+      rem := !rem - take
     done;
     !v
+end
+
+module For_testing = struct
+  (* The boxed bool-list API survives only here, as the differential
+     reference the qcheck suite drives the packed paths against. *)
+  let writer_to_bool_list (w : Writer.t) =
+    List.init w.Writer.len (Writer.get_bit w)
+
+  let reader_of_bool_list l =
+    Reader.of_vec (Bitvec.For_testing.of_bool_list l)
 end

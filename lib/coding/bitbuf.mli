@@ -2,7 +2,10 @@
 
     Every message a protocol writes on the blackboard goes through these,
     so the bit accounting of the experiments is the real length of a real
-    encoding, not a formula. *)
+    encoding, not a formula. Both sides are packed: the writer appends
+    into a [Bytes] buffer a register chunk at a time, and
+    {!Writer.freeze} hands the buffer to an immutable {!Bitvec.t} in
+    O(1), so a posted message is never re-boxed per bit. *)
 
 module Writer : sig
   type t
@@ -17,23 +20,46 @@ module Writer : sig
   (** Process-wide emit counts since start (or the last
       {!reset_stats}): writers created and bits appended across all
       writers. Surfaced as gauges by the benchmark/CLI observability
-      exports. *)
+      exports. Multi-bit appends publish their whole span with a single
+      atomic add (never one RMW per bit), so the totals are exact at
+      every call boundary. *)
 
   val reset_stats : unit -> unit
 
   val add_bit : t -> bool -> unit
   val add_bits : t -> int -> int -> unit
   (** [add_bits w v n] appends the [n] low bits of [v], most significant
-      first. Requires [0 <= n <= 62] and [v >= 0]. *)
+      first. Requires [0 <= n <= 62] and [v >= 0]. Word-level: one
+      masked OR per touched byte. *)
 
   val add_bigint_bits : t -> Exact.Bigint.t -> int -> unit
   (** Append the [n] low bits of a non-negative bigint, most significant
       first. *)
 
-  val append : t -> t -> unit
-  (** [append dst src] appends all bits of [src]. *)
+  val add_run : t -> bool -> int -> unit
+  (** [add_run w b n] appends [n] copies of [b] (byte-filled, one stats
+      publish). *)
 
-  val to_bool_list : t -> bool list
+  val add_bools : t -> bool array -> unit
+  (** Append a whole characteristic vector, packed a byte at a time. *)
+
+  val append : t -> t -> unit
+  (** [append dst src] appends all bits of [src]. Byte-level blit. *)
+
+  val add_vec : t -> Bitvec.t -> unit
+  (** Append a frozen vector. Byte-level blit, one stats publish. *)
+
+  val freeze : t -> Bitvec.t
+  (** O(1), zero-copy: hand the backing buffer over as an immutable
+      {!Bitvec.t}. The writer is frozen — any further append raises
+      [Invalid_argument]. This is what {!Blackboard.Board.post} does
+      with every message. *)
+
+  val extract : t -> pos:int -> len:int -> Bitvec.t
+  (** Copy bits [pos, pos+len) out as a vector without freezing — for
+      slicing a round out of a long-lived stream writer.
+      @raise Invalid_argument out of bounds. *)
+
   val to_string : t -> string
   (** ['0'/'1'] rendering, for tests and traces. *)
 end
@@ -42,7 +68,12 @@ module Reader : sig
   type t
 
   val of_writer : Writer.t -> t
-  val of_bool_list : bool list -> t
+  (** Zero-copy snapshot of the bits written so far (the writer may keep
+      appending; this reader sees the prefix). *)
+
+  val of_vec : Bitvec.t -> t
+  (** Zero-copy cursor over a frozen vector. *)
+
   val pos : t -> int
   val remaining : t -> int
 
@@ -50,7 +81,14 @@ module Reader : sig
   (** @raise Invalid_argument past the end of the buffer. *)
 
   val read_bits : t -> int -> int
-  (** Read [n <= 62] bits, most significant first. *)
+  (** Read [n <= 62] bits, most significant first; gathered from the
+      packed buffer a byte at a time. *)
 
   val read_bigint_bits : t -> int -> Exact.Bigint.t
+end
+
+module For_testing : sig
+  val writer_to_bool_list : Writer.t -> bool list
+  val reader_of_bool_list : bool list -> Reader.t
+  (** Boxed bool-list views — differential reference only. *)
 end

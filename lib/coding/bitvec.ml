@@ -1,0 +1,144 @@
+type t = { data : Bytes.t; len : int }
+
+(* Representation invariants:
+   - [data] holds bit [i] at byte [i/8], bit position [i mod 8]
+     (LSB-first within a byte), the same layout as [Bitbuf.Writer];
+   - [Bytes.length data >= (len + 7) / 8] — the buffer may be longer
+     than needed (a frozen writer hands over its whole backing store);
+   - every bit at index [>= len] inside the first [(len + 7) / 8] bytes
+     is zero, so [equal] can compare raw bytes. *)
+
+let empty = { data = Bytes.empty; len = 0 }
+let length t = t.len
+let bytes_needed bits = (bits + 7) lsr 3
+
+let unsafe_get t i =
+  Char.code (Bytes.unsafe_get t.data (i lsr 3)) lsr (i land 7) land 1 = 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec.get: index out of bounds";
+  unsafe_get t i
+
+let unsafe_data t = t.data
+
+let unsafe_of_bytes data ~len =
+  if len < 0 || bytes_needed len > Bytes.length data then
+    invalid_arg "Bitvec.unsafe_of_bytes: bad length";
+  { data; len }
+
+(* OR [len] bits of [src] starting at bit [spos] into [dst] starting at
+   bit [dpos]. The destination bits must currently be zero (the callers
+   below always blit into fresh zeroed buffers). Works a byte at a time:
+   gather eight source bits (from at most two source bytes), scatter
+   them into at most two destination bytes. The fully byte-aligned case
+   drops to [Bytes.blit]. *)
+let unsafe_blit src spos dst dpos len =
+  if len > 0 then
+    if spos land 7 = 0 && dpos land 7 = 0 then begin
+      let full = len lsr 3 in
+      Bytes.blit src (spos lsr 3) dst (dpos lsr 3) full;
+      let rem = len land 7 in
+      if rem > 0 then begin
+        let u =
+          Char.code (Bytes.unsafe_get src ((spos lsr 3) + full))
+          land ((1 lsl rem) - 1)
+        in
+        let db = (dpos lsr 3) + full in
+        Bytes.unsafe_set dst db
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst db) lor u))
+      end
+    end
+    else begin
+      let srclen = Bytes.length src in
+      let i = ref 0 in
+      while !i < len do
+        let chunk = min 8 (len - !i) in
+        let sp = spos + !i in
+        let sb = sp lsr 3 and so = sp land 7 in
+        let u = Char.code (Bytes.unsafe_get src sb) lsr so in
+        let u =
+          if so = 0 || sb + 1 >= srclen then u
+          else u lor (Char.code (Bytes.unsafe_get src (sb + 1)) lsl (8 - so))
+        in
+        let u = u land ((1 lsl chunk) - 1) in
+        let dp = dpos + !i in
+        let db = dp lsr 3 and d_o = dp land 7 in
+        Bytes.unsafe_set dst db
+          (Char.unsafe_chr
+             ((Char.code (Bytes.unsafe_get dst db) lor (u lsl d_o)) land 0xff));
+        if chunk > 8 - d_o then
+          Bytes.unsafe_set dst (db + 1)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get dst (db + 1)) lor (u lsr (8 - d_o))));
+        i := !i + chunk
+      done
+    end
+
+let append a b =
+  if a.len = 0 then b
+  else if b.len = 0 then a
+  else begin
+    let len = a.len + b.len in
+    let data = Bytes.make (bytes_needed len) '\000' in
+    unsafe_blit a.data 0 data 0 a.len;
+    unsafe_blit b.data 0 data a.len b.len;
+    { data; len }
+  end
+
+let extract t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Bitvec.extract: out of bounds";
+  if len = 0 then empty
+  else begin
+    let data = Bytes.make (bytes_needed len) '\000' in
+    unsafe_blit t.data pos data 0 len;
+    { data; len }
+  end
+
+let equal a b =
+  a.len = b.len
+  &&
+  let nbytes = bytes_needed a.len in
+  let rec go i =
+    i >= nbytes
+    || (Bytes.unsafe_get a.data i = Bytes.unsafe_get b.data i && go (i + 1))
+  in
+  go 0
+
+let of_string s =
+  let len = String.length s in
+  let data = Bytes.make (bytes_needed len) '\000' in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' ->
+          Bytes.unsafe_set data (i lsr 3)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get data (i lsr 3)) lor (1 lsl (i land 7))))
+      | '0' -> ()
+      | _ -> invalid_arg "Bitvec.of_string: expected '0'/'1'")
+    s;
+  { data; len }
+
+let to_string t = String.init t.len (fun i -> if unsafe_get t i then '1' else '0')
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module For_testing = struct
+  (* Boxed reference representation, kept as the differential oracle for
+     the packed operations (the qcheck suite drives both in lockstep). *)
+  let of_bool_list l =
+    let len = List.length l in
+    let data = Bytes.make (bytes_needed len) '\000' in
+    List.iteri
+      (fun i b ->
+        if b then
+          Bytes.unsafe_set data (i lsr 3)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get data (i lsr 3))
+               lor (1 lsl (i land 7)))))
+      l;
+    { data; len }
+
+  let to_bool_list t = List.init t.len (unsafe_get t)
+end

@@ -1,0 +1,60 @@
+(** Immutable packed bit vectors: the wire representation of every
+    message posted on the blackboard.
+
+    A [Bitvec.t] is a [Bytes]-backed bit string (bit [i] lives at byte
+    [i/8], LSB first — the same layout as {!Bitbuf.Writer}), frozen at
+    construction. [Bitbuf.Writer.freeze] produces one in O(1) by handing
+    over the writer's backing buffer, so a posted message is never
+    re-boxed bit by bit; [append]/[extract]/[equal] work a byte (or a
+    whole [Bytes.blit]) at a time. *)
+
+type t
+
+val empty : t
+val length : t -> int
+
+val get : t -> int -> bool
+(** [get t i] is bit [i]. @raise Invalid_argument out of bounds. *)
+
+val append : t -> t -> t
+(** Concatenation. O(len) byte-level blits, not per-bit. *)
+
+val extract : t -> pos:int -> len:int -> t
+(** [extract t ~pos ~len] copies bits [pos, pos+len) into a fresh
+    vector. @raise Invalid_argument out of bounds. *)
+
+val equal : t -> t -> bool
+(** Byte-level comparison (lengths, then packed words). *)
+
+val of_string : string -> t
+(** Parse a ['0'/'1'] string. @raise Invalid_argument on other chars. *)
+
+val to_string : t -> string
+(** ['0'/'1'] rendering, for tests and traces. *)
+
+val pp : Format.formatter -> t -> unit
+
+val unsafe_of_bytes : Bytes.t -> len:int -> t
+(** Ownership transfer: wrap [data] as a vector of [len] bits without
+    copying. The caller must never mutate [data] afterwards, and every
+    bit at index [>= len] within the first [(len+7)/8] bytes must be
+    zero. This is the zero-copy freeze hook used by {!Bitbuf.Writer};
+    prefer that entry point. *)
+
+val unsafe_data : t -> Bytes.t
+(** The backing buffer (bit [i] at byte [i/8], LSB first; may be longer
+    than [(length t + 7) / 8]). Read-only by contract — this is how
+    {!Bitbuf.Reader} wraps a vector without copying. *)
+
+val unsafe_blit : Bytes.t -> int -> Bytes.t -> int -> int -> unit
+(** [unsafe_blit src spos dst dpos len] ORs [len] bits of [src] starting
+    at bit [spos] into [dst] at bit [dpos]; the destination bits must be
+    zero. Byte-at-a-time (whole-[Bytes.blit] when both sides are
+    byte-aligned). Shared with {!Bitbuf.Writer.append}; no bounds
+    checks. *)
+
+module For_testing : sig
+  val of_bool_list : bool list -> t
+  val to_bool_list : t -> bool list
+  (** Boxed reference representation — differential oracle only. *)
+end

@@ -2,7 +2,7 @@ type tree = Leaf of int | Node of tree * tree
 
 type t = {
   tree : tree;
-  codes : bool list array;  (** codeword per symbol, root-to-leaf *)
+  codes : Bitvec.t array;  (** packed codeword per symbol, root-to-leaf *)
 }
 
 (* Build by repeatedly merging the two lightest subtrees. A sorted-list
@@ -12,7 +12,7 @@ let build probs =
   if n = 0 then invalid_arg "Huffman.build: empty alphabet";
   if n = 1 then begin
     (* degenerate: one symbol, zero-length codeword *)
-    { tree = Leaf 0; codes = [| [] |] }
+    { tree = Leaf 0; codes = [| Bitvec.empty |] }
   end
   else begin
     let items = List.init n (fun i -> (probs.(i), Leaf i)) in
@@ -29,9 +29,24 @@ let build probs =
           merge (insert (w1 +. w2, Node (t1, t2)) rest)
     in
     let tree = merge sorted in
-    let codes = Array.make n [] in
+    let codes = Array.make n Bitvec.empty in
+    (* Pack a root-to-leaf path (held reversed) straight into a vector;
+       codebook construction must not go through a Writer, whose
+       process-wide stats count only charged communication. *)
+    let vec_of_rev_prefix prefix =
+      let bits = List.rev prefix in
+      let len = List.length bits in
+      let data = Bytes.make ((len + 7) / 8) '\000' in
+      List.iteri
+        (fun i b ->
+          if b then
+            Bytes.set_uint8 data (i / 8)
+              (Bytes.get_uint8 data (i / 8) lor (1 lsl (i land 7))))
+        bits;
+      Bitvec.unsafe_of_bytes data ~len
+    in
     let rec walk prefix = function
-      | Leaf i -> codes.(i) <- List.rev prefix
+      | Leaf i -> codes.(i) <- vec_of_rev_prefix prefix
       | Node (l, r) ->
           walk (false :: prefix) l;
           walk (true :: prefix) r
@@ -40,24 +55,24 @@ let build probs =
     { tree; codes }
   end
 
-let code_lengths t = Array.map List.length t.codes
+let code_lengths t = Array.map Bitvec.length t.codes
 
 let expected_length t probs =
   let acc = ref 0. in
   Array.iteri
-    (fun i p -> acc := !acc +. (p *. float_of_int (List.length t.codes.(i))))
+    (fun i p -> acc := !acc +. (p *. float_of_int (Bitvec.length t.codes.(i))))
     probs;
   !acc
 
 let kraft_sum t =
   Array.fold_left
-    (fun acc code -> acc +. Float.pow 2. (-.float_of_int (List.length code)))
+    (fun acc code -> acc +. Float.pow 2. (-.float_of_int (Bitvec.length code)))
     0. t.codes
 
 let encode t w symbol =
   if symbol < 0 || symbol >= Array.length t.codes then
     invalid_arg "Huffman.encode: bad symbol";
-  List.iter (Bitbuf.Writer.add_bit w) t.codes.(symbol)
+  Bitbuf.Writer.add_vec w t.codes.(symbol)
 
 let decode t r =
   let rec go = function

@@ -19,9 +19,7 @@ let write_fixed w ~bound v =
 let read_fixed r ~bound = Bitbuf.Reader.read_bits r (fixed_width bound)
 
 let unary_raw w n =
-  for _ = 1 to n do
-    Bitbuf.Writer.add_bit w true
-  done;
+  Bitbuf.Writer.add_run w true n;
   Bitbuf.Writer.add_bit w false
 
 let write_unary w n =

@@ -18,8 +18,44 @@ let check_sorted ~z subset =
    steps — O(z) bigint-by-word operations total, instead of m
    from-scratch binomials:
      advance position:  C(c+1, j) = C(c, j) * (c+1) / (c+1-j)
-     consume element:   C(c, j+1) = C(c, j) * (c-j) / (j+1)        *)
-let rank ~z subset =
+     consume element:   C(c, j+1) = C(c, j) * (c-j) / (j+1)
+
+   The running binomial lives in a {!B.Acc} mutated in place, so the
+   scan allocates only when an element is consumed (to add into the
+   rank), not on every one of the z steps. *)
+let rank_acc ~z subset =
+  check_sorted ~z subset;
+  let b = B.Acc.create () in
+  (* b = C(c, j) throughout; starts at C(0, 1) = 0 *)
+  let rank = ref B.zero in
+  let rec go c j rem =
+    match rem with
+    | [] -> !rank
+    | e :: rest ->
+        if c = e then begin
+          if not (B.Acc.is_zero b) then rank := B.add !rank (B.Acc.to_t b);
+          (if c < j + 1 then B.Acc.set_int b 0
+           else begin
+             B.Acc.mul_small b (c - j);
+             B.Acc.div_exact_small b (j + 1)
+           end);
+          go c (j + 1) rest
+        end
+        else begin
+          (if c + 1 < j then B.Acc.set_int b 0
+           else if c + 1 = j then B.Acc.set_int b 1
+           else begin
+             B.Acc.mul_small b (c + 1);
+             B.Acc.div_exact_small b (c + 1 - j)
+           end);
+          go (c + 1) j rem
+        end
+  in
+  go 0 1 subset
+
+(* The pre-Acc scan on the immutable API: two fresh magnitudes per
+   step. Kept as the differential reference. *)
+let rank_reference ~z subset =
   check_sorted ~z subset;
   let rec go c j b rem rank =
     (* b = C(c, j); rem = elements still to consume (ascending) *)
@@ -44,17 +80,45 @@ let rank ~z subset =
   in
   go 0 1 B.zero subset B.zero
 
-let unrank ~z ~m index =
-  if m < 0 || m > z then invalid_arg "Subset_codec.unrank: bad m";
-  (* Greedy from the largest element down, maintaining the running
-     binomial incrementally (each step is a small-int multiply/divide),
-     so the whole unrank is O(z + m) bigint-by-word operations:
-       C(c-1, i) = C(c, i) * (c - i) / c        (decrement c)
-       C(c, i-1) = C(c, i) * i / (c - i + 1)    (decrement i)  *)
-  let rec go i c b rem acc =
+let rank ~z subset =
+  (* Acc factors must be single-limb; z in the billions falls back. *)
+  if z < 1 lsl 30 then rank_acc ~z subset else rank_reference ~z subset
+
+(* Greedy from the largest element down, maintaining the running
+   binomial incrementally (each step is an in-place small-int
+   multiply/divide on a {!B.Acc}), so the whole unrank is O(z + m)
+   bigint-by-word operations and O(m) allocations:
+     C(c-1, i) = C(c, i) * (c - i) / c        (decrement c)
+     C(c, i-1) = C(c, i) * i / (c - i + 1)    (decrement i)  *)
+let unrank_acc ~z ~m index =
+  if m = 0 then []
+  else begin
+    let b = B.Acc.of_t (B.binomial (z - 1) m) in
+    let rem = ref index in
     (* Invariant: b = C(c, i), all elements selected so far exceed c. *)
+    let rec go i c acc =
+      if B.Acc.compare_t b !rem <= 0 then begin
+        rem := B.sub !rem (B.Acc.to_t b);
+        if i = 1 then c :: acc
+        else begin
+          B.Acc.mul_small b i;
+          B.Acc.div_exact_small b c (* C(c-1, i-1) *);
+          go (i - 1) (c - 1) (c :: acc)
+        end
+      end
+      else begin
+        B.Acc.mul_small b (c - i);
+        B.Acc.div_exact_small b c (* C(c-1, i) *);
+        go i (c - 1) acc
+      end
+    in
+    go m (z - 1) []
+  end
+
+let unrank_reference ~z ~m index =
+  if m < 0 || m > z then invalid_arg "Subset_codec.unrank: bad m";
+  let rec go i c b rem acc =
     if B.compare b rem <= 0 then begin
-      (* c is the i-th largest element *)
       let rem = B.sub rem b in
       if i = 1 then c :: acc
       else
@@ -67,10 +131,30 @@ let unrank ~z ~m index =
   in
   if m = 0 then [] else go m (z - 1) (B.binomial (z - 1) m) index []
 
-let code_bits ~z ~m =
+let unrank ~z ~m index =
+  if m < 0 || m > z then invalid_arg "Subset_codec.unrank: bad m";
+  if z < 1 lsl 30 then unrank_acc ~z ~m index
+  else unrank_reference ~z ~m index
+
+(* One-slot memo: within a protocol cycle every batch shares (z, m) up
+   to the ragged last batch, and the matching read recomputes the same
+   width, so caching the last answer removes most from-scratch
+   binomials. Atomic because parameter sweeps run under Par domains. *)
+let code_bits_memo = Atomic.make (-1, -1, 0)
+
+let code_bits_uncached ~z ~m =
   let count = B.binomial z m in
   if B.compare count B.one <= 0 then 0
   else B.num_bits (B.sub count B.one)
+
+let code_bits ~z ~m =
+  let zc, mc, bits = Atomic.get code_bits_memo in
+  if zc = z && mc = m then bits
+  else begin
+    let bits = code_bits_uncached ~z ~m in
+    Atomic.set code_bits_memo (z, m, bits);
+    bits
+  end
 
 let write w ~z subset =
   let m = List.length subset in
@@ -80,3 +164,9 @@ let write w ~z subset =
 let read r ~z ~m =
   let bits = code_bits ~z ~m in
   unrank ~z ~m (Bitbuf.Reader.read_bigint_bits r bits)
+
+module For_testing = struct
+  let rank_reference = rank_reference
+  let unrank_reference = unrank_reference
+  let code_bits_uncached = code_bits_uncached
+end

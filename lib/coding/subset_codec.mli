@@ -26,3 +26,16 @@ val write : Bitbuf.Writer.t -> z:int -> int list -> unit
     context, as in the protocol). *)
 
 val read : Bitbuf.Reader.t -> z:int -> m:int -> int list
+
+(** {1 Testing hooks}
+
+    The pre-accumulator scans on the immutable bigint API, kept as
+    differential references for the in-place fast path. *)
+
+module For_testing : sig
+  val rank_reference : z:int -> int list -> Exact.Bigint.t
+  val unrank_reference : z:int -> m:int -> Exact.Bigint.t -> int list
+
+  val code_bits_uncached : z:int -> m:int -> int
+  (** {!code_bits} without the one-slot memo. *)
+end

@@ -173,12 +173,14 @@ let compress_parallel ?(eps = 0.01) ~seed ~tree ~mu ~inputs () =
         in
         incr transmissions;
         if res.aborted then incr aborted;
-        (* Run the honest decoder on the bits just written. *)
-        let all_bits = Coding.Bitbuf.Writer.to_bool_list writer in
-        let round_bits =
-          List.filteri (fun i _ -> i >= reader_mark) all_bits
+        (* Run the honest decoder on the bits just written: slice the
+           round out of the stream writer as a packed vector (no per-bit
+           boxing of the whole history). *)
+        let round_vec =
+          Coding.Bitbuf.Writer.extract writer ~pos:reader_mark
+            ~len:(Coding.Bitbuf.Writer.length writer - reader_mark)
         in
-        let reader = Coding.Bitbuf.Reader.of_bool_list round_bits in
+        let reader = Coding.Bitbuf.Reader.of_vec round_vec in
         let decoded =
           Point_sampler.decode ~rng:decoder_rng ~nu ~u ~max_blocks reader
         in

@@ -461,8 +461,172 @@ let binomial n k =
     !c
   end
 
+(* ------------------------------------------------------------------ *)
+(* Mutable magnitude accumulator.                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Acc = struct
+  (* A non-negative integer held in a growable limb buffer, mutated in
+     place. Built for the running-binomial scans in the subset codec:
+     each step multiplies by one small factor and exactly divides by
+     another, and doing both in place removes the two fresh magnitude
+     arrays per step that the immutable API would allocate. *)
+  type acc = { mutable mag : int array; mutable len : int }
+  (* Invariant: limbs [0, len) hold the value LSB-first with no
+     trailing zero limb ([len = 0] is zero); limbs at or beyond [len]
+     may be garbage. *)
+
+  let ensure a n =
+    if n > Array.length a.mag then begin
+      let cap = ref (Stdlib.max 8 (Array.length a.mag)) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      let fresh = Array.make !cap 0 in
+      Array.blit a.mag 0 fresh 0 a.len;
+      a.mag <- fresh
+    end
+
+  let create () = { mag = Array.make 8 0; len = 0 }
+
+  let set_int a v =
+    if v < 0 then invalid_arg "Bigint.Acc.set_int: negative";
+    a.len <- 0;
+    let v = ref v in
+    while !v <> 0 do
+      ensure a (a.len + 1);
+      a.mag.(a.len) <- !v land base_mask;
+      a.len <- a.len + 1;
+      v := !v lsr base_bits
+    done
+
+  let set_t a (x : t) =
+    if x.sign < 0 then invalid_arg "Bigint.Acc.set_t: negative";
+    let n = Array.length x.mag in
+    ensure a n;
+    Array.blit x.mag 0 a.mag 0 n;
+    a.len <- n
+
+  let of_t x =
+    let a = create () in
+    set_t a x;
+    a
+
+  let to_t a = make 1 (Array.sub a.mag 0 a.len)
+  let is_zero a = a.len = 0
+
+  let mul_small a m =
+    if m < 0 || m >= base then invalid_arg "Bigint.Acc.mul_small: range";
+    if m = 0 then a.len <- 0
+    else if a.len > 0 then begin
+      ensure a (a.len + 1);
+      let carry = ref 0 in
+      for i = 0 to a.len - 1 do
+        let s = (a.mag.(i) * m) + !carry in
+        a.mag.(i) <- s land base_mask;
+        carry := s lsr base_bits
+      done;
+      if !carry <> 0 then begin
+        a.mag.(a.len) <- !carry;
+        a.len <- a.len + 1
+      end
+    end
+
+  (* Exact division runs LSB-first a la Jebelean: multiply each
+     residual limb by the precomputed inverse of the (odd part of the)
+     divisor mod 2^30 — two multiplies per limb instead of a hardware
+     divide, which is what the subset-codec scans spend their time
+     on. Powers of two come out first as an in-place right shift. *)
+
+  let inv_mod_base d =
+    (* Newton lifting: x_{k+1} = x(2 - dx) doubles correct low bits;
+       seed d is its own inverse mod 8, four rounds reach 2^48 > base. *)
+    let x = ref d in
+    for _ = 1 to 4 do
+      x := !x * (2 - (d * !x)) land base_mask
+    done;
+    !x land base_mask
+
+  let shift_right_exact a s =
+    if s > 0 then begin
+      if a.len > 0 && a.mag.(0) land ((1 lsl s) - 1) <> 0 then
+        invalid_arg "Bigint.Acc.div_exact_small: not divisible";
+      for i = 0 to a.len - 1 do
+        let hi = if i + 1 < a.len then a.mag.(i + 1) else 0 in
+        a.mag.(i) <- (a.mag.(i) lsr s) lor (hi lsl (base_bits - s) land base_mask)
+      done;
+      while a.len > 0 && a.mag.(a.len - 1) = 0 do
+        a.len <- a.len - 1
+      done
+    end
+
+  let div_exact_small a d =
+    if d <= 0 || d >= base then invalid_arg "Bigint.Acc.div_exact_small: range";
+    let s = ref 0 and d_odd = ref d in
+    while !d_odd land 1 = 0 do
+      d_odd := !d_odd lsr 1;
+      incr s
+    done;
+    shift_right_exact a !s;
+    let d = !d_odd in
+    if d > 1 then begin
+      let inv = inv_mod_base d in
+      let carry = ref 0 in
+      for i = 0 to a.len - 1 do
+        let cur = a.mag.(i) - !carry in
+        let q = cur * inv land base_mask in
+        a.mag.(i) <- q;
+        (* (q * d - cur) is a non-negative multiple of 2^30 *)
+        carry := ((q * d) - cur) lsr base_bits
+      done;
+      if !carry <> 0 then
+        invalid_arg "Bigint.Acc.div_exact_small: not divisible";
+      while a.len > 0 && a.mag.(a.len - 1) = 0 do
+        a.len <- a.len - 1
+      done
+    end
+
+  let compare_t a (x : t) =
+    if x.sign < 0 then 1
+    else
+      let lx = Array.length x.mag in
+      if a.len <> lx then Stdlib.compare a.len lx
+      else
+        let rec go i =
+          if i < 0 then 0
+          else if a.mag.(i) <> x.mag.(i) then
+            Stdlib.compare a.mag.(i) x.mag.(i)
+          else go (i - 1)
+        in
+        go (lx - 1)
+end
+
+let binomial_acc n k =
+  (* Same iteration as {!binomial}, on an in-place accumulator: two
+     allocations total instead of two per step. *)
+  if k < 0 || k > n then zero
+  else begin
+    let k = Stdlib.min k (n - k) in
+    let a = Acc.create () in
+    Acc.set_int a 1;
+    for i = 0 to k - 1 do
+      Acc.mul_small a (n - i);
+      Acc.div_exact_small a (i + 1)
+    done;
+    Acc.to_t a
+  end
+
+let binomial_reference = binomial
+
+let binomial n k =
+  (* Factors stay single-limb whenever [n < base], which covers every
+     caller in this repo; the immutable iteration handles the rest. *)
+  if n < base then binomial_acc n k else binomial_reference n k
+
 module For_testing = struct
   let karatsuba_threshold = karatsuba_threshold
+
+  let binomial_iter = binomial_reference
 
   let mul_schoolbook a b =
     if a.sign = 0 || b.sign = 0 then zero

@@ -86,6 +86,43 @@ val num_bits : t -> int
 
 val testbit : t -> int -> bool
 
+(** {1 In-place accumulator}
+
+    A mutable non-negative integer for multiply-small / divide-small
+    scan loops (running binomials in the subset codec). All operations
+    mutate in place over a growable limb buffer, so a whole scan costs
+    two allocations (create + [to_t]) instead of two per step. *)
+
+module Acc : sig
+  type acc
+
+  val create : unit -> acc
+  (** A fresh accumulator holding 0. *)
+
+  val set_int : acc -> int -> unit
+  (** Load a non-negative [int]. @raise Invalid_argument if negative. *)
+
+  val set_t : acc -> t -> unit
+  (** Load a non-negative {!t}. @raise Invalid_argument if negative. *)
+
+  val of_t : t -> acc
+  val to_t : acc -> t
+  val is_zero : acc -> bool
+
+  val mul_small : acc -> int -> unit
+  (** In-place multiply by [m], [0 <= m < 2^30].
+      @raise Invalid_argument outside that range. *)
+
+  val div_exact_small : acc -> int -> unit
+  (** In-place exact division by [d], [1 <= d < 2^30].
+      @raise Invalid_argument if out of range or the division leaves a
+      remainder — callers rely on algebraic identities that guarantee
+      exactness, so a remainder is a logic error worth trapping. *)
+
+  val compare_t : acc -> t -> int
+  (** Compare the accumulated value against an immutable {!t}. *)
+end
+
 (** {1 Testing hooks}
 
     Reference implementations and representation probes for the
@@ -100,6 +137,9 @@ module For_testing : sig
 
   val gcd_euclid : t -> t -> t
   (** Division-based Euclid GCD (the pre-binary reference). *)
+
+  val binomial_iter : int -> int -> t
+  (** The immutable-API binomial iteration (the pre-{!Acc} reference). *)
 
   val of_limb_count : int -> t
   (** Smallest positive value stored in exactly [n] limbs. *)

@@ -30,11 +30,12 @@ let disjoint inst =
 (** The elements of the intersection (empty iff disjoint). *)
 let intersection inst =
   let k = k_of inst in
-  List.filter
-    (fun j ->
-      let rec all_in i = i = k || (inst.sets.(i).(j) && all_in (i + 1)) in
-      all_in 0)
-    (List.init inst.n (fun j -> j))
+  let acc = ref [] in
+  for j = inst.n - 1 downto 0 do
+    let rec all_in i = i = k || (inst.sets.(i).(j) && all_in (i + 1)) in
+    if all_in 0 then acc := j :: !acc
+  done;
+  !acc
 
 (** Result of an operational protocol run. *)
 type result = {

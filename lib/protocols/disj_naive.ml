@@ -16,18 +16,23 @@ let solve inst =
   let covered = Array.make n false in
   let covered_count = ref 0 in
   for j = 0 to k - 1 do
-    let zeros =
-      List.filter
-        (fun c -> (not inst.sets.(j).(c)) && not covered.(c))
-        (List.init n (fun c -> c))
-    in
+    (* Direct two-pass array scan (count, then encode): no intermediate
+       coordinate list, zero allocation per player. *)
+    let set = inst.sets.(j) in
+    let zeros = ref 0 in
+    for c = 0 to n - 1 do
+      if (not set.(c)) && not covered.(c) then incr zeros
+    done;
     let w = Coding.Bitbuf.Writer.create () in
-    (match zeros with
-    | [] -> Coding.Bitbuf.Writer.add_bit w false
-    | _ ->
-        Coding.Bitbuf.Writer.add_bit w true;
-        Coding.Intcode.write_gamma w (List.length zeros);
-        List.iter (fun c -> Coding.Intcode.write_fixed w ~bound:n c) zeros);
+    (if !zeros = 0 then Coding.Bitbuf.Writer.add_bit w false
+     else begin
+       Coding.Bitbuf.Writer.add_bit w true;
+       Coding.Intcode.write_gamma w !zeros;
+       for c = 0 to n - 1 do
+         if (not set.(c)) && not covered.(c) then
+           Coding.Intcode.write_fixed w ~bound:n c
+       done
+     end);
     Blackboard.Board.post board ~player:j ~label:"zeros" w;
     (* everyone decodes the write to update the shared covered set *)
     match Blackboard.Board.last_write board with

@@ -9,7 +9,7 @@ let solve inst =
   let board = Blackboard.Board.create ~k in
   for j = 0 to k - 1 do
     let w = Coding.Bitbuf.Writer.create () in
-    Array.iter (fun b -> Coding.Bitbuf.Writer.add_bit w b) inst.sets.(j);
+    Coding.Bitbuf.Writer.add_bools w inst.sets.(j);
     Blackboard.Board.post board ~player:j ~label:"charvec" w
   done;
   (* Decode all vectors from the board and intersect. *)

@@ -132,7 +132,7 @@ let solve_trivial (inst : Disj_common.instance) =
   let board = Blackboard.Board.create ~k in
   for j = 0 to k - 1 do
     let w = Coding.Bitbuf.Writer.create () in
-    Array.iter (Coding.Bitbuf.Writer.add_bit w) inst.sets.(j);
+    Coding.Bitbuf.Writer.add_bools w inst.sets.(j);
     Blackboard.Board.post board ~player:j w
   done;
   {

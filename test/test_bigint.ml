@@ -297,6 +297,81 @@ let prop_gcd_shifted =
       let bb = B.shift_left (B.of_int b) (sh / 2) in
       B.equal (B.gcd ba bb) (BT.gcd_euclid ba bb))
 
+(* ------------------------------------------------------------------ *)
+(* The in-place accumulator vs the immutable API.                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_acc_mul_small_matches =
+  qtest "Acc.mul_small = mul_int" ~count:200
+    (QCheck.pair (QCheck.int_range 0 1_000_000_000)
+       (QCheck.int_range 0 ((1 lsl 30) - 1)))
+    (fun (x0, m) ->
+      (* grow x well past one limb so carries propagate *)
+      let x = B.mul (B.of_int x0) (B.of_string "340282366920938463463374607431768211297") in
+      let a = B.Acc.of_t x in
+      B.Acc.mul_small a m;
+      B.equal (B.Acc.to_t a) (B.mul_int x m))
+
+let prop_acc_mul_div_roundtrip =
+  qtest "Acc mul then exact div is identity" ~count:200
+    (QCheck.pair (QCheck.int_range 0 1_000_000_000)
+       (QCheck.int_range 1 ((1 lsl 30) - 1)))
+    (fun (x0, d) ->
+      let x = B.mul (B.of_int x0) (B.of_string "987654321234567898765432123456789") in
+      let a = B.Acc.of_t x in
+      B.Acc.mul_small a d;
+      B.Acc.div_exact_small a d;
+      B.equal (B.Acc.to_t a) x)
+
+let prop_acc_div_matches_div =
+  qtest "Acc.div_exact_small = div on planted multiples" ~count:200
+    (QCheck.pair (QCheck.int_range 0 1_000_000_000)
+       (QCheck.int_range 1 ((1 lsl 30) - 1)))
+    (fun (x0, d) ->
+      let x =
+        B.mul_int (B.mul (B.of_int x0) (B.of_string "1000000000000000000000000000000066600049")) d
+      in
+      let a = B.Acc.of_t x in
+      B.Acc.div_exact_small a d;
+      B.equal (B.Acc.to_t a) (B.div x (B.of_int d)))
+
+let prop_acc_compare_t =
+  qtest "Acc.compare_t agrees with compare" ~count:200 bigint_pair_gen
+    (fun (x, y) ->
+      let x = B.of_int (abs x) and y = B.of_int (abs y) in
+      let a = B.Acc.of_t x in
+      let c = B.Acc.compare_t a y and r = B.compare x y in
+      (c = 0 && r = 0) || (c < 0 && r < 0) || (c > 0 && r > 0))
+
+let t_acc_div_not_exact_raises () =
+  let a = B.Acc.of_t (B.of_int 7) in
+  Alcotest.check_raises "inexact"
+    (Invalid_argument "Bigint.Acc.div_exact_small: not divisible") (fun () ->
+      B.Acc.div_exact_small a 2);
+  let b = B.Acc.of_t (B.of_int 10) in
+  Alcotest.check_raises "inexact odd"
+    (Invalid_argument "Bigint.Acc.div_exact_small: not divisible") (fun () ->
+      B.Acc.div_exact_small b 3)
+
+let t_acc_zero_and_set () =
+  let a = B.Acc.create () in
+  Alcotest.(check bool) "fresh is zero" true (B.Acc.is_zero a);
+  B.Acc.set_int a max_int;
+  check_b ~msg:"set_int max_int" (B.of_int max_int) (B.Acc.to_t a);
+  B.Acc.mul_small a 0;
+  Alcotest.(check bool) "mul by 0" true (B.Acc.is_zero a);
+  B.Acc.set_t a (B.pow (B.of_int 10) 50);
+  B.Acc.div_exact_small a (1 lsl 10);
+  check_b ~msg:"10^50 / 2^10"
+    (B.div (B.pow (B.of_int 10) 50) (B.of_int (1 lsl 10)))
+    (B.Acc.to_t a)
+
+let prop_binomial_matches_reference =
+  qtest "binomial (Acc path) = immutable iteration" ~count:100
+    (QCheck.pair (QCheck.int_range 0 150) (QCheck.int_range 0 150))
+    (fun (n, k) ->
+      B.equal (B.binomial n k) (B.For_testing.binomial_iter n k))
+
 let suite =
   [
     quick "int roundtrip" t_roundtrip_int;
@@ -328,4 +403,11 @@ let suite =
     quick "binary gcd = Euclid at word-size edges" t_gcd_binary_matches_euclid_edges;
     prop_gcd_binary_matches_euclid;
     prop_gcd_shifted;
+    prop_acc_mul_small_matches;
+    prop_acc_mul_div_roundtrip;
+    prop_acc_div_matches_div;
+    prop_acc_compare_t;
+    quick "Acc inexact division raises" t_acc_div_not_exact_raises;
+    quick "Acc zero/set/shift paths" t_acc_zero_and_set;
+    prop_binomial_matches_reference;
   ]

@@ -1,0 +1,249 @@
+(** Differential tests for the packed bit-vector runtime (PR 5): the
+    packed {!Coding.Bitvec} / word-level {!Coding.Bitbuf.Writer} pair is
+    driven against the boxed bool-list reference, the batched stats
+    accounting is pinned, and the end-to-end E2 bit counts are pinned to
+    their pre-packing values (the representation change must not move a
+    single measured bit). *)
+
+module V = Coding.Bitvec
+module W = Coding.Bitbuf.Writer
+module Rd = Coding.Bitbuf.Reader
+open Test_util
+
+let bool_list_gen =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 200) QCheck.bool
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec vs the bool-list reference.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bool_list_roundtrip =
+  qtest "of_bool_list/to_bool_list roundtrip" bool_list_gen (fun bits ->
+      V.For_testing.to_bool_list (V.For_testing.of_bool_list bits) = bits)
+
+let prop_get_matches_nth =
+  qtest "get matches List.nth" bool_list_gen (fun bits ->
+      let v = V.For_testing.of_bool_list bits in
+      V.length v = List.length bits
+      && List.for_all
+           (fun i -> V.get v i = List.nth bits i)
+           (List.init (List.length bits) (fun i -> i)))
+
+let prop_append_matches_list_append =
+  qtest "append = list append" (QCheck.pair bool_list_gen bool_list_gen)
+    (fun (a, b) ->
+      V.For_testing.to_bool_list
+        (V.append (V.For_testing.of_bool_list a) (V.For_testing.of_bool_list b))
+      = a @ b)
+
+let prop_extract_matches_slice =
+  qtest "extract = list slice"
+    (QCheck.triple bool_list_gen QCheck.small_nat QCheck.small_nat)
+    (fun (bits, a, b) ->
+      let total = List.length bits in
+      let pos = if total = 0 then 0 else a mod (total + 1) in
+      let len = if total - pos = 0 then 0 else b mod (total - pos + 1) in
+      let slice =
+        List.filteri (fun i _ -> i >= pos && i < pos + len) bits
+      in
+      V.For_testing.to_bool_list
+        (V.extract (V.For_testing.of_bool_list bits) ~pos ~len)
+      = slice)
+
+let prop_equal_iff_lists_equal =
+  qtest "equal iff bool lists equal" (QCheck.pair bool_list_gen bool_list_gen)
+    (fun (a, b) ->
+      V.equal (V.For_testing.of_bool_list a) (V.For_testing.of_bool_list b)
+      = (a = b))
+
+let prop_string_roundtrip =
+  qtest "of_string/to_string roundtrip" bool_list_gen (fun bits ->
+      let s =
+        String.init (List.length bits) (fun i ->
+            if List.nth bits i then '1' else '0')
+      in
+      V.to_string (V.of_string s) = s
+      && V.For_testing.to_bool_list (V.of_string s) = bits)
+
+(* ------------------------------------------------------------------ *)
+(* Writer programs vs a bool-list model.                              *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Bit of bool
+  | Bits of int * int  (** value, width — MSB first *)
+  | Run of bool * int
+  | Bools of bool list
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun b -> Bit b) bool);
+        ( 3,
+          map2
+            (fun v n ->
+              let n = 1 + (n mod 62) in
+              Bits (abs v land ((1 lsl Stdlib.min n 61) - 1), n))
+            int nat );
+        (1, map2 (fun b n -> Run (b, n mod 40)) bool (int_range 0 100));
+        (2, map (fun l -> Bools l) (list_size (int_range 0 30) bool));
+      ])
+
+let op_bits = function
+  | Bit b -> [ b ]
+  | Bits (v, n) -> List.init n (fun i -> (v lsr (n - 1 - i)) land 1 = 1)
+  | Run (b, n) -> List.init n (fun _ -> b)
+  | Bools l -> l
+
+let apply_op w = function
+  | Bit b -> W.add_bit w b
+  | Bits (v, n) -> W.add_bits w v n
+  | Run (b, n) -> W.add_run w b n
+  | Bools l -> W.add_bools w (Array.of_list l)
+
+let program_gen = QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 25) op_gen)
+
+let run_program ops =
+  let w = W.create () in
+  List.iter (apply_op w) ops;
+  (w, List.concat_map op_bits ops)
+
+let prop_writer_matches_model =
+  qtest "writer program = bool-list model" ~count:300 program_gen (fun ops ->
+      let w, model = run_program ops in
+      Coding.Bitbuf.For_testing.writer_to_bool_list w = model)
+
+let prop_freeze_matches_model =
+  qtest "freeze hands over exactly the written bits" ~count:300 program_gen
+    (fun ops ->
+      let w, model = run_program ops in
+      V.For_testing.to_bool_list (W.freeze w) = model)
+
+let prop_reader_roundtrip =
+  qtest "packed reader returns the written bits" ~count:300 program_gen
+    (fun ops ->
+      let w, model = run_program ops in
+      let r = Rd.of_vec (W.freeze w) in
+      List.for_all (fun b -> Rd.read_bit r = b) model && Rd.remaining r = 0)
+
+let prop_writer_append_matches =
+  qtest "Writer.append = model concatenation" ~count:200
+    (QCheck.pair program_gen program_gen) (fun (ops_a, ops_b) ->
+      let a, model_a = run_program ops_a in
+      let b, model_b = run_program ops_b in
+      W.append a b;
+      Coding.Bitbuf.For_testing.writer_to_bool_list a = model_a @ model_b)
+
+let prop_writer_extract =
+  qtest "Writer.extract = model slice" ~count:200
+    (QCheck.pair program_gen QCheck.small_nat) (fun (ops, a) ->
+      let w, model = run_program ops in
+      let total = List.length model in
+      let pos = if total = 0 then 0 else a mod (total + 1) in
+      let len = total - pos in
+      V.For_testing.to_bool_list (W.extract w ~pos ~len)
+      = List.filteri (fun i _ -> i >= pos) model)
+
+let t_frozen_writer_rejects_append () =
+  let w = W.create () in
+  W.add_bits w 0b101 3;
+  ignore (W.freeze w);
+  Alcotest.check_raises "frozen" (Invalid_argument "Bitbuf.Writer: frozen")
+    (fun () -> W.add_bit w true)
+
+(* ------------------------------------------------------------------ *)
+(* Batched stats accounting.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let t_stats_batched_totals () =
+  (* Every entry point must publish exactly its bit span — the totals
+     are the same as under the old one-RMW-per-bit accounting. *)
+  let before = (W.stats ()).W.bits in
+  let w = W.create () in
+  W.add_bit w true;
+  W.add_bits w 0b110101 6;
+  W.add_run w false 23;
+  W.add_bools w (Array.init 13 (fun i -> i mod 3 = 0));
+  let v = Exact.Bigint.of_string "987654321987654321" in
+  W.add_bigint_bits w v (Exact.Bigint.num_bits v);
+  let other = W.create () in
+  W.add_bits other 0x7f 7;
+  W.append w other;
+  let expected = W.length w + W.length other in
+  Alcotest.(check int)
+    "stats delta = bits appended (across both writers)" expected
+    ((W.stats ()).W.bits - before);
+  Alcotest.(check int) "writer length consistent"
+    (1 + 6 + 23 + 13 + Exact.Bigint.num_bits v + 7)
+    (W.length w)
+
+let prop_stats_delta_is_length =
+  qtest "stats delta = writer length for any program" ~count:200 program_gen
+    (fun ops ->
+      let before = (W.stats ()).W.bits in
+      let w, model = run_program ops in
+      (W.stats ()).W.bits - before = List.length model && W.length w = List.length model)
+
+(* ------------------------------------------------------------------ *)
+(* Board-level invariant: posted vecs are the wire truth.             *)
+(* ------------------------------------------------------------------ *)
+
+let t_board_vec_roundtrip () =
+  let board = Blackboard.Board.create ~k:2 in
+  let w = W.create () in
+  W.add_bits w 0b1011001 7;
+  Blackboard.Board.post board ~player:0 ~label:"x" w;
+  (match Blackboard.Board.last_write board with
+  | None -> Alcotest.fail "no write"
+  | Some wr ->
+      Alcotest.(check string) "posted vec" "1011001"
+        (V.to_string wr.Blackboard.Board.vec);
+      let r = Blackboard.Board.reader_of_write wr in
+      Alcotest.(check int) "read back" 0b1011001 (Rd.read_bits r 7));
+  Alcotest.(check int) "total bits" 7 (Blackboard.Board.total_bits board)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned end-to-end bit counts (pre-packing values).                 *)
+(* ------------------------------------------------------------------ *)
+
+let t_e2_bits_pinned () =
+  (* Same seeds and instances as bench/e2_disj_scaling.ml; the counts
+     are the committed BENCH_pr4.json values from before the packed
+     runtime landed. A representation change must not move them. *)
+  List.iter
+    (fun (n, k, batched, naive, trivial) ->
+      let rng = Prob.Rng.of_int_seed ((n * 13) + k) in
+      let inst = Protocols.Disj_common.random_disjoint_single_zero rng ~n ~k in
+      let b = (Protocols.Disj_batched.solve inst).Protocols.Disj_batched.result in
+      let nv = Protocols.Disj_naive.solve inst in
+      let tv = Protocols.Disj_trivial.solve inst in
+      let tag name = Printf.sprintf "%s n=%d k=%d" name n k in
+      Alcotest.(check int) (tag "batched") batched b.Protocols.Disj_common.bits;
+      Alcotest.(check int) (tag "naive") naive nv.Protocols.Disj_common.bits;
+      Alcotest.(check int) (tag "trivial") trivial tv.Protocols.Disj_common.bits)
+    [
+      (256, 4, 850, 2098, 1024);
+      (256, 16, 1856, 2190, 4096);
+      (1024, 16, 6279, 10446, 16384);
+    ]
+
+let suite =
+  [
+    prop_bool_list_roundtrip;
+    prop_get_matches_nth;
+    prop_append_matches_list_append;
+    prop_extract_matches_slice;
+    prop_equal_iff_lists_equal;
+    prop_string_roundtrip;
+    prop_writer_matches_model;
+    prop_freeze_matches_model;
+    prop_reader_roundtrip;
+    prop_writer_append_matches;
+    prop_writer_extract;
+    quick "frozen writer rejects appends" t_frozen_writer_rejects_append;
+    quick "batched stats totals" t_stats_batched_totals;
+    prop_stats_delta_is_length;
+    quick "board posts packed vecs" t_board_vec_roundtrip;
+    quick "E2 bit counts pinned (pre-packing)" t_e2_bits_pinned;
+  ]

@@ -39,7 +39,7 @@ let t_bitbuf_append () =
   Alcotest.(check string) "appended" "10111" (W.to_string a)
 
 let t_bitbuf_past_end () =
-  let r = Rd.of_bool_list [ true ] in
+  let r = Coding.Bitbuf.For_testing.reader_of_bool_list [ true ] in
   ignore (Rd.read_bit r);
   Alcotest.check_raises "past end"
     (Invalid_argument "Bitbuf.Reader.read_bit: past end") (fun () ->
@@ -201,6 +201,36 @@ let prop_subset_roundtrip =
       S.write w ~z subset;
       S.read (Rd.of_writer w) ~z ~m = subset)
 
+let random_subset rng z =
+  let m = Prob.Rng.int rng (z + 1) in
+  let all = Array.init z (fun i -> i) in
+  Prob.Rng.shuffle rng all;
+  (m, List.sort compare (Array.to_list (Array.sub all 0 m)))
+
+let prop_rank_matches_reference =
+  qtest "rank (Acc scan) = reference scan" ~count:150
+    (QCheck.pair (QCheck.int_range 1 300) (QCheck.int_range 0 100000))
+    (fun (z, seed) ->
+      let _, subset = random_subset (Prob.Rng.of_int_seed seed) z in
+      Exact.Bigint.equal (S.rank ~z subset)
+        (S.For_testing.rank_reference ~z subset))
+
+let prop_unrank_matches_reference =
+  qtest "unrank (Acc scan) = reference scan" ~count:150
+    (QCheck.pair (QCheck.int_range 1 300) (QCheck.int_range 0 100000))
+    (fun (z, seed) ->
+      let m, subset = random_subset (Prob.Rng.of_int_seed seed) z in
+      let index = S.For_testing.rank_reference ~z subset in
+      S.unrank ~z ~m index = S.For_testing.unrank_reference ~z ~m index
+      && S.unrank ~z ~m index = subset)
+
+let prop_code_bits_memo =
+  qtest "code_bits memo = uncached" ~count:150
+    (QCheck.pair (QCheck.int_range 1 500) (QCheck.int_range 0 500))
+    (fun (z, m) ->
+      let m = m mod (z + 1) in
+      S.code_bits ~z ~m = S.For_testing.code_bits_uncached ~z ~m)
+
 let prop_mixed_stream =
   qtest "interleaved codes share a stream" ~count:100
     (QCheck.list_of_size (QCheck.Gen.int_range 1 20) (QCheck.int_range 1 10000))
@@ -248,5 +278,8 @@ let suite =
     prop_rice_roundtrip;
     prop_fixed_roundtrip;
     prop_subset_roundtrip;
+    prop_rank_matches_reference;
+    prop_unrank_matches_reference;
+    prop_code_bits_memo;
     prop_mixed_stream;
   ]

@@ -15,9 +15,11 @@ let bit_writer b =
    (stop after a 0 or after k writes), players just write their bit. *)
 let engine_sequential_and inputs =
   let k = Array.length inputs in
+  let zero = Coding.Bitvec.of_string "0" in
   let schedule board =
     match B.last_write board with
-    | Some w when w.B.bits = [ false ] -> None (* someone wrote 0 *)
+    | Some w when Coding.Bitvec.equal w.B.vec zero -> None
+    (* someone wrote 0 *)
     | _ -> if B.write_count board >= k then None else Some (B.write_count board)
   in
   let players =
@@ -28,7 +30,7 @@ let engine_sequential_and inputs =
   let outcome = E.run ~k ~schedule ~players () in
   let answer =
     match B.last_write outcome.E.board with
-    | Some w when w.B.bits = [ false ] -> 0
+    | Some w when Coding.Bitvec.equal w.B.vec zero -> 0
     | _ -> 1
   in
   (answer, outcome)

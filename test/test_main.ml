@@ -7,6 +7,7 @@ let () =
       ("dist", Test_dist.suite);
       ("infotheory", Test_infotheory.suite);
       ("coding", Test_coding.suite);
+      ("bitvec", Test_bitvec.suite);
       ("arith", Test_arith.suite);
       ("huffman", Test_huffman.suite);
       ("board", Test_board.suite);
