@@ -1,0 +1,156 @@
+(** IC_STATIC: static information-cost certification over the protocol
+    registry — per-entry analyzer wall time and bound tightness against
+    the exactly enumerated information cost.
+
+    For every enumerable registry entry this runs the
+    {!Analysis.Certify.certify_ic} pipeline (the {!Analysis.Infoflow}
+    abstract interpretation plus the Braverman-Weinstein lower-bound
+    engine for zero-error-certified entries) and compares the certified
+    rational [[lo, hi]] bracket with [I(T ; X)] enumerated by the exact
+    semantics under the same uniform product distribution. The three
+    reference measures (external IC, transcript entropy, expected bits)
+    share one {!Proto.Semantics.memo}, so each transcript law is
+    computed once per entry. Rows land in BENCH.json via
+    {!Exp_util.record_rows} for CI's bench-smoke artifact. *)
+
+module R = Exact.Rational
+module F = Analysis.Infoflow
+module C = Analysis.Certify
+module Reg = Protocols.Registry
+module Sem = Proto.Semantics
+module Info = Proto.Information
+module D = Prob.Dist_exact
+module Disc = Lowerbound.Discrepancy
+
+(* Mirrors the gating in Verify_registry: rectangle engines only for
+   entries whose spec the zero-error certifier confirms. *)
+let certify (Reg.Entry e as entry) =
+  let tree = Lazy.force e.tree in
+  let zero_error_spec =
+    match e.spec with
+    | None -> None
+    | Some spec -> (
+        match
+          (C.certify ~players:e.players ~spec ~domain:e.domain tree).C.outcome
+        with
+        | C.Certified ->
+            Some (fun idxs -> spec (Array.map (fun ix -> e.domain.(ix)) idxs))
+        | _ -> None)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    C.certify_ic
+      ~lower:(Disc.engine ~zero_error_spec)
+      ~players:e.players ~domain:e.domain tree
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (entry, outcome, wall_s)
+
+let exact_reference (Reg.Entry e) =
+  let tree = Lazy.force e.tree in
+  let unif = D.uniform (Array.to_list e.domain) in
+  let mu = D.product_array (Array.make e.players unif) in
+  let memo = Sem.memo () in
+  let ic = Info.external_ic ~memo tree mu in
+  let entropy = Info.transcript_entropy ~memo tree mu in
+  let bits = Sem.expected_bits ~memo tree mu in
+  (ic, entropy, bits, Sem.memo_size memo)
+
+let enumerable (Reg.Entry e) =
+  let d = Array.length e.domain in
+  let rec pow acc i =
+    if i = 0 then acc else if acc > 4096 then acc else pow (acc * d) (i - 1)
+  in
+  pow 1 e.players <= 4096
+
+let run () =
+  Exp_util.heading "IC_STATIC"
+    "static IC certification: bound tightness vs exact enumerated IC";
+  let entries = List.filter enumerable (Reg.all ()) in
+  let data = Par.parallel_map certify entries in
+  let rows = ref [] and json_rows = ref [] in
+  let total_wall = ref 0. and max_width = ref 0. and all_contained = ref true in
+  List.iter
+    (fun (entry, outcome, wall_s) ->
+      total_wall := !total_wall +. wall_s;
+      let exact, entropy, ebits, laws = exact_reference entry in
+      match outcome with
+      | C.Ic_certified c ->
+          let lo = R.to_float c.C.ic_external.F.lo
+          and hi = R.to_float c.C.ic_external.F.hi in
+          let width = hi -. lo in
+          let contained = lo -. 1e-9 <= exact && exact <= hi +. 1e-9 in
+          if not contained then all_contained := false;
+          if width > !max_width then max_width := width;
+          let best_engine =
+            List.fold_left
+              (fun acc (_, b) -> Float.max acc (R.to_float b))
+              0. c.C.lower_bounds
+          in
+          rows :=
+            Exp_util.
+              [
+                S (Reg.name entry);
+                F lo;
+                F hi;
+                F width;
+                F exact;
+                F entropy;
+                F best_engine;
+                S (if contained then "yes" else "NO");
+                F (wall_s *. 1e3);
+              ]
+            :: !rows;
+          json_rows :=
+            Obs.Jsonw.
+              [
+                ("protocol", String (Reg.name entry));
+                ("ic_lo", String (R.to_string c.C.ic_external.F.lo));
+                ("ic_hi", String (R.to_string c.C.ic_external.F.hi));
+                ("ic_lo_float", Float lo);
+                ("ic_hi_float", Float hi);
+                ("width", Float width);
+                ("exact_ic", Float exact);
+                ("transcript_entropy", Float entropy);
+                ("expected_bits", Float ebits);
+                ("best_engine_bound", Float best_engine);
+                ("contained", Bool contained);
+                ("shared_laws", Int laws);
+                ("wall_ms", Float (wall_s *. 1e3));
+              ]
+            :: !json_rows
+      | C.Ic_inconclusive { reason; _ } ->
+          all_contained := false;
+          rows :=
+            Exp_util.
+              [
+                S (Reg.name entry); S "-"; S "-"; S "-"; F exact; F entropy;
+                S "-"; S reason; F (wall_s *. 1e3);
+              ]
+            :: !rows;
+          json_rows :=
+            Obs.Jsonw.
+              [
+                ("protocol", String (Reg.name entry));
+                ("inconclusive", String reason);
+                ("exact_ic", Float exact);
+                ("wall_ms", Float (wall_s *. 1e3));
+              ]
+            :: !json_rows)
+    data;
+  Exp_util.table
+    ~header:
+      [
+        "protocol"; "ic_lo"; "ic_hi"; "width"; "exact"; "H(T)"; "engine";
+        "contains"; "ms";
+      ]
+    (List.rev !rows);
+  Exp_util.note "entries %d  total analyze %.2f ms  max width %.3g  %s"
+    (List.length entries) (!total_wall *. 1e3) !max_width
+    (if !all_contained then "all brackets contain the exact IC"
+     else "CONTAINMENT VIOLATION");
+  Exp_util.record_rows "rows" (List.rev !json_rows);
+  Exp_util.record_i "entries" (List.length entries);
+  Exp_util.record_f "analyzer_wall_s" !total_wall;
+  Exp_util.record_f "max_width" !max_width;
+  Exp_util.record_i "all_contained" (if !all_contained then 1 else 0)

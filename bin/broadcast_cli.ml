@@ -673,7 +673,7 @@ let verify_cmd =
   let module V = Protocols.Verify_registry in
   let module Rep = Analysis.Report in
   let module Ab = Analysis.Absint in
-  let run budget seed baseline json out jobs protocols metrics =
+  let run budget seed baseline ic json out jobs protocols metrics =
     let entries =
       match protocols with
       | [] -> Reg.all ()
@@ -701,7 +701,11 @@ let verify_cmd =
     let results =
       with_metrics metrics (fun () ->
           Par.parallel_map ?domains:jobs
-            (fun e -> V.verify_entry ?budget ~seed ~baseline e)
+            (fun e ->
+              V.verify_entry ?budget ~seed ~baseline ~ic
+                ~ic_engine:(fun ~zero_error_spec flow ->
+                  Lowerbound.Discrepancy.engine ~zero_error_spec flow)
+                e)
             entries)
     in
     let code = V.exit_code results in
@@ -727,19 +731,37 @@ let verify_cmd =
         (label, Obs.Jsonw.Int (List.length (List.filter p results)))
       in
       let outcome_is l r = V.outcome_label r.V.outcome = l in
+      let ic_counts =
+        if not ic then []
+        else
+          [
+            count "ic_certified" (fun r ->
+                match r.V.ic with
+                | Some (Analysis.Certify.Ic_certified _) -> true
+                | _ -> false);
+            count "ic_inconclusive" (fun r ->
+                match r.V.ic with
+                | Some (Analysis.Certify.Ic_inconclusive _) -> true
+                | _ -> false);
+          ]
+      in
       line
         (Obs.Jsonw.obj
-           [
-             ("summary", Obs.Jsonw.Bool true);
-             count "certified" (outcome_is "certified");
-             count "refuted" (outcome_is "refuted");
-             count "inconclusive" (outcome_is "inconclusive");
-             count "no_spec" (outcome_is "no-spec");
-             ( "suppressed",
-               Obs.Jsonw.Int
-                 (List.fold_left (fun a r -> a + r.V.suppressed) 0 results) );
-             ("exit", Obs.Jsonw.Int code);
-           ]);
+           ([
+              ("summary", Obs.Jsonw.Bool true);
+              count "certified" (outcome_is "certified");
+              count "refuted" (outcome_is "refuted");
+              count "inconclusive" (outcome_is "inconclusive");
+              count "no_spec" (outcome_is "no-spec");
+            ]
+           @ ic_counts
+           @ [
+               ( "suppressed",
+                 Obs.Jsonw.Int
+                   (List.fold_left (fun a r -> a + r.V.suppressed) 0 results)
+               );
+               ("exit", Obs.Jsonw.Int code);
+             ]));
       if close_oc then close_out oc
       else flush oc
     end
@@ -754,6 +776,26 @@ let verify_cmd =
             r.V.static_cc r.V.observed_bits r.V.checked_profiles
             (V.outcome_label r.V.outcome))
         results;
+      if ic then begin
+        Printf.printf "\n%-28s %22s %22s  %s\n" "protocol" "IC_ext [lo, hi]"
+          "IC_int [lo, hi]" "engines";
+        List.iter
+          (fun r ->
+            let (Reg.Entry e) = r.V.entry in
+            match r.V.ic with
+            | Some (Analysis.Certify.Ic_certified c) ->
+                Printf.printf "%-28s %22s %22s  %s\n" e.name
+                  (Analysis.Infoflow.bound_to_string
+                     c.Analysis.Certify.ic_external)
+                  (Analysis.Infoflow.bound_to_string
+                     c.Analysis.Certify.ic_internal)
+                  (String.concat ", "
+                     (List.map fst c.Analysis.Certify.lower_bounds))
+            | Some (Analysis.Certify.Ic_inconclusive { reason; _ }) ->
+                Printf.printf "%-28s  inconclusive: %s\n" e.name reason
+            | None -> ())
+          results
+      end;
       List.iter
         (fun r ->
           let interesting =
@@ -790,6 +832,18 @@ let verify_cmd =
              ~doc:"Suppression file (schema broadcast-ic/verify-baseline/v1): \
                    findings matching a (protocol, rule) pair are demoted to \
                    info severity and stop gating the exit code.")
+  in
+  let ic =
+    Arg.(value & flag
+         & info [ "ic" ]
+             ~doc:"Additionally certify a sound rational $(b,[lo, hi]) \
+                   bracket of each protocol's external and internal \
+                   information cost under the uniform product distribution \
+                   (static analysis; no execution, no floats), folding in \
+                   the Braverman-Weinstein discrepancy lower-bound engine \
+                   for entries whose spec is certified zero-error. Findings \
+                   ride the same severity and baseline machinery; the exit \
+                   contract is unchanged.")
   in
   let json =
     Arg.(value & flag
@@ -833,8 +887,8 @@ let verify_cmd =
               convention).";
          ])
     Term.(
-      const run $ budget $ seed $ baseline $ json $ out $ jobs $ protocols
-      $ metrics_flag)
+      const run $ budget $ seed $ baseline $ ic $ json $ out $ jobs
+      $ protocols $ metrics_flag)
 
 let () =
   let doc = "Braverman-Oshman broadcast-model information complexity toolkit" in

@@ -79,7 +79,7 @@ let analyze ?(budget = default_budget) ?players ~domain tree =
   let players =
     (* The rectangle needs one axis per speaker even if the declared
        player count is too small; soundness beats the declaration. *)
-    let inferred = Rules.inferred_players tree in
+    let inferred = Walk.inferred_players tree in
     match players with Some k -> max k inferred | None -> inferred
   in
   let struct_max = T.communication_cost tree in

@@ -154,3 +154,79 @@ let certify ?budget ?players ~spec ~domain tree =
   if Obs.Metrics.enabled () then
     Obs.Metrics.bump ("absint." ^ outcome_label outcome) 1;
   { outcome; summary; checked_profiles }
+
+(* ------------------------------------------------------------------ *)
+(* Information-cost certification                                      *)
+(* ------------------------------------------------------------------ *)
+
+module R = Exact.Rational
+
+type ic_certificate = {
+  flow : Infoflow.t;
+  ic_external : Infoflow.bound;
+  ic_internal : Infoflow.bound;
+  lower_bounds : (string * R.t) list;
+      (** named engine bounds folded into [ic_external.lo] *)
+}
+
+type ic_outcome =
+  | Ic_certified of ic_certificate
+  | Ic_inconclusive of {
+      flow : Infoflow.t;
+      reason : string;
+      inconsistent : bool;
+          (** true when an injected lower bound {e exceeded} the sound
+              upper bound — a soundness bug somewhere, never silently
+              resolved by picking a side *)
+    }
+
+let ic_outcome_label = function
+  | Ic_certified _ -> "ic-certified"
+  | Ic_inconclusive _ -> "ic-inconclusive"
+
+let certify_ic ?budget ?players ?prec ?mu ?(lower = fun _ -> []) ~domain tree
+    =
+  let flow = Infoflow.analyze ?budget ?players ?prec ?mu ~domain tree in
+  let outcome =
+    match Infoflow.soundness_reason flow with
+    | Some reason -> Ic_inconclusive { flow; reason; inconsistent = false }
+    | None -> (
+        let lbs = lower flow in
+        let hi = flow.Infoflow.external_ic.Infoflow.hi in
+        (* Cross-check the injected engines against the independent
+           upper bound: both sides are certified sound, so a crossing
+           proves a bug and must surface, not be maxed away. *)
+        match List.filter (fun (_, b) -> R.compare b hi > 0) lbs with
+        | (name, b) :: _ ->
+            Ic_inconclusive
+              {
+                flow;
+                reason =
+                  Printf.sprintf
+                    "lower-bound engine %s claims %s, above the sound \
+                     upper bound %s — one of the two is unsound"
+                    name (R.to_string b) (R.to_string hi);
+                inconsistent = true;
+              }
+        | [] ->
+            let lo =
+              List.fold_left
+                (fun acc (_, b) -> R.max acc b)
+                flow.Infoflow.external_ic.Infoflow.lo lbs
+            in
+            let scale = max 0 (flow.Infoflow.players - 1) in
+            Ic_certified
+              {
+                flow;
+                ic_external = { Infoflow.lo; hi };
+                ic_internal =
+                  {
+                    Infoflow.lo = R.mul_int lo scale;
+                    hi = R.mul_int hi scale;
+                  };
+                lower_bounds = lbs;
+              })
+  in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.bump ("infoflow." ^ ic_outcome_label outcome) 1;
+  outcome

@@ -57,3 +57,55 @@ val certify :
     spec evaluations. Bumps [absint.certified] / [absint.refuted] /
     [absint.inconclusive] on the installed {!Obs.Metrics} registry.
     @raise Invalid_argument on an empty domain or non-positive budget. *)
+
+(** {1 Information-cost certification}
+
+    The information analogue of {!certify}: instead of an output map
+    checked against a spec, {!Infoflow.analyze}'s transcript-
+    distribution summary yields a sound rational [[lo, hi]] bracket of
+    the external (and internal) information cost, or an inconclusive
+    verdict when widening or malformed laws void the masses. *)
+
+type ic_certificate = {
+  flow : Infoflow.t;  (** the underlying transcript-distribution run *)
+  ic_external : Infoflow.bound;
+      (** sound bracket of [IC_mu]; lower edge already folded with the
+          injected engines *)
+  ic_internal : Infoflow.bound;
+      (** [(players - 1)] times [ic_external] — exact under product
+          [mu] *)
+  lower_bounds : (string * Exact.Rational.t) list;
+      (** the named engine bounds that were folded in *)
+}
+
+type ic_outcome =
+  | Ic_certified of ic_certificate
+  | Ic_inconclusive of {
+      flow : Infoflow.t;
+      reason : string;
+      inconsistent : bool;
+          (** an injected lower bound exceeded the sound upper bound —
+              a soundness bug somewhere, surfaced rather than maxed
+              away *)
+    }
+
+val ic_outcome_label : ic_outcome -> string
+(** ["ic-certified"] / ["ic-inconclusive"]. *)
+
+val certify_ic :
+  ?budget:int ->
+  ?players:int ->
+  ?prec:int ->
+  ?mu:Exact.Rational.t array ->
+  ?lower:(Infoflow.t -> (string * Exact.Rational.t) list) ->
+  domain:'a array ->
+  'a Proto.Tree.t ->
+  ic_outcome
+(** [certify_ic ~domain tree] runs {!Infoflow.analyze} (same [budget],
+    [players], [prec], [mu] defaulting) and packages the result as a
+    certificate. [lower] injects extra {e sound} named lower bounds on
+    the external cost — e.g. [Lowerbound.Discrepancy.engine], which
+    this library cannot depend on, partially applied by the caller;
+    each injected bound is cross-checked against the certified upper
+    bound and a crossing yields [Ic_inconclusive] with [inconsistent]
+    set. Bumps [infoflow.ic-certified] / [infoflow.ic-inconclusive]. *)

@@ -27,6 +27,7 @@ let id_broadcast_consistency = "broadcast-consistency"
 let id_dead_branch = "dead-branch"
 let id_bit_accounting = "bit-accounting"
 let id_state_space = "state-space-budget"
+let id_unreachable_output = "unreachable-output"
 
 let all_ids =
   [
@@ -37,24 +38,14 @@ let all_ids =
     id_dead_branch;
     id_bit_accounting;
     id_state_space;
+    id_unreachable_output;
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Shared traversal machinery                                          *)
+(* Shared traversal machinery (see {!Walk})                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Pre-order fold with the path to each node. *)
-let fold_nodes f init tree =
-  let rec go acc path t =
-    let acc = f acc path t in
-    match t with
-    | T.Output _ -> acc
-    | T.Speak { children; _ } | T.Chance { children; _ } ->
-        let acc = ref acc in
-        Array.iteri (fun i c -> acc := go !acc (Path.child path i) c) children;
-        !acc
-  in
-  go init Path.root tree
+let fold_nodes = Walk.fold_nodes
 
 let err ~rule ~path msg =
   Report.diagnostic ~severity:Report.Error ~rule ~path msg
@@ -462,15 +453,56 @@ let state_space ?(budget = default_state_budget) ~players ~domain tree =
       ]
 
 (* ------------------------------------------------------------------ *)
+(* (8) unreachable-output                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** An output value that appears at some leaf but is {e provably} never
+    produced: no input profile in the domain reaches any leaf carrying
+    it. The proof obligation is discharged by {!Absint.analyze}, whose
+    reachable-leaf rectangles are exact (Lemma-6 products), so a value
+    flagged here is dead under every execution — typically a symptom of
+    a mis-wired branch or an over-wide output alphabet. Reported once
+    per value, at its first declaring leaf. Stays silent when the
+    abstract interpretation widened or saw failing laws, since
+    reachability is then unknown. *)
+let unreachable_output ?budget ?players ~domain tree =
+  let rule = id_unreachable_output in
+  let summary = Absint.analyze ?budget ?players ~domain tree in
+  if summary.Absint.widened || summary.Absint.law_failures > 0 then
+    Report.empty
+  else begin
+    let reachable = Hashtbl.create 8 in
+    List.iter
+      (fun (l : Absint.leaf) -> Hashtbl.replace reachable l.Absint.output ())
+      summary.Absint.leaves;
+    (* First declaring leaf of each output value, in pre-order. *)
+    let declared = ref [] in
+    let seen = Hashtbl.create 8 in
+    ignore
+      (fold_nodes
+         (fun () path t ->
+           match t with
+           | T.Output v when not (Hashtbl.mem seen v) ->
+               Hashtbl.add seen v ();
+               declared := (v, path) :: !declared
+           | _ -> ())
+         () tree);
+    List.rev !declared
+    |> List.filter_map (fun (v, path) ->
+           if Hashtbl.mem reachable v then None
+           else
+             Some
+               (warn ~rule ~path
+                  (Printf.sprintf
+                     "output value %d is declared here but proven \
+                      unreachable: no domain input profile reaches any \
+                      leaf producing it"
+                     v)))
+    |> Report.of_list
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Player inference                                                    *)
 (* ------------------------------------------------------------------ *)
 
-(** Smallest player count consistent with the tree: one past the
-    largest speaker index (0 for speaker-free trees). *)
-let inferred_players tree =
-  fold_nodes
-    (fun acc _ t ->
-      match t with
-      | T.Speak { speaker; _ } -> max acc (speaker + 1)
-      | T.Output _ | T.Chance _ -> acc)
-    0 tree
+let inferred_players = Walk.inferred_players

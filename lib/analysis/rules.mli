@@ -13,9 +13,10 @@ val id_broadcast_consistency : string
 val id_dead_branch : string
 val id_bit_accounting : string
 val id_state_space : string
+val id_unreachable_output : string
 
 val all_ids : string list
-(** All seven, in catalog order. *)
+(** All eight, in catalog order. *)
 
 (** {1 Rules} *)
 
@@ -63,6 +64,15 @@ val state_space :
     meant to flag. Warning. *)
 
 val default_state_budget : int
+
+val unreachable_output :
+  ?budget:int -> ?players:int -> domain:'a array -> 'a Proto.Tree.t -> Report.t
+(** (8) Output values declared at some leaf but {e proven} unreachable
+    by {!Absint.analyze}'s exact leaf rectangles: no domain input
+    profile produces them. Warnings, one per value at its first
+    declaring leaf; silent when the abstract interpretation widened
+    ([budget], default {!Absint.default_budget}) or laws failed, since
+    reachability is then unknown. *)
 
 (** {1 Helpers} *)
 

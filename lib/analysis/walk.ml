@@ -1,0 +1,32 @@
+(** Shared tree-traversal helpers for the static analyses.
+
+    Both the lint catalog ({!Rules}) and the abstract interpreters
+    ({!Absint}, {!Infoflow}) need the same pre-order walk and
+    player-count inference; keeping them here lets rules depend on the
+    interpreters (the [unreachable-output] rule consumes {!Absint}
+    leaves) without a module cycle. *)
+
+module T = Proto.Tree
+
+(** Pre-order fold with the path to each node. *)
+let fold_nodes f init tree =
+  let rec go acc path t =
+    let acc = f acc path t in
+    match t with
+    | T.Output _ -> acc
+    | T.Speak { children; _ } | T.Chance { children; _ } ->
+        let acc = ref acc in
+        Array.iteri (fun i c -> acc := go !acc (Path.child path i) c) children;
+        !acc
+  in
+  go init Path.root tree
+
+(** Smallest player count consistent with the tree: one past the
+    largest speaker index (0 for speaker-free trees). *)
+let inferred_players tree =
+  fold_nodes
+    (fun acc _ t ->
+      match t with
+      | T.Speak { speaker; _ } -> max acc (speaker + 1)
+      | T.Output _ | T.Chance _ -> acc)
+    0 tree

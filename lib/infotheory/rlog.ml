@@ -1,0 +1,110 @@
+(** Certified rational bounds on base-2 logarithms.
+
+    The information quantities of {!Measures} take float logarithms at
+    the very end, which is fine for reporting but useless for {e
+    certification}: a sound static bound on information cost must be a
+    rational the checker can compare exactly. This module brackets
+    [log2 x] of a positive rational [x] between two rationals whose gap
+    shrinks like [2^-prec], using only {!Exact.Bigint} arithmetic — no
+    floats anywhere.
+
+    The algorithm is classical digit extraction: write
+    [x = 2^e * m] with [m in [1, 2)], then repeatedly square a dyadic
+    approximation of [m], emitting one bit of the fractional part of
+    [log2 m] per squaring. The lower pass rounds every intermediate
+    {e down} and the upper pass rounds every intermediate {e up}, so
+    each side is sound by monotonicity of [log2] and of squaring on
+    positives; the upper pass additionally pays a terminal slack of
+    [excess * 2^-prec] for the residual magnitude of its accumulator.
+    Exact powers of two short-circuit to a width-zero interval. *)
+
+module B = Exact.Bigint
+module R = Exact.Rational
+
+let default_prec = 16
+
+(* Compare a positive rational [num/den] against [2^k] without
+   materializing huge intermediates on the wrong side: shift whichever
+   side the exponent sign points at. *)
+let cmp_pow2 ~num ~den k =
+  if k >= 0 then B.compare num (B.shift_left den k)
+  else B.compare (B.shift_left num (-k)) den
+
+let floor_log2 x =
+  if R.sign x <= 0 then invalid_arg "Rlog.floor_log2: need x > 0";
+  let num = R.num x and den = R.den x in
+  (* log2 x is within 1 of num_bits num - num_bits den; settle the
+     boundary by one exact comparison. *)
+  let e = B.num_bits num - B.num_bits den in
+  if cmp_pow2 ~num ~den e >= 0 then e else e - 1
+
+let is_pow2 b = B.sign b > 0 && B.equal b (B.shift_left B.one (B.num_bits b - 1))
+
+(* [m_num / m_den] is the mantissa [x / 2^e], in [1, 2). *)
+let mantissa x e =
+  let num = R.num x and den = R.den x in
+  if e >= 0 then (num, B.shift_left den e) else (B.shift_left num (-e), den)
+
+let log2_bounds ?(prec = default_prec) x =
+  if R.sign x <= 0 then invalid_arg "Rlog.log2_bounds: need x > 0";
+  if prec < 1 then invalid_arg "Rlog.log2_bounds: need prec >= 1";
+  let num = R.num x and den = R.den x in
+  if is_pow2 num && is_pow2 den then
+    (* Exact dyadic point: log2 is the exact integer exponent. *)
+    let e = R.of_int (B.num_bits num - B.num_bits den) in
+    (e, e)
+  else begin
+    let e = floor_log2 x in
+    let m_num, m_den = mantissa x e in
+    (* Working precision: [guard] extra bits absorb the relative error
+       that doubles with every squaring, so the terminal slack stays at
+       a few ulps of 2^-prec. *)
+    let guard = 6 in
+    let p = prec + guard in
+    let one_p = B.shift_left B.one p in
+    let two_p = B.shift_left B.one (p + 1) in
+    let floor_div a b = fst (B.div_mod a b) in
+    let ceil_div a b =
+      let q, r = B.div_mod a b in
+      if B.is_zero r then q else B.add q B.one
+    in
+    (* Accumulated fraction bits as an integer over 2^prec. *)
+    let frac_of bits = R.make bits (B.shift_left B.one prec) in
+    (* Lower pass: every rounding downward, so the emitted fraction
+       never exceeds the true one. *)
+    let lower =
+      let y = ref (floor_div (B.shift_left m_num p) m_den) in
+      let bits = ref B.zero in
+      for _ = 1 to prec do
+        bits := B.shift_left !bits 1;
+        y := B.shift_right (B.mul !y !y) p;
+        if B.compare !y two_p >= 0 then begin
+          bits := B.add !bits B.one;
+          y := B.shift_right !y 1
+        end
+      done;
+      R.add (R.of_int e) (frac_of !bits)
+    in
+    (* Upper pass: every rounding upward; the leftover magnitude of the
+       accumulator is paid for by an [excess * 2^-prec] slack. *)
+    let upper =
+      let u = ref (ceil_div (B.mul m_num one_p) m_den) in
+      let bits = ref B.zero in
+      for _ = 1 to prec do
+        bits := B.shift_left !bits 1;
+        u := ceil_div (B.mul !u !u) one_p;
+        if B.compare !u two_p >= 0 then begin
+          bits := B.add !bits B.one;
+          u := ceil_div !u (B.of_int 2)
+        end
+      done;
+      (* log2(u / 2^p) <= num_bits u - p for u >= 2^p. *)
+      let excess = max 0 (B.num_bits !u - p) in
+      R.add (R.of_int e)
+        (R.add (frac_of !bits) (frac_of (B.of_int excess)))
+    in
+    (lower, upper)
+  end
+
+let log2_lo ?prec x = fst (log2_bounds ?prec x)
+let log2_hi ?prec x = snd (log2_bounds ?prec x)

@@ -1,0 +1,25 @@
+(** Certified rational bounds on base-2 logarithms.
+
+    Brackets [log2 x] of a positive rational between two rationals using
+    only {!Exact.Bigint} arithmetic — the primitive that keeps floats off
+    the static information-cost certification path ({!Analysis.Infoflow}).
+    Both bounds are sound: [log2_lo x <= log2 x <= log2_hi x], with
+    interval width [O(2^-prec)] and width exactly zero when [x] is a
+    power of two. *)
+
+val default_prec : int
+(** Fractional bits extracted by default (16). *)
+
+val floor_log2 : Exact.Rational.t -> int
+(** Exact [floor (log2 x)] for [x > 0].
+    @raise Invalid_argument on non-positive input. *)
+
+val log2_bounds :
+  ?prec:int -> Exact.Rational.t -> Exact.Rational.t * Exact.Rational.t
+(** [log2_bounds ~prec x] is a pair [(lo, hi)] of rationals with
+    [lo <= log2 x <= hi] and [hi - lo] a few units of [2^-prec].
+    Exact powers of two yield [lo = hi] for any [prec].
+    @raise Invalid_argument if [x <= 0] or [prec < 1]. *)
+
+val log2_lo : ?prec:int -> Exact.Rational.t -> Exact.Rational.t
+val log2_hi : ?prec:int -> Exact.Rational.t -> Exact.Rational.t

@@ -1,0 +1,182 @@
+(** The Braverman-Weinstein discrepancy lower bound (arXiv:1112.2000)
+    over the leaf summaries of {!Analysis.Infoflow} — the second
+    information lower-bound engine beside Lemma 5.
+
+    Braverman-Weinstein bound the information cost of any protocol that
+    computes [f] against the {e discrepancy} of [f]: every transcript of
+    a protocol induces a combinatorial rectangle of inputs, and a
+    rectangle on which the protocol is (nearly) committed to an answer
+    cannot carry much more probability mass than the discrepancy allows,
+    so the transcript distribution has min-entropy — hence information
+    cost — at least [log2 (1 / disc_mu(f))]. This module implements the
+    zero-error specialization of that argument, where it is exact and
+    fully certifiable with rational arithmetic:
+
+    - For a {e deterministic} protocol tree, the transcript is a
+      function of the inputs, so [IC_mu = I(T;X) = H(T)], and
+      [H(T) >= log2 (1 / max_l mass_l)] — the {e partition bound},
+      computable from the leaf masses alone, protocol by protocol.
+    - For any deterministic tree that computes [f] with zero error,
+      every reachable leaf rectangle is monochromatic under [f], so
+      [max_l mass_l <= mono_mu(f)], the largest mass of any
+      [f]-monochromatic product rectangle — giving the {e
+      protocol-independent} bound [IC_mu >= log2 (1 / mono_mu(f))].
+      A monochromatic rectangle [R] has
+      [|mu(R inter f^-1(1)) - mu(R inter f^-1(0))| = mu(R)], so always
+      [mono_mu(f) <= disc_mu(f)] and this specialization dominates the
+      generic [log2 (1 / disc)] form, which is also provided.
+
+    Both [mono_mu] and [disc_mu] are computed {e exactly} by enumerating
+    every product rectangle of the (tiny) domain — [(2^d - 1)^k]
+    rectangles of up to [d^k] points — behind a work cap that returns
+    [None] rather than stalling on large domains. All logarithms go
+    through {!Infotheory.Rlog.log2_lo}, so every returned bound is a
+    sound rational. *)
+
+module R = Exact.Rational
+module F = Analysis.Infoflow
+
+let default_work_cap = 10_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Partition bound: per-protocol, from the leaf masses                 *)
+(* ------------------------------------------------------------------ *)
+
+let partition_bound ?prec (flow : F.t) =
+  if flow.F.sound && flow.F.deterministic && R.sign flow.F.max_leaf_mass > 0
+  then Some (Infotheory.Rlog.log2_lo ?prec (R.inv flow.F.max_leaf_mass))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Exact rectangle sweeps                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fold [score] over every positive-mass product rectangle, given as
+   (per-player subset members, rectangle mu-mass); rectangles are
+   products of nonempty per-player domain subsets (bitmask-encoded).
+   Returns None when the sweep would blow the work cap. *)
+let fold_rectangles ~work_cap ~players ~domain_size ~mu ~score =
+  let d = domain_size and k = players in
+  if d <= 0 || k <= 0 || d > Sys.int_size - 2 then None
+  else begin
+    let subsets = (1 lsl d) - 1 in
+    (* rectangles x points-per-rectangle, overflow-safe in floats *)
+    let work =
+      (float_of_int subsets ** float_of_int k)
+      *. (float_of_int d ** float_of_int k)
+    in
+    if work > float_of_int work_cap then None
+    else begin
+      let subset_mass = Array.make (subsets + 1) R.zero in
+      let members = Array.make (subsets + 1) [] in
+      for m = 1 to subsets do
+        let mass = ref R.zero and mem = ref [] in
+        for v = d - 1 downto 0 do
+          if m land (1 lsl v) <> 0 then begin
+            mass := R.add !mass mu.(v);
+            mem := v :: !mem
+          end
+        done;
+        subset_mass.(m) <- !mass;
+        members.(m) <- !mem
+      done;
+      let best = ref R.zero in
+      let axes = Array.make k [] in
+      let rec rects p mass =
+        if p = k then best := R.max !best (score ~axes ~mass)
+        else
+          for m = 1 to subsets do
+            let mass' = R.mul mass subset_mass.(m) in
+            if R.sign mass' > 0 then begin
+              axes.(p) <- members.(m);
+              rects (p + 1) mass'
+            end
+          done
+      in
+      rects 0 R.one;
+      Some !best
+    end
+  end
+
+(* Fold [g] over all points of the rectangle spanned by [axes]. *)
+let fold_points ~axes ~init ~g =
+  let k = Array.length axes in
+  let profile = Array.make k 0 in
+  let rec go p acc =
+    if p = k then g acc profile
+    else
+      List.fold_left
+        (fun acc v ->
+          profile.(p) <- v;
+          go (p + 1) acc)
+        acc axes.(p)
+  in
+  go 0 init
+
+let mono_mass ?(work_cap = default_work_cap) ~players ~domain_size ~mu ~f () =
+  let exception Mismatch in
+  fold_rectangles ~work_cap ~players ~domain_size ~mu ~score:(fun ~axes ~mass ->
+      match
+        fold_points ~axes ~init:None ~g:(fun color profile ->
+            let c = f profile in
+            match color with
+            | None -> Some c
+            | Some c0 -> if c = c0 then color else raise Mismatch)
+      with
+      | _ -> mass
+      | exception Mismatch -> R.zero)
+
+let disc ?(work_cap = default_work_cap) ~players ~domain_size ~mu ~f () =
+  fold_rectangles ~work_cap ~players ~domain_size ~mu ~score:(fun ~axes ~mass:_ ->
+      let balance =
+        fold_points ~axes ~init:R.zero ~g:(fun acc profile ->
+            let pt =
+              Array.fold_left (fun m v -> R.mul m mu.(v)) R.one profile
+            in
+            if f profile = 1 then R.add acc pt else R.sub acc pt)
+      in
+      R.abs balance)
+
+let log_inv ?prec x =
+  if R.sign x > 0 && R.compare x R.one <= 0 then
+    Some (Infotheory.Rlog.log2_lo ?prec (R.inv x))
+  else None
+
+let mono_bound ?work_cap ?prec ~players ~domain_size ~mu ~f () =
+  Option.bind (mono_mass ?work_cap ~players ~domain_size ~mu ~f ())
+    (log_inv ?prec)
+
+let disc_bound ?work_cap ?prec ~players ~domain_size ~mu ~f () =
+  Option.bind (disc ?work_cap ~players ~domain_size ~mu ~f ())
+    (log_inv ?prec)
+
+(* ------------------------------------------------------------------ *)
+(* The pluggable engine                                                *)
+(* ------------------------------------------------------------------ *)
+
+let engine ?work_cap ?prec ~zero_error_spec (flow : F.t) =
+  let acc = [] in
+  let acc =
+    match partition_bound ?prec flow with
+    | Some b -> ("bw-partition", b) :: acc
+    | None -> acc
+  in
+  let acc =
+    match zero_error_spec with
+    | Some f when flow.F.sound && flow.F.deterministic ->
+        let players = flow.F.players
+        and domain_size = flow.F.domain_size
+        and mu = flow.F.mu in
+        let acc =
+          match
+            mono_bound ?work_cap ?prec ~players ~domain_size ~mu ~f ()
+          with
+          | Some b -> ("bw-mono-rectangle", b) :: acc
+          | None -> acc
+        in
+        (match disc_bound ?work_cap ?prec ~players ~domain_size ~mu ~f () with
+        | Some b -> ("bw-discrepancy", b) :: acc
+        | None -> acc)
+    | _ -> acc
+  in
+  List.rev acc

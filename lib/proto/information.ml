@@ -10,21 +10,26 @@
 module D = Prob.Dist_exact
 module M = Infotheory.Measures.Exact_w
 
-(** [external_ic tree mu] is [I(T ; X)] in bits, with [X ~ mu]. *)
-let external_ic tree mu =
-  M.mutual_information (Semantics.joint tree mu)
+(** [external_ic tree mu] is [I(T ; X)] in bits, with [X ~ mu]. [memo]
+    shares transcript laws with other measures over the same tree and
+    input sweep ({!Semantics.memo}). *)
+let external_ic ?memo tree mu =
+  M.mutual_information (Semantics.joint ?memo tree mu)
 
 (** [conditional_ic tree mu_xd] is [I(T ; X | D)] in bits, with
     [(X, D) ~ mu_xd]. *)
-let conditional_ic tree mu_xd =
+let conditional_ic ?memo tree mu_xd =
   (* Measures expects (a, b, c) with I(A ; B | C): here (x, t, d). *)
   let j =
-    D.map (fun (x, d, t) -> (x, t, d)) (Semantics.joint_with_aux tree mu_xd)
+    D.map
+      (fun (x, d, t) -> (x, t, d))
+      (Semantics.joint_with_aux ?memo tree mu_xd)
   in
   M.conditional_mutual_information j
 
 (* See the interface for documentation. *)
-let transcript_entropy tree mu = M.entropy (Semantics.transcript_law tree mu)
+let transcript_entropy ?memo tree mu =
+  M.entropy (Semantics.transcript_law ?memo tree mu)
 
 (** Two-party internal information cost,
     [I(T ; X_0 | X_1) + I(T ; X_1 | X_0)] — what each player learns about
@@ -34,8 +39,8 @@ let transcript_entropy tree mu = M.entropy (Semantics.transcript_law tree mu)
     exist and [internal <= external], with equality on product
     distributions — relations the test suite checks exactly.
     @raise Invalid_argument if some input vector is not 2-dimensional. *)
-let internal_ic_two_party tree mu =
-  let joint = Semantics.joint tree mu in
+let internal_ic_two_party ?memo tree mu =
+  let joint = Semantics.joint ?memo tree mu in
   List.iter
     (fun ((x, _t), _w) ->
       if Array.length x <> 2 then

@@ -1,24 +1,29 @@
 (** Information costs of protocols (Definitions 5 and 6 of the paper),
     computed exactly from the protocol-tree semantics. *)
 
-val external_ic : 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
+val external_ic :
+  ?memo:Semantics.memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
 (** [external_ic tree mu] is the external information cost
-    [IC_mu(Pi) = I(T ; X)] in bits, [X ~ mu] (Definition 5). *)
+    [IC_mu(Pi) = I(T ; X)] in bits, [X ~ mu] (Definition 5). [memo]
+    shares the underlying transcript laws with other measures computed
+    over the same tree and input sweep ({!Semantics.memo}). *)
 
 val conditional_ic :
+  ?memo:Semantics.memo ->
   'a Tree.t -> ('a array * 'd) Prob.Dist_exact.t -> float
 (** [conditional_ic tree mu_xd] is the conditional information cost
     [CIC_mu(Pi) = I(T ; X | D)] in bits, [(X, D) ~ mu_xd]
     (Definition 6). *)
 
-val transcript_entropy : 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
+val transcript_entropy :
+  ?memo:Semantics.memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
 (** [H(T)] under [mu]; satisfies [IC <= H(T)], and [H(T) <= CC] for
     protocols without public coins (free coins inflate the transcript's
     entropy but not its cost) — the observation right after Definition 5
     that makes information a lower bound on communication. *)
 
 val internal_ic_two_party :
-  'a Tree.t -> 'a array Prob.Dist_exact.t -> float
+  ?memo:Semantics.memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
 (** Two-party internal information cost
     [I(T ; X_0 | X_1) + I(T ; X_1 | X_0)]. The paper's compression
     targets {e external} information because the internal notion does

@@ -13,6 +13,24 @@ module Phys = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* A law is a function of (node, inputs) alone, so a table keyed on the
+   physical node plus the structural inputs can be carried across calls
+   — unlike the per-call table below, which is only sound because the
+   inputs are fixed for its whole lifetime. Structural equality on the
+   inputs is what makes rebuilt-but-equal input arrays (every
+   [all_bit_inputs] call allocates fresh ones) hit. *)
+module Cross = Hashtbl.Make (struct
+  type t = Obj.t * Obj.t  (* physical tree node, structural inputs *)
+
+  let equal (n1, x1) (n2, x2) = n1 == n2 && Stdlib.compare x1 x2 = 0
+  let hash (n, x) = Hashtbl.hash (Hashtbl.hash n, Hashtbl.hash x)
+end)
+
+type memo = Tree.transcript D.t Cross.t
+
+let memo () : memo = Cross.create 256
+let memo_size (m : memo) = Cross.length m
+
 (** [transcript_dist tree inputs] is the exact law of the full transcript
     when player [i] holds [inputs.(i)].
 
@@ -20,7 +38,11 @@ end)
     combinators such as {!Combinators.sequence} build DAGs in which
     subtrees are shared across many branches, and the law of a node is a
     function of the node alone once [inputs] is fixed, so each distinct
-    node is evaluated exactly once.
+    node is evaluated exactly once. Passing [memo] additionally shares
+    laws {e across} calls, keyed on (node, inputs) — profitable for
+    sweeps that walk the same tree on the same inputs repeatedly
+    (information measures computed side by side, differential
+    benchmarks), where each call would otherwise start cold.
 
     The continuation under a [Speak] or [Chance] node prefixes every
     transcript with that node's event, so the child laws have pairwise
@@ -28,30 +50,47 @@ end)
     [map_injective] therefore produce the same items, weights, and item
     order as the generic [bind]/[map], without the dedupe/renormalize
     round-trip. *)
-let transcript_dist tree inputs =
-  let memo = Phys.create 64 in
+let transcript_dist ?memo tree inputs =
+  let xkey = lazy (Obj.repr inputs) in
+  let find_shared node =
+    match memo with
+    | None -> None
+    | Some tbl -> Cross.find_opt tbl (Obj.repr node, Lazy.force xkey)
+  in
+  let add_shared node d =
+    match memo with
+    | None -> ()
+    | Some tbl -> Cross.replace tbl (Obj.repr node, Lazy.force xkey) d
+  in
+  let local = Phys.create 64 in
   let rec go tree =
     let key = Obj.repr tree in
-    match Phys.find_opt memo key with
+    match Phys.find_opt local key with
     | Some d -> d
-    | None ->
-        let d =
-          match tree with
-          | Tree.Output _ -> D.return []
-          | Tree.Speak { speaker; emit; children } ->
-              let msg_dist = emit inputs.(speaker) in
-              D.bind_disjoint msg_dist (fun m ->
-                  D.map_injective
-                    (fun rest -> Tree.Msg (speaker, m) :: rest)
-                    (go children.(m)))
-          | Tree.Chance { coin; children } ->
-              D.bind_disjoint coin (fun c ->
-                  D.map_injective
-                    (fun rest -> Tree.Coin c :: rest)
-                    (go children.(c)))
-        in
-        Phys.add memo key d;
-        d
+    | None -> (
+        match find_shared tree with
+        | Some d ->
+            Phys.add local key d;
+            d
+        | None ->
+            let d =
+              match tree with
+              | Tree.Output _ -> D.return []
+              | Tree.Speak { speaker; emit; children } ->
+                  let msg_dist = emit inputs.(speaker) in
+                  D.bind_disjoint msg_dist (fun m ->
+                      D.map_injective
+                        (fun rest -> Tree.Msg (speaker, m) :: rest)
+                        (go children.(m)))
+              | Tree.Chance { coin; children } ->
+                  D.bind_disjoint coin (fun c ->
+                      D.map_injective
+                        (fun rest -> Tree.Coin c :: rest)
+                        (go children.(c)))
+            in
+            Phys.add local key d;
+            add_shared tree d;
+            d)
   in
   go tree
 
@@ -78,28 +117,29 @@ let distributional_error tree ~f mu =
 
 (** Joint law of [(inputs, transcript)] when inputs are drawn from [mu].
     This is the object every information quantity is computed from. *)
-let joint tree mu =
-  D.bind mu (fun x -> D.map (fun t -> (x, t)) (transcript_dist tree x))
+let joint ?memo tree mu =
+  D.bind mu (fun x -> D.map (fun t -> (x, t)) (transcript_dist ?memo tree x))
 
 (** Joint law of [((inputs, aux), transcript)] for a distribution [mu]
     on inputs paired with an auxiliary variable (the [D] of conditional
     information cost). *)
-let joint_with_aux tree mu_xd =
+let joint_with_aux ?memo tree mu_xd =
   D.bind mu_xd (fun (x, d) ->
-      D.map (fun t -> (x, d, t)) (transcript_dist tree x))
+      D.map (fun t -> (x, d, t)) (transcript_dist ?memo tree x))
 
 (** Law of the transcript alone under [mu]. *)
-let transcript_law tree mu = D.map snd (joint tree mu)
+let transcript_law ?memo tree mu = D.map snd (joint ?memo tree mu)
 
 (** All transcripts that occur with positive probability under [mu]. *)
-let reachable_transcripts tree mu = D.support (transcript_law tree mu)
+let reachable_transcripts ?memo tree mu =
+  D.support (transcript_law ?memo tree mu)
 
 (** Expected communication cost (bits) under [mu] — contrast with the
     worst-case [Tree.communication_cost]. *)
-let expected_bits tree mu =
+let expected_bits ?memo tree mu =
   D.expectation_with
     (fun (_, t) -> float_of_int (Tree.transcript_bits tree t))
-    (joint tree mu)
+    (joint ?memo tree mu)
 
 (** Enumerate all bit-vectors of length [k] as int arrays — the standard
     input domain for the one-bit problems ([AND_k]). *)

@@ -6,10 +6,25 @@
     joint law of inputs and transcript under an input distribution —
     the object all information quantities are derived from. *)
 
+type memo
+(** A transcript-law cache shared {e across} calls, keyed on the
+    physical tree node plus the structural input profile — one law is
+    computed once per (node, inputs) pair no matter how many sweeps
+    revisit it. Sound because a law is a function of exactly that pair.
+    Not thread-safe: share within one domain only. *)
+
+val memo : unit -> memo
+val memo_size : memo -> int
+(** Number of cached (node, inputs) laws — observability for benches. *)
+
 val transcript_dist :
-  'a Tree.t -> 'a array -> Tree.transcript Prob.Dist_exact.t
+  ?memo:memo -> 'a Tree.t -> 'a array -> Tree.transcript Prob.Dist_exact.t
 (** [transcript_dist tree inputs] is the exact law of the full
-    transcript when player [i] holds [inputs.(i)]. *)
+    transcript when player [i] holds [inputs.(i)]. Within one call,
+    shared subtrees (combinator-built DAGs) are evaluated once; [memo]
+    extends that sharing across calls — profitable when several
+    information measures walk the same tree over the same input sweep
+    (each call otherwise starts cold, rebuilding every law). *)
 
 val output_dist : 'a Tree.t -> 'a array -> int Prob.Dist_exact.t
 
@@ -26,24 +41,26 @@ val distributional_error :
   Exact.Rational.t
 
 val joint :
-  'a Tree.t -> 'a array Prob.Dist_exact.t ->
+  ?memo:memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t ->
   ('a array * Tree.transcript) Prob.Dist_exact.t
 (** Joint law of [(inputs, transcript)] with inputs drawn from [mu]. *)
 
 val joint_with_aux :
-  'a Tree.t -> ('a array * 'd) Prob.Dist_exact.t ->
+  ?memo:memo -> 'a Tree.t -> ('a array * 'd) Prob.Dist_exact.t ->
   ('a array * 'd * Tree.transcript) Prob.Dist_exact.t
 (** Same, for a distribution on inputs paired with an auxiliary variable
     (the [D] of conditional information cost). *)
 
 val transcript_law :
-  'a Tree.t -> 'a array Prob.Dist_exact.t ->
+  ?memo:memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t ->
   Tree.transcript Prob.Dist_exact.t
 
 val reachable_transcripts :
-  'a Tree.t -> 'a array Prob.Dist_exact.t -> Tree.transcript list
+  ?memo:memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t ->
+  Tree.transcript list
 
-val expected_bits : 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
+val expected_bits :
+  ?memo:memo -> 'a Tree.t -> 'a array Prob.Dist_exact.t -> float
 (** Expected communication under [mu] (contrast with the worst-case
     {!Tree.communication_cost}). *)
 

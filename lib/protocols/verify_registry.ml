@@ -33,6 +33,9 @@ let id_declared_bound = "verify-declared-bound"
 let id_spec = "verify-spec"
 let id_inconclusive = "verify-inconclusive"
 let id_no_spec = "verify-no-spec"
+let id_ic_interval = "verify-ic-interval"
+let id_ic_inconclusive = "verify-ic-inconclusive"
+let id_ic_unsound = "verify-ic-unsound"
 
 let all_rule_ids =
   [
@@ -42,12 +45,21 @@ let all_rule_ids =
     id_spec;
     id_inconclusive;
     id_no_spec;
+    id_ic_interval;
+    id_ic_inconclusive;
+    id_ic_unsound;
   ]
+
+type ic_engine =
+  zero_error_spec:(int array -> int) option ->
+  An.Infoflow.t ->
+  (string * Exact.Rational.t) list
 
 type result = {
   entry : Registry.entry;
   summary : An.Absint.t;
   outcome : An.Certify.outcome option;  (** [None] when no spec *)
+  ic : An.Certify.ic_outcome option;  (** [None] unless [~ic:true] *)
   checked_profiles : int;
   static_cc : int;
   observed_bits : int;
@@ -130,8 +142,8 @@ let apply_baseline baseline ~protocol report =
 (* Per-entry verification                                              *)
 (* ------------------------------------------------------------------ *)
 
-let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
-    (Registry.Entry e as entry) =
+let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline) ?(ic = false)
+    ?ic_engine (Registry.Entry e as entry) =
   let tree = Lazy.force e.tree in
   let static_cc = Proto.Tree.communication_cost tree in
   let outcome, summary, checked_profiles =
@@ -145,6 +157,30 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
          cert.An.Certify.checked_profiles)
     | None ->
         (None, An.Absint.analyze ?budget ~players:e.players ~domain:e.domain tree, 0)
+  in
+  let ic_outcome =
+    if not ic then None
+    else begin
+      (* The rectangle-based lower-bound engines are only sound for a
+         tree that provably computes its spec with zero error, so the
+         spec is handed over (as a function of domain indices) exactly
+         when this very sweep certified it. *)
+      let zero_error_spec =
+        match (e.spec, outcome) with
+        | Some spec, Some An.Certify.Certified ->
+            Some
+              (fun idxs -> spec (Array.map (fun ix -> e.domain.(ix)) idxs))
+        | _ -> None
+      in
+      let lower =
+        match ic_engine with
+        | Some engine -> fun flow -> engine ~zero_error_spec flow
+        | None -> fun _ -> []
+      in
+      Some
+        (An.Certify.certify_ic ?budget ~players:e.players ~lower
+           ~domain:e.domain tree)
+    end
   in
   let run = Registry.run_on_board entry ~seed in
   let observed_bits = Blackboard.Board.total_bits run.Registry.board in
@@ -209,6 +245,35 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
               (An.Certify.counterexample_to_string cex)))
   | Some (An.Certify.Inconclusive reason) ->
       push (warn id_inconclusive ("certification inconclusive: " ^ reason)));
+  (match ic_outcome with
+  | None -> ()
+  | Some (An.Certify.Ic_certified c) ->
+      let engines =
+        match c.An.Certify.lower_bounds with
+        | [] -> ""
+        | lbs ->
+            Printf.sprintf " (lower-bound engines: %s)"
+              (String.concat ", "
+                 (List.map
+                    (fun (n, b) ->
+                      Printf.sprintf "%s=%s" n (Exact.Rational.to_string b))
+                    lbs))
+      in
+      push
+        (info id_ic_interval
+           (Printf.sprintf
+              "external information cost certified in %s bits, internal in \
+               %s%s"
+              (An.Infoflow.bound_to_string c.An.Certify.ic_external)
+              (An.Infoflow.bound_to_string c.An.Certify.ic_internal)
+              engines))
+  | Some (An.Certify.Ic_inconclusive { reason; inconsistent = true; _ }) ->
+      push
+        (err id_ic_unsound ("information-cost cross-check failed: " ^ reason))
+  | Some (An.Certify.Ic_inconclusive { reason; inconsistent = false; _ }) ->
+      push
+        (warn id_ic_inconclusive
+           ("information-cost certification inconclusive: " ^ reason)));
   let report, suppressed =
     apply_baseline baseline ~protocol:e.name (Rep.of_list (List.rev !diags))
   in
@@ -216,6 +281,7 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
     entry;
     summary;
     outcome;
+    ic = ic_outcome;
     checked_profiles;
     static_cc;
     observed_bits;
@@ -228,9 +294,9 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline)
    (sequential when only one domain is available). Results keep registry
    order; the shared state each entry touches — Obs metrics, Bitbuf
    counters — is thread-safe. *)
-let verify_all ?budget ?seed ?baseline ?domains () =
+let verify_all ?budget ?seed ?baseline ?ic ?ic_engine ?domains () =
   Par.parallel_map ?domains
-    (fun e -> verify_entry ?budget ?seed ?baseline e)
+    (fun e -> verify_entry ?budget ?seed ?baseline ?ic ?ic_engine e)
     (Registry.all ())
 
 (* ------------------------------------------------------------------ *)
@@ -245,6 +311,42 @@ let exit_code results =
   if has Rep.has_errors then 1
   else if has (fun rep -> Rep.count_severity Rep.Warning rep > 0) then 3
   else 0
+
+let ic_outcome_to_json = function
+  | An.Certify.Ic_certified c ->
+      let module R = Exact.Rational in
+      let bound_fields prefix (b : An.Infoflow.bound) =
+        [
+          (prefix ^ "_lo", J.String (R.to_string b.An.Infoflow.lo));
+          (prefix ^ "_hi", J.String (R.to_string b.An.Infoflow.hi));
+          (prefix ^ "_lo_float", J.Float (R.to_float b.An.Infoflow.lo));
+          (prefix ^ "_hi_float", J.Float (R.to_float b.An.Infoflow.hi));
+        ]
+      in
+      J.obj
+        (("outcome", J.String "ic-certified")
+         :: (bound_fields "external" c.An.Certify.ic_external
+            @ bound_fields "internal" c.An.Certify.ic_internal
+            @ [
+                ( "engines",
+                  J.List
+                    (List.map
+                       (fun (n, b) ->
+                         J.obj
+                           [
+                             ("name", J.String n);
+                             ("bound", J.String (R.to_string b));
+                             ("bound_float", J.Float (R.to_float b));
+                           ])
+                       c.An.Certify.lower_bounds) );
+              ]))
+  | An.Certify.Ic_inconclusive { reason; inconsistent; _ } ->
+      J.obj
+        [
+          ("outcome", J.String "ic-inconclusive");
+          ("reason", J.String reason);
+          ("inconsistent", J.Bool inconsistent);
+        ]
 
 let result_to_json r =
   let (Registry.Entry e) = r.entry in
@@ -265,9 +367,15 @@ let result_to_json r =
       ("outcome", J.String (outcome_label r.outcome));
       ("deterministic", J.Bool s.An.Absint.deterministic);
       ("nodes", J.Int s.An.Absint.nodes);
+      ("widened", J.Bool s.An.Absint.widened);
       ("widenings", J.Int s.An.Absint.widenings);
+      ("law_failures", J.Int s.An.Absint.law_failures);
       ("dead_branches", J.Int (List.length s.An.Absint.dead));
       ("checked_profiles", J.Int r.checked_profiles);
       ("suppressed", J.Int r.suppressed);
+      ( "ic",
+        match r.ic with
+        | None -> J.Null
+        | Some o -> ic_outcome_to_json o );
       ("diagnostics", Rep.to_json r.report);
     ]

@@ -16,12 +16,28 @@ val id_declared_bound : string
 val id_spec : string
 val id_inconclusive : string
 val id_no_spec : string
+val id_ic_interval : string
+val id_ic_inconclusive : string
+val id_ic_unsound : string
 val all_rule_ids : string list
+
+type ic_engine =
+  zero_error_spec:(int array -> int) option ->
+  Analysis.Infoflow.t ->
+  (string * Exact.Rational.t) list
+(** The pluggable information lower-bound engine shape — e.g.
+    [Lowerbound.Discrepancy.engine] partially applied by the caller
+    (this library cannot depend on [lowerbound]). [zero_error_spec] is
+    passed by the sweep only for entries whose spec this very run
+    certified, so rectangle-based bounds stay sound. *)
 
 type result = {
   entry : Registry.entry;
   summary : Analysis.Absint.t;
   outcome : Analysis.Certify.outcome option;  (** [None] when no spec *)
+  ic : Analysis.Certify.ic_outcome option;
+      (** the static information-cost certificate; [None] unless the
+          sweep ran with [~ic:true] *)
   checked_profiles : int;
   static_cc : int;  (** structural [Tree.communication_cost] *)
   observed_bits : int;  (** blackboard bits of the seeded run *)
@@ -59,12 +75,30 @@ val apply_baseline :
 (** {1 Verification} *)
 
 val verify_entry :
-  ?budget:int -> ?seed:int -> ?baseline:baseline -> Registry.entry -> result
+  ?budget:int ->
+  ?seed:int ->
+  ?baseline:baseline ->
+  ?ic:bool ->
+  ?ic_engine:ic_engine ->
+  Registry.entry ->
+  result
 (** [budget] as in {!Analysis.Absint.analyze}; [seed] (default 1)
-    drives the differential blackboard run. *)
+    drives the differential blackboard run. [ic] (default false)
+    additionally runs {!Analysis.Certify.certify_ic} under the uniform
+    product distribution and reports the certified
+    [verify-ic-interval] (Info) / [verify-ic-inconclusive] (Warning) /
+    [verify-ic-unsound] (Error, a lower bound crossed the sound upper
+    bound) diagnostics — all baseline-suppressible; the exit contract
+    is unchanged. [ic_engine] injects extra sound lower bounds. *)
 
 val verify_all :
-  ?budget:int -> ?seed:int -> ?baseline:baseline -> ?domains:int -> unit ->
+  ?budget:int ->
+  ?seed:int ->
+  ?baseline:baseline ->
+  ?ic:bool ->
+  ?ic_engine:ic_engine ->
+  ?domains:int ->
+  unit ->
   result list
 (** {!verify_entry} over [Registry.all ()], fanned out over a domain
     pool ({!Par.parallel_map}; [domains] defaults to

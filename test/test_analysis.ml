@@ -216,6 +216,40 @@ let t_state_space_flags () =
   check_flags ~msg:"16 profiles x 5 leaves > 10" Ru.id_state_space report;
   Alcotest.(check bool) "warning, not error" false (Rep.has_errors report)
 
+(* --- (8) unreachable-output --------------------------------------- *)
+
+let t_unreachable_output_clean () =
+  check_silent ~msg:"sequential AND"
+    (Ru.unreachable_output ~domain:bit_domain (seq 3));
+  (* A value carried by a dead leaf but also by a live one is
+     reachable, hence silent — the rule is about values, not leaves
+     (dead-branch already covers those). *)
+  let dup =
+    T.speak_det ~speaker:0 ~f:(fun _ -> 0) [| T.output 0; T.output 0 |]
+  in
+  check_silent ~msg:"value reachable via another leaf"
+    (Ru.unreachable_output ~domain:bit_domain dup)
+
+let t_unreachable_output_flags () =
+  let t =
+    T.speak_det ~speaker:0 ~f:(fun _ -> 0) [| T.output 0; T.output 7 |]
+  in
+  let report = Ru.unreachable_output ~domain:bit_domain t in
+  check_flags ~msg:"output 7 behind a constant emit"
+    Ru.id_unreachable_output report;
+  Alcotest.(check bool) "warning, not error" false (Rep.has_errors report);
+  Alcotest.(check int) "exactly one finding" 1
+    (Rep.count_severity Rep.Warning report);
+  (* The analyzer surfaces the same finding through the catalog. *)
+  check_flags ~msg:"via Analyzer.analyze" Ru.id_unreachable_output
+    (An.analyze ~players:1 ~domain:bit_domain t)
+
+let t_unreachable_output_widened_silent () =
+  (* Under widening the leaf set is incomplete, so reachability cannot
+     be decided — the rule must stay quiet rather than guess. *)
+  check_silent ~msg:"budget 1 widens"
+    (Ru.unreachable_output ~budget:1 ~domain:bit_domain (seq 4))
+
 (* --- analyzer-level policy ---------------------------------------- *)
 
 let t_analyze_clean_protocol () =
@@ -342,6 +376,10 @@ let suite =
       t_bit_accounting_negative_declared;
     quick "state-space-budget: clean" t_state_space_clean;
     quick "state-space-budget: flags" t_state_space_flags;
+    quick "unreachable-output: clean" t_unreachable_output_clean;
+    quick "unreachable-output: flags" t_unreachable_output_flags;
+    quick "unreachable-output: silent under widening"
+      t_unreachable_output_widened_silent;
     quick "analyze: clean protocol" t_analyze_clean_protocol;
     quick "analyze: malformed protocol" t_analyze_malformed_protocol;
     quick "report: ordering and exit policy" t_report_ordering;

@@ -1,0 +1,352 @@
+(** Differential tests of the static information-cost certifier:
+    every certified [[lo, hi]] bracket must contain the exact
+    enumerated information cost — by {e exact rational comparison}
+    whenever the exact IC is itself rational (width-zero certificates
+    over dyadic transcript laws), and by a float sandwich with 1e-9
+    slack otherwise — on every enumerable registry entry and on random
+    trees; plus pinned analytic values (sequential AND_k certifies to
+    exactly [2 - 2^(1-k)], above the Filmus-Hatami-Li-You two-party
+    AND constant), the Braverman-Weinstein engine's strict positivity,
+    and the cross-check that surfaces an inconsistent engine. *)
+
+module R = Exact.Rational
+module F = Analysis.Infoflow
+module C = Analysis.Certify
+module Rep = Analysis.Report
+module T = Proto.Tree
+module Sem = Proto.Semantics
+module Info = Proto.Information
+module D = Prob.Dist_exact
+module Reg = Protocols.Registry
+module V = Protocols.Verify_registry
+module Disc = Lowerbound.Discrepancy
+open Test_util
+
+let bit_domain = [| 0; 1 |]
+let seq k = Protocols.And_protocols.sequential k
+
+(* ------------------------------------------------------------------ *)
+(* Exact reference: enumerated IC, rational when the laws are dyadic   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Sum_i m_i log2 (1/m_i)] exactly, when every positive mass is a
+   power of two (the certified log interval then has width zero);
+   [None] as soon as one mass would need an irrational logarithm. *)
+let exact_entropy masses =
+  List.fold_left
+    (fun acc m ->
+      match acc with
+      | None -> None
+      | Some h ->
+          if R.sign m = 0 then Some h
+          else
+            let lo, hi = Infotheory.Rlog.log2_bounds (R.inv m) in
+            if R.equal lo hi then Some (R.add h (R.mul m lo)) else None)
+    (Some R.zero) masses
+
+let rec index_profiles d k =
+  if k = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun p -> List.init d (fun v -> v :: p))
+      (index_profiles d (k - 1))
+
+(* Exact rational [I(T; X) = H(T) - E_x H(T | X = x)] under the
+   uniform product distribution, by brute enumeration of all
+   [d^k] profiles; [None] when some transcript mass is not a power of
+   two (the IC is then irrational and only a float reference exists). *)
+let exact_ic_rational ~players ~domain tree =
+  let d = Array.length domain in
+  let mu_x = R.inv (R.of_int d |> fun r -> R.pow r players) in
+  let marginal : (T.transcript, R.t) Hashtbl.t = Hashtbl.create 64 in
+  let cond_entropies =
+    List.map
+      (fun idxs ->
+        let inputs =
+          Array.map (fun ix -> domain.(ix)) (Array.of_list idxs)
+        in
+        let td = Sem.transcript_dist tree inputs in
+        List.iter
+          (fun (t, w) ->
+            let prev =
+              Option.value ~default:R.zero (Hashtbl.find_opt marginal t)
+            in
+            Hashtbl.replace marginal t (R.add prev (R.mul mu_x w)))
+          (D.to_alist td);
+        exact_entropy (List.map snd (D.to_alist td)))
+      (index_profiles d players)
+  in
+  let marginal_masses = Hashtbl.fold (fun _ m acc -> m :: acc) marginal [] in
+  match exact_entropy marginal_masses with
+  | None -> None
+  | Some h_t ->
+      List.fold_left
+        (fun acc he ->
+          match (acc, he) with
+          | Some acc, Some he -> Some (R.sub acc (R.mul mu_x he))
+          | _ -> None)
+        (Some h_t) cond_entropies
+
+let check_containment ~msg ~players ~domain tree (b : F.bound) =
+  match exact_ic_rational ~players ~domain tree with
+  | Some exact ->
+      if R.compare b.F.lo exact > 0 || R.compare exact b.F.hi > 0 then
+        Alcotest.failf "%s: exact IC %s outside certified [%s, %s]" msg
+          (R.to_string exact) (R.to_string b.F.lo) (R.to_string b.F.hi);
+      (* Width-zero certificates claim the IC exactly — hold them to
+         exact rational equality, not mere containment. *)
+      if R.equal b.F.lo b.F.hi then
+        check_rational ~msg:(msg ^ ": width-0 claims IC exactly") exact
+          b.F.lo
+  | None ->
+      let unif = D.uniform (Array.to_list domain) in
+      let mu = D.product_array (Array.make players unif) in
+      let exact = Info.external_ic tree mu in
+      check_le ~msg:(msg ^ ": lo <= exact") (R.to_float b.F.lo) exact;
+      check_le ~msg:(msg ^ ": exact <= hi") exact (R.to_float b.F.hi)
+
+(* ------------------------------------------------------------------ *)
+(* Pinned analytic values                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential AND_k under uniform bits: the transcript partition is
+   {stop after round j} for j < k plus the all-ones path, with dyadic
+   masses 2^-j — the exact external IC is 2 - 2^(1-k). *)
+let t_and_k_exact () =
+  for k = 2 to 6 do
+    let a = F.analyze ~domain:bit_domain (seq k) in
+    Alcotest.(check bool) "sound" true a.F.sound;
+    Alcotest.(check bool) "deterministic" true a.F.deterministic;
+    let expected = R.sub (R.of_int 2) (R.pow R.half (k - 1)) in
+    check_rational
+      ~msg:(Printf.sprintf "AND_%d external lo" k)
+      expected a.F.external_ic.F.lo;
+    check_rational
+      ~msg:(Printf.sprintf "AND_%d external hi" k)
+      expected a.F.external_ic.F.hi;
+    check_rational
+      ~msg:(Printf.sprintf "AND_%d internal = (k-1) x external" k)
+      (R.mul_int expected (k - 1))
+      a.F.internal_ic.F.lo
+  done
+
+(* Filmus-Hatami-Li-You: the (limit) external information complexity
+   of two-party AND under the uniform distribution is ~1.4923 bits —
+   strictly below what the sequential one-shot protocol pays (3/2), as
+   interactivity saves information. Our certified lower edge for the
+   protocol must sit above the function's complexity. *)
+let t_fhly_and_constant () =
+  let a = F.analyze ~domain:bit_domain (seq 2) in
+  let fhly = R.of_ints 14923 10000 in
+  Alcotest.(check bool)
+    "seq AND_2 certified lo (3/2) exceeds FHLY ~1.4923" true
+    (R.compare a.F.external_ic.F.lo fhly > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Registry sweep: containment on every enumerable entry               *)
+(* ------------------------------------------------------------------ *)
+
+let ic_engine ~zero_error_spec flow = Disc.engine ~zero_error_spec flow
+
+let t_registry_containment () =
+  List.iter
+    (fun (Reg.Entry e as entry) ->
+      let enumerable =
+        (* d^k profiles, each walking the tree: keep the sweep exact
+           but bounded *)
+        let d = Array.length e.domain in
+        let rec pow acc i =
+          if i = 0 then acc
+          else if acc > 4096 then acc
+          else pow (acc * d) (i - 1)
+        in
+        pow 1 e.players <= 4096
+      in
+      if enumerable then begin
+        let r = V.verify_entry ~ic:true ~ic_engine entry in
+        match r.V.ic with
+        | Some (C.Ic_certified c) ->
+            let tree = Lazy.force e.tree in
+            check_containment ~msg:(Reg.name entry) ~players:e.players
+              ~domain:e.domain tree c.C.ic_external;
+            (* internal = (k-1) x external, exactly *)
+            check_rational
+              ~msg:(Reg.name entry ^ ": internal lo")
+              (R.mul_int c.C.ic_external.F.lo (e.players - 1))
+              c.C.ic_internal.F.lo;
+            check_rational
+              ~msg:(Reg.name entry ^ ": internal hi")
+              (R.mul_int c.C.ic_external.F.hi (e.players - 1))
+              c.C.ic_internal.F.hi;
+            (* every injected engine bound is sound: within [0, hi] *)
+            List.iter
+              (fun (name, b) ->
+                Alcotest.(check bool)
+                  (Reg.name entry ^ ": engine " ^ name ^ " nonnegative")
+                  true (R.sign b >= 0);
+                Alcotest.(check bool)
+                  (Reg.name entry ^ ": engine " ^ name ^ " below hi")
+                  true
+                  (R.compare b c.C.ic_external.F.hi <= 0))
+              c.C.lower_bounds;
+            (* the certificate rides the report as an Info diagnostic *)
+            Alcotest.(check bool)
+              (Reg.name entry ^ ": verify-ic-interval emitted")
+              true
+              (List.exists
+                 (fun d -> d.Rep.rule = V.id_ic_interval)
+                 (Rep.to_list r.V.report))
+        | Some (C.Ic_inconclusive { reason; _ }) ->
+            Alcotest.failf "%s: expected ic-certified, got inconclusive: %s"
+              (Reg.name entry) reason
+        | None -> Alcotest.failf "%s: ic requested but absent" (Reg.name entry)
+      end)
+    (Reg.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Braverman-Weinstein engine                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* For AND_k the largest monochromatic product rectangle under uniform
+   bits is {x_1 = 0} x {0,1}^(k-1) of mass exactly 1/2, so the
+   protocol-independent bound is exactly 1 bit — non-trivial and
+   strictly positive. *)
+let t_discrepancy_strictly_positive () =
+  let f profile = Array.fold_left (fun a b -> a land b) 1 profile in
+  for k = 2 to 4 do
+    let mu = F.uniform_mu 2 in
+    (match Disc.mono_bound ~players:k ~domain_size:2 ~mu ~f () with
+    | Some b ->
+        check_rational
+          ~msg:(Printf.sprintf "AND_%d mono-rectangle bound is exactly 1" k)
+          R.one b
+    | None -> Alcotest.fail "mono sweep should fit the work cap");
+    match Disc.disc_bound ~players:k ~domain_size:2 ~mu ~f () with
+    | Some b ->
+        Alcotest.(check bool)
+          (Printf.sprintf "AND_%d discrepancy bound strictly positive" k)
+          true (R.sign b > 0)
+    | None -> Alcotest.fail "disc sweep should fit the work cap"
+  done;
+  (* and through the full pipeline: certify with the engine, lower
+     edge still the exact IC (the engine never degrades a certificate) *)
+  match
+    C.certify_ic
+      ~lower:(fun flow ->
+        Disc.engine
+          ~zero_error_spec:
+            (Some (fun p -> Array.fold_left (fun a b -> a land b) 1 p))
+          flow)
+      ~domain:bit_domain (seq 3)
+  with
+  | C.Ic_certified c ->
+      check_rational ~msg:"AND_3 with engine: lo unchanged"
+        (R.of_ints 7 4) c.C.ic_external.F.lo;
+      Alcotest.(check bool) "engine contributed bounds" true
+        (List.length c.C.lower_bounds >= 2)
+  | C.Ic_inconclusive { reason; _ } ->
+      Alcotest.failf "AND_3 should certify: %s" reason
+
+(* An engine claiming more than the sound upper bound is a soundness
+   bug somewhere: the certifier must surface the inconsistency, never
+   silently max it away. *)
+let t_inconsistent_engine_surfaces () =
+  match
+    C.certify_ic
+      ~lower:(fun flow -> [ ("bogus", R.of_int (flow.F.struct_max + 1)) ])
+      ~domain:bit_domain (seq 3)
+  with
+  | C.Ic_inconclusive { inconsistent = true; reason; _ } ->
+      Alcotest.(check bool) "reason names the engine" true
+        (String.length reason > 0)
+  | C.Ic_inconclusive { inconsistent = false; _ } ->
+      Alcotest.fail "must be flagged inconsistent"
+  | C.Ic_certified _ -> Alcotest.fail "must not certify against a crossing"
+
+(* ------------------------------------------------------------------ *)
+(* Random-tree differential property                                   *)
+(* ------------------------------------------------------------------ *)
+
+let k = 3
+
+let prop_random_containment =
+  qtest "static bracket contains exact IC on random trees" ~count:60
+    QCheck.small_nat (fun seed ->
+      let rng = Prob.Rng.of_int_seed (0x1CF10 + seed) in
+      let tree =
+        Test_random_trees.random_tree ~rng ~k ~depth:(2 + Prob.Rng.int rng 3)
+      in
+      let a = F.analyze ~domain:bit_domain tree in
+      if not a.F.sound then true (* nothing claimed, nothing to check *)
+      else begin
+        check_containment ~msg:"random tree" ~players:k ~domain:bit_domain
+          tree a.F.external_ic;
+        (* expected charged bits dominate the information, and the
+           entropy bound is itself an upper bound the final hi folded *)
+        Alcotest.(check bool) "hi <= E[bits]" true
+          (R.compare a.F.external_ic.F.hi a.F.expected_bits <= 0);
+        Alcotest.(check bool) "hi <= entropy bound" true
+          (R.compare a.F.external_ic.F.hi a.F.entropy_hi <= 0);
+        Alcotest.(check bool) "total mass is 1" true
+          (R.equal R.one a.F.total_mass);
+        true
+      end)
+
+(* For two players the static internal bracket must agree with the
+   exactly-enumerated two-party internal cost (which equals the
+   external cost under product distributions). *)
+let prop_internal_two_party =
+  qtest "internal bracket matches enumerated two-party IC" ~count:40
+    QCheck.small_nat (fun seed ->
+      let rng = Prob.Rng.of_int_seed (0x2CF10 + seed) in
+      let tree =
+        Test_random_trees.random_tree ~rng ~k:2
+          ~depth:(2 + Prob.Rng.int rng 2)
+      in
+      let a = F.analyze ~players:2 ~domain:bit_domain tree in
+      if not a.F.sound then true
+      else begin
+        let unif = D.uniform [ 0; 1 ] in
+        let mu = D.product_array [| unif; unif |] in
+        let exact = Info.internal_ic_two_party tree mu in
+        check_le ~msg:"internal lo <= exact"
+          (R.to_float a.F.internal_ic.F.lo)
+          exact;
+        check_le ~msg:"exact <= internal hi" exact
+          (R.to_float a.F.internal_ic.F.hi);
+        true
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Input validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let t_mu_validation () =
+  let bad_sum () =
+    ignore (F.analyze ~mu:[| R.half; R.of_ints 1 4 |] ~domain:bit_domain (seq 2))
+  in
+  (match bad_sum () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mu summing to 3/4 must be rejected");
+  let bad_len () =
+    ignore (F.analyze ~mu:[| R.one |] ~domain:bit_domain (seq 2))
+  in
+  match bad_len () with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "mu of wrong length must be rejected"
+
+let suite =
+  [
+    quick "sequential AND_k certifies to exactly 2 - 2^(1-k)" t_and_k_exact;
+    quick "certified lo sits above the FHLY AND constant"
+      t_fhly_and_constant;
+    quick "registry: every entry's bracket contains the exact IC"
+      t_registry_containment;
+    quick "BW engine: strictly positive, exact on AND"
+      t_discrepancy_strictly_positive;
+    quick "inconsistent lower bound surfaces, never certifies"
+      t_inconsistent_engine_surfaces;
+    prop_random_containment;
+    prop_internal_two_party;
+    quick "mu validation" t_mu_validation;
+  ]
