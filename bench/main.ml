@@ -26,6 +26,7 @@ let experiments =
     ("E11", E11_internal_external.run);
     ("E12", E12_oneshot.run);
     ("E13", E13_oneway_baseline.run);
+    ("E14_FAULT", E14_fault.run);
     ("VERIFY", Verify_bench.run);
     ("IC_STATIC", Ic_static.run);
     ("MICRO", Micro.run);

@@ -131,14 +131,26 @@ let null_sink_alloc_check () =
           Obs.Trace.emit (Obs.Event.Mark { name = "hot" }))
   in
   let disabled_bump = words_per_iter (fun i -> Obs.Metrics.bump "hot" i) in
+  (* The netsim runtime emits one typed event per point-to-point
+     message; its guard must keep the disabled path allocation-free too
+     (the event payload record is only built when a sink is live). *)
+  let guarded_netsim_emit =
+    words_per_iter (fun i ->
+        if Obs.Trace.enabled () then
+          Obs.Trace.emit
+            (Obs.Event.Rbc_echo { slot = i; src = 0; dst = 1; bits = 7 }))
+  in
   (match saved with Some m -> Obs.Metrics.install m | None -> ());
   Exp_util.record_f "null_sink_words_per_emit" guarded_emit;
   Exp_util.record_f "disabled_metrics_words_per_bump" disabled_bump;
+  Exp_util.record_f "null_sink_words_per_netsim_emit" guarded_netsim_emit;
   Exp_util.note "Obs disabled-path allocation (minor words per site over %dk iterations):"
     (iters / 1000);
   Exp_util.note
     "  guarded Trace.emit: %.5f   disabled Metrics.bump: %.5f   (expected: ~0)"
-    guarded_emit disabled_bump
+    guarded_emit disabled_bump;
+  Exp_util.note "  guarded netsim Rbc_echo emit: %.5f   (expected: ~0)"
+    guarded_netsim_emit
 
 let run () =
   Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run, OLS fit)";

@@ -511,6 +511,209 @@ let oneshot_cmd =
     Term.(const run $ k)
 
 (* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Exit conventions, as elsewhere in this CLI: 0 = completed (a stall
+   under injected faults is a legitimate completed observation),
+   1 = a finding (output disagrees with the declared spec, or --check
+   caught a sync/async board divergence), 2 = usage, 3 = the run could
+   not be driven (schedule bugs: runaway, bad speaker, size mismatch —
+   the conditions Engine.run reports as Invalid_argument, surfaced here
+   as clean diagnostics for both runtimes). *)
+let run_protocol_cmd =
+  let module Reg = Protocols.Registry in
+  let module Emu = Netsim.Board_emu in
+  let run name runtime seed net_seed f faults max_writes check metrics =
+    let entry =
+      match Reg.find name with
+      | Some e -> e
+      | None ->
+          Printf.eprintf "run: unknown protocol %S; known: %s\n" name
+            (String.concat ", " (Reg.names ()));
+          exit 2
+    in
+    let faults =
+      match Netsim.Fault.parse faults with
+      | Ok p -> p
+      | Error e ->
+          Printf.eprintf "run: %s\n" e;
+          exit 2
+    in
+    if check && faults <> Netsim.Fault.none then begin
+      Printf.eprintf
+        "run: --check compares the fault-free emulation; drop --faults\n";
+      exit 2
+    end;
+    let net_seed = Option.value net_seed ~default:seed in
+    let h = Reg.hosted entry ~seed in
+    let spec_check board =
+      (* 1 = spec violated, 0 = certified or nothing to check against *)
+      match h.Reg.output_of board with
+      | None ->
+          Printf.printf "output: incomplete transcript\n";
+          0
+      | Some out -> (
+          Printf.printf "output: %d\n" out;
+          match Reg.spec_output entry ~input_indices:h.Reg.input_indices with
+          | None -> 0
+          | Some expected when expected = out ->
+              Printf.printf "spec: ok (expected %d)\n" expected;
+              0
+          | Some expected ->
+              Printf.printf "spec: MISMATCH (expected %d)\n" expected;
+              1)
+    in
+    (* A hosted value's players hold private-randomness state, so one
+       hosted drives one run: --check rebuilds a fresh one (same seed,
+       same inputs) for the reference sync run. *)
+    let run_sync () =
+      let h = Reg.hosted entry ~seed in
+      match
+        Blackboard.Engine.run_result ~k:h.Reg.k ~schedule:h.Reg.schedule
+          ~players:h.Reg.players ~max_writes ()
+      with
+      | Error e ->
+          Printf.eprintf "run: %s\n" (Blackboard.Engine.error_message e);
+          exit 3
+      | Ok o -> o
+    in
+    let run_async () =
+      let config = { Emu.f; seed = net_seed; faults } in
+      match
+        Emu.run ~k:h.Reg.k ~schedule:h.Reg.schedule ~players:h.Reg.players
+          ~max_writes ~config ()
+      with
+      | Error (Emu.Insufficient_honest _ as e) ->
+          Printf.eprintf "run: %s\n" (Emu.error_message e);
+          exit 2
+      | Error (Emu.Engine_error _ as e) ->
+          Printf.eprintf "run: %s\n" (Emu.error_message e);
+          exit 3
+      | Ok o -> o
+    in
+    let print_net_stats (s : Emu.stats) ~board_bits =
+      Printf.printf
+        "network: %d messages (%d send / %d echo / %d ready), %d wire \
+         bits, %d dropped, %d crashed\n"
+        s.Emu.net_messages s.Emu.sends s.Emu.echoes s.Emu.readies
+        s.Emu.net_bits s.Emu.drops s.Emu.crashed;
+      if board_bits > 0 then
+        Printf.printf "emulation overhead: %.1fx (%d wire / %d board bits)\n"
+          (float_of_int s.Emu.net_bits /. float_of_int board_bits)
+          s.Emu.net_bits board_bits
+    in
+    let code =
+      with_metrics metrics (fun () ->
+          match runtime with
+          | `Sync ->
+              let o = run_sync () in
+              Printf.printf "%s [sync] k=%d: %d writes, %d board bits\n" name
+                h.Reg.k o.Blackboard.Engine.writes
+                (Blackboard.Board.total_bits o.Blackboard.Engine.board);
+              spec_check o.Blackboard.Engine.board
+          | `Async -> (
+              match run_async () with
+              | Emu.Delivered { board; writes; stats } ->
+                  Printf.printf
+                    "%s [async] k=%d f=%d faults=%s: %d writes, %d board \
+                     bits\n"
+                    name h.Reg.k f
+                    (match Netsim.Fault.to_string faults with
+                    | "" -> "none"
+                    | s -> s)
+                    writes
+                    (Blackboard.Board.total_bits board);
+                  print_net_stats stats
+                    ~board_bits:(Blackboard.Board.total_bits board);
+                  let code = spec_check board in
+                  if check then begin
+                    let o = run_sync () in
+                    let same =
+                      Blackboard.Board.equal board o.Blackboard.Engine.board
+                    in
+                    Printf.printf "byte-identical to sync engine: %b\n" same;
+                    if same then code else 1
+                  end
+                  else code
+              | Emu.Stalled { board; delivered_slots; speaker; reason; stats }
+                ->
+                  Printf.printf
+                    "%s [async] k=%d f=%d faults=%s: STALLED at slot %d \
+                     (speaker %d, %s); %d slots delivered, %d board bits\n"
+                    name h.Reg.k f
+                    (Netsim.Fault.to_string faults)
+                    delivered_slots speaker
+                    (match reason with
+                    | Emu.Speaker_crashed -> "speaker crashed"
+                    | Emu.No_quorum -> "no quorum")
+                    delivered_slots
+                    (Blackboard.Board.total_bits board);
+                  print_net_stats stats
+                    ~board_bits:(Blackboard.Board.total_bits board);
+                  0))
+    in
+    if code <> 0 then exit code
+  in
+  let proto_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROTOCOL"
+             ~doc:"Registry protocol to run (see $(b,broadcast_cli lint)).")
+  in
+  let runtime =
+    Arg.(value & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+         & info [ "runtime" ]
+             ~doc:"Substrate: $(b,sync) drives the shared-blackboard \
+                   engine; $(b,async) emulates the blackboard over a \
+                   faulty asynchronous network with Bracha reliable \
+                   broadcast.")
+  in
+  let seed =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~doc:"Protocol randomness seed (inputs, coins).")
+  in
+  let net_seed =
+    Arg.(value & opt (some int) None
+         & info [ "net-seed" ]
+             ~doc:"Network randomness seed (delivery order, drops); \
+                   defaults to $(b,--seed). Vary it to replay the same \
+                   protocol run under different delivery orders.")
+  in
+  let f =
+    Arg.(value & opt int 1
+         & info [ "f" ]
+             ~doc:"Fault tolerance the Bracha thresholds assume (needs \
+                   k > 3f).")
+  in
+  let faults =
+    Arg.(value & opt string ""
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Fault plan: comma-separated $(b,crash:P), \
+                   $(b,crash:P@S), $(b,drop:F), $(b,delay:J), \
+                   $(b,equiv:P).")
+  in
+  let max_writes =
+    Arg.(value & opt int 1_000_000
+         & info [ "max-writes" ]
+             ~doc:"Runaway protection: abort (exit 3) past this many \
+                   scheduled writes.")
+  in
+  let chk =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"After an async run, also drive the sync engine and \
+                   verify the delivered board is byte-identical (exit 1 \
+                   if not). Fault-free only.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a registry protocol on the sync engine or the \
+             asynchronous faulty-broadcast emulation.")
+    Term.(
+      const run $ proto_arg $ runtime $ seed $ net_seed $ f $ faults
+      $ max_writes $ chk $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -897,4 +1100,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ disj_cmd; info_cmd; compress_cmd; sample_cmd; trace_cmd; or_cmd;
-            oneshot_cmd; lint_cmd; verify_cmd ]))
+            oneshot_cmd; run_protocol_cmd; lint_cmd; verify_cmd ]))

@@ -41,6 +41,15 @@ let total_bits t = t.total
 let write_count t = List.length t.rev_writes
 let bits_by t i = t.by_player.(i)
 let last_write t = match t.rev_writes with [] -> None | w :: _ -> Some w
+
+let equal a b =
+  a.k = b.k && a.total = b.total
+  && List.length a.rev_writes = List.length b.rev_writes
+  && List.for_all2
+       (fun x y ->
+         x.player = y.player && x.label = y.label
+         && Coding.Bitvec.equal x.vec y.vec)
+       a.rev_writes b.rev_writes
 let reader_of_write w = Coding.Bitbuf.Reader.of_vec w.vec
 
 let pp fmt t =

@@ -40,6 +40,11 @@ val bits_by : t -> int -> int
 
 val last_write : t -> write option
 
+val equal : t -> t -> bool
+(** Byte-identical boards: same player count and the same sequence of
+    writes (speaker, packed payload, label). This is the totality
+    check's notion of "the emulation delivered the same board". *)
+
 val reader_of_write : write -> Coding.Bitbuf.Reader.t
 (** Re-read a write's payload (what the other players do). Zero-copy:
     a cursor over the stored packed vector. *)

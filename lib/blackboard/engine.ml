@@ -5,34 +5,72 @@ type player = {
 
 type outcome = { board : Board.t; writes : int }
 
-let run ~k ~schedule ~players ?(max_writes = 1_000_000) () =
+type error =
+  | Size_mismatch of { expected : int; got : int }
+  | Bad_speaker of { index : int; k : int; at_write : int }
+  | Runaway of { max_writes : int }
+
+let error_message = function
+  | Size_mismatch { expected; got } ->
+      Printf.sprintf "player array has %d entries but k = %d" got expected
+  | Bad_speaker { index; k; at_write } ->
+      Printf.sprintf "schedule yielded speaker %d of k = %d at write %d" index
+        k at_write
+  | Runaway { max_writes } ->
+      Printf.sprintf
+        "runaway protocol: %d writes without the schedule yielding None \
+         (max-writes budget exceeded)"
+        max_writes
+
+(* The raising entry point pins these exact strings (regression-tested),
+   so [run] maps each typed error back to its historical message. *)
+let legacy_message = function
+  | Size_mismatch _ -> "Engine.run: player array size mismatch"
+  | Bad_speaker _ -> "Engine.run: bad speaker index"
+  | Runaway _ -> "Engine.run: max_writes exceeded"
+
+let run_result ~k ~schedule ~players ?(max_writes = 1_000_000) () =
   if Array.length players <> k then
-    invalid_arg "Engine.run: player array size mismatch";
-  let board = Board.create ~k in
-  let writes = ref 0 in
-  let rec loop () =
-    match schedule board with
-    | None -> ()
-    | Some i ->
-        if i < 0 || i >= k then invalid_arg "Engine.run: bad speaker index";
-        if !writes >= max_writes then
-          invalid_arg "Engine.run: max_writes exceeded";
-        let traced = Obs.Trace.enabled () in
-        if traced then Obs.Trace.emit (Obs.Event.Round_start { round = !writes });
-        let bits_before = Board.total_bits board in
-        let message = players.(i).speak board in
-        Board.post board ~player:i message;
-        if traced then
-          Obs.Trace.emit
-            (Obs.Event.Round_end
-               { round = !writes; bits = Board.total_bits board - bits_before });
-        incr writes;
-        if Obs.Metrics.enabled () then Obs.Metrics.bump "engine.writes" 1;
-        Array.iter (fun p -> p.observe board) players;
-        loop ()
-  in
-  Obs.Trace.with_span "engine.run" loop;
-  { board; writes = !writes }
+    Error (Size_mismatch { expected = k; got = Array.length players })
+  else begin
+    let board = Board.create ~k in
+    let writes = ref 0 in
+    let rec loop () =
+      match schedule board with
+      | None -> Ok ()
+      | Some i ->
+          if i < 0 || i >= k then
+            Error (Bad_speaker { index = i; k; at_write = !writes })
+          else if !writes >= max_writes then Error (Runaway { max_writes })
+          else begin
+            let traced = Obs.Trace.enabled () in
+            if traced then
+              Obs.Trace.emit (Obs.Event.Round_start { round = !writes });
+            let bits_before = Board.total_bits board in
+            let message = players.(i).speak board in
+            Board.post board ~player:i message;
+            if traced then
+              Obs.Trace.emit
+                (Obs.Event.Round_end
+                   {
+                     round = !writes;
+                     bits = Board.total_bits board - bits_before;
+                   });
+            incr writes;
+            if Obs.Metrics.enabled () then Obs.Metrics.bump "engine.writes" 1;
+            Array.iter (fun p -> p.observe board) players;
+            loop ()
+          end
+    in
+    match Obs.Trace.with_span "engine.run" loop with
+    | Ok () -> Ok { board; writes = !writes }
+    | Error e -> Error e
+  end
+
+let run ~k ~schedule ~players ?max_writes () =
+  match run_result ~k ~schedule ~players ?max_writes () with
+  | Ok outcome -> outcome
+  | Error e -> invalid_arg (legacy_message e)
 
 let round_robin_n_writes ~k ~total board =
   let done_ = Board.write_count board in

@@ -22,6 +22,32 @@ type player = {
 
 type outcome = { board : Board.t; writes : int }
 
+(** Why a run could not complete. The same conditions {!run} reports as
+    [Invalid_argument], as data: drivers (the CLI, the async emulation)
+    turn these into clean diagnostics instead of uncaught backtraces. *)
+type error =
+  | Size_mismatch of { expected : int; got : int }
+      (** player array length does not match [k] *)
+  | Bad_speaker of { index : int; k : int; at_write : int }
+      (** the schedule yielded an out-of-range index *)
+  | Runaway of { max_writes : int }
+      (** [max_writes] writes without the schedule yielding [None] *)
+
+val error_message : error -> string
+(** Human-readable one-line diagnostic ("schedule yielded speaker 5 of
+    k=3 at write 7", ...). *)
+
+val run_result :
+  k:int ->
+  schedule:(Board.t -> int option) ->
+  players:player array ->
+  ?max_writes:int ->
+  unit ->
+  (outcome, error) result
+(** Like {!run}, but runaway protection and schedule errors come back as
+    a typed [Error] instead of raising. The board built so far is
+    discarded on error. *)
+
 val run :
   k:int ->
   schedule:(Board.t -> int option) ->

@@ -20,6 +20,11 @@
       [q]-decomposition.
     - {!Blackboard}: the operational shared-blackboard runtime with real
       bit accounting.
+    - {!Netsim}: the asynchronous faulty-broadcast runtime — a seeded
+      discrete-event network simulator, Bracha '87 ECHO/READY reliable
+      broadcast, and a board emulation that runs engine-hosted
+      protocols unchanged on top, with crash/drop/delay/equivocation
+      fault injection and exact wire-bit accounting.
     - {!Protocols}: concrete protocols — sequential/broadcast [AND_k],
       the Section-5 batched disjointness protocol and its baselines, the
       hard distributions of Sections 4 and 6.
@@ -58,6 +63,7 @@ module Infotheory = Infotheory
 module Coding = Coding
 module Proto = Proto
 module Blackboard = Blackboard
+module Netsim = Netsim
 module Protocols = Protocols
 module Compress = Compress
 module Lowerbound = Lowerbound

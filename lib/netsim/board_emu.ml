@@ -1,0 +1,285 @@
+module Board = Blackboard.Board
+module Engine = Blackboard.Engine
+
+type config = { f : int; seed : int; faults : Fault.plan }
+
+type stats = {
+  net_bits : int;
+  net_messages : int;
+  sends : int;
+  echoes : int;
+  readies : int;
+  drops : int;
+  crashed : int;
+}
+
+type stall_reason = Speaker_crashed | No_quorum
+
+type outcome =
+  | Delivered of { board : Board.t; writes : int; stats : stats }
+  | Stalled of {
+      board : Board.t;
+      delivered_slots : int;
+      speaker : int;
+      reason : stall_reason;
+      stats : stats;
+    }
+
+type error =
+  | Insufficient_honest of { k : int; f : int }
+  | Engine_error of Engine.error
+
+let error_message = function
+  | Insufficient_honest { k; f } ->
+      Printf.sprintf
+        "insufficient honest players: k = %d <= 3f = %d (Bracha reliable \
+         broadcast needs k > 3f)"
+        k (3 * f)
+  | Engine_error e -> Engine.error_message e
+
+(* ------------------------------------------------------------------ *)
+(* Wire format: every point-to-point message is a real packed bit      *)
+(* string — 2-bit phase tag, gamma0 slot number, gamma0 payload        *)
+(* length, payload — so the measured overhead is the length of an      *)
+(* actual self-delimiting encoding.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let encode ~slot phase value =
+  let w = Coding.Bitbuf.Writer.create () in
+  let tag = match phase with Rbc.Send -> 0 | Rbc.Echo -> 1 | Rbc.Ready -> 2 in
+  Coding.Bitbuf.Writer.add_bits w tag 2;
+  Coding.Intcode.write_gamma0 w slot;
+  Coding.Intcode.write_gamma0 w (Coding.Bitvec.length value);
+  Coding.Bitbuf.Writer.add_vec w value;
+  Coding.Bitbuf.Writer.freeze w
+
+let decode wire =
+  let r = Coding.Bitbuf.Reader.of_vec wire in
+  let tag = Coding.Bitbuf.Reader.read_bits r 2 in
+  let slot = Coding.Intcode.read_gamma0 r in
+  let len = Coding.Intcode.read_gamma0 r in
+  let value = Coding.Bitvec.extract wire ~pos:(Coding.Bitbuf.Reader.pos r) ~len in
+  let phase =
+    match tag with
+    | 0 -> Rbc.Send
+    | 1 -> Rbc.Echo
+    | 2 -> Rbc.Ready
+    | _ -> invalid_arg "Board_emu.decode: bad phase tag"
+  in
+  (phase, slot, value)
+
+(* An equivocator's second personality: same length, first bit flipped
+   (a 0-bit payload has a single possible value — nothing to equivocate
+   about). *)
+let corrupt v =
+  let n = Coding.Bitvec.length v in
+  if n = 0 then v
+  else begin
+    let w = Coding.Bitbuf.Writer.create () in
+    Coding.Bitbuf.Writer.add_bit w (not (Coding.Bitvec.get v 0));
+    for i = 1 to n - 1 do
+      Coding.Bitbuf.Writer.add_bit w (Coding.Bitvec.get v i)
+    done;
+    Coding.Bitbuf.Writer.freeze w
+  end
+
+let run ~k ~schedule ~players ?(max_writes = 1_000_000) ~config () =
+  if k <= 3 * config.f then
+    Error (Insufficient_honest { k; f = config.f })
+  else if Array.length players <> k then
+    Error
+      (Engine_error
+         (Engine.Size_mismatch { expected = k; got = Array.length players }))
+  else begin
+    let crash_budget = Fault.crash_budget config.faults ~k in
+    let equivocator = Fault.equivocators config.faults ~k in
+    let drop_prob = Fault.drop_prob config.faults in
+    let max_jitter = Fault.max_jitter config.faults in
+    let crashed = Array.make k false in
+    let sends_by = Array.make k 0 in
+    Array.iteri (fun p b -> if b <= 0 then crashed.(p) <- true) crash_budget;
+    let board = Board.create ~k in
+    (* Per-slot network seeds split deterministically off the run seed,
+       so the whole execution replays from [config.seed] alone. *)
+    let seed_master = Prob.Rng.of_int_seed config.seed in
+    let sends = ref 0 and echoes = ref 0 and readies = ref 0 in
+    let net_bits = ref 0 and drops = ref 0 in
+    let stats () =
+      {
+        net_bits = !net_bits;
+        net_messages = !sends + !echoes + !readies;
+        sends = !sends;
+        echoes = !echoes;
+        readies = !readies;
+        drops = !drops;
+        crashed =
+          Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 crashed;
+      }
+    in
+    let publish_metrics () =
+      if Obs.Metrics.enabled () then begin
+        let s = stats () in
+        Obs.Metrics.bump "netsim.bits" s.net_bits;
+        Obs.Metrics.bump "netsim.messages" s.net_messages;
+        Obs.Metrics.bump "netsim.sends" s.sends;
+        Obs.Metrics.bump "netsim.echoes" s.echoes;
+        Obs.Metrics.bump "netsim.readies" s.readies;
+        Obs.Metrics.bump "netsim.drops" s.drops;
+        Obs.Metrics.bump "netsim.slots" (Board.write_count board)
+      end
+    in
+    (* One Bracha instance per board slot, run to network quiescence —
+       the slot barrier that makes "write t+1 may depend on write t"
+       well defined on an asynchronous substrate. *)
+    let run_slot ~slot ~speaker payload =
+      let sim =
+        Sim.create ~drop_prob ~max_jitter
+          ~seed:(Prob.Rng.bits62 (Prob.Rng.split seed_master))
+          ()
+      in
+      let machines =
+        Array.init k (fun _ -> Rbc.create ~n:k ~f:config.f ())
+      in
+      let delivered_at = Array.make k None in
+      let traced = Obs.Trace.enabled () in
+      let count_phase phase bits =
+        (match phase with
+        | Rbc.Send -> incr sends
+        | Rbc.Echo -> incr echoes
+        | Rbc.Ready -> incr readies);
+        net_bits := !net_bits + bits
+      in
+      let emit_sent phase ~src ~dst ~bits =
+        Obs.Trace.emit
+          (match phase with
+          | Rbc.Send -> Obs.Event.Rbc_send { slot; src; dst; bits }
+          | Rbc.Echo -> Obs.Event.Rbc_echo { slot; src; dst; bits }
+          | Rbc.Ready -> Obs.Event.Rbc_ready { slot; src; dst; bits })
+      in
+      let rec do_actions p actions =
+        List.iter
+          (function
+            | Rbc.Deliver v ->
+                delivered_at.(p) <- Some v;
+                if traced then
+                  Obs.Trace.emit
+                    (Obs.Event.Rbc_deliver
+                       { slot; player = p; bits = Coding.Bitvec.length v })
+            | Rbc.Broadcast (phase, v) -> broadcast_from p phase v)
+          actions
+      and broadcast_from p phase v =
+        if not crashed.(p) then begin
+          (* A player processes its own message locally, free of charge
+             (loopback); only cross-player traffic hits the wire. *)
+          do_actions p (Rbc.handle machines.(p) ~from:p phase v);
+          let wire = encode ~slot phase v in
+          let wire_alt =
+            if phase = Rbc.Send && equivocator.(p) then
+              Some (encode ~slot phase (corrupt v))
+            else None
+          in
+          let dst = ref 0 in
+          while !dst < k && not crashed.(p) do
+            if !dst <> p then begin
+              if sends_by.(p) >= crash_budget.(p) then crashed.(p) <- true
+              else begin
+                sends_by.(p) <- sends_by.(p) + 1;
+                let wire =
+                  match wire_alt with
+                  | Some alt when !dst mod 2 = 1 -> alt
+                  | _ -> wire
+                in
+                let bits = Coding.Bitvec.length wire in
+                if Sim.send sim ~src:p ~dst:!dst ~bits wire then begin
+                  count_phase phase bits;
+                  if traced then emit_sent phase ~src:p ~dst:!dst ~bits
+                end
+                else begin
+                  incr drops;
+                  if traced then
+                    Obs.Trace.emit
+                      (Obs.Event.Net_drop { slot; src = p; dst = !dst })
+                end
+              end
+            end;
+            incr dst
+          done
+        end
+      in
+      broadcast_from speaker Rbc.Send payload;
+      Sim.run sim ~deliver:(fun env ->
+          if not crashed.(env.Sim.dst) then begin
+            let phase, slot', value = decode env.Sim.payload in
+            assert (slot' = slot);
+            do_actions env.Sim.dst
+              (Rbc.handle machines.(env.Sim.dst) ~from:env.Sim.src phase value)
+          end);
+      (* Slot verdict: every live player must have delivered, and — the
+         Bracha agreement property, enforced rather than assumed — all
+         delivered values must coincide. *)
+      let value = ref None in
+      let complete = ref true in
+      for p = 0 to k - 1 do
+        if not crashed.(p) then
+          match (delivered_at.(p), !value) with
+          | None, _ -> complete := false
+          | Some v, None -> value := Some v
+          | Some v, Some v0 ->
+              if not (Coding.Bitvec.equal v v0) then
+                failwith
+                  (Printf.sprintf
+                     "Board_emu: agreement violation in slot %d (n > 3f \
+                      should make this unreachable)"
+                     slot)
+      done;
+      if !complete then !value else None
+    in
+    let rec slots slot =
+      match schedule board with
+      | None ->
+          publish_metrics ();
+          Ok (Delivered { board; writes = slot; stats = stats () })
+      | Some i when i < 0 || i >= k ->
+          Error (Engine_error (Engine.Bad_speaker { index = i; k; at_write = slot }))
+      | Some _ when slot >= max_writes ->
+          Error (Engine_error (Engine.Runaway { max_writes }))
+      | Some i when crashed.(i) ->
+          publish_metrics ();
+          Ok
+            (Stalled
+               {
+                 board;
+                 delivered_slots = slot;
+                 speaker = i;
+                 reason = Speaker_crashed;
+                 stats = stats ();
+               })
+      | Some i -> (
+          let traced = Obs.Trace.enabled () in
+          if traced then Obs.Trace.emit (Obs.Event.Round_start { round = slot });
+          let payload = Coding.Bitbuf.Writer.freeze (players.(i).Engine.speak board) in
+          match run_slot ~slot ~speaker:i payload with
+          | Some value ->
+              Board.post_vec board ~player:i value;
+              if traced then
+                Obs.Trace.emit
+                  (Obs.Event.Round_end
+                     { round = slot; bits = Coding.Bitvec.length value });
+              Array.iteri
+                (fun p pl -> if not crashed.(p) then pl.Engine.observe board)
+                players;
+              slots (slot + 1)
+          | None ->
+              publish_metrics ();
+              Ok
+                (Stalled
+                   {
+                     board;
+                     delivered_slots = slot;
+                     speaker = i;
+                     reason = No_quorum;
+                     stats = stats ();
+                   }))
+    in
+    Obs.Trace.with_span "netsim.run" (fun () -> slots 0)
+  end

@@ -1,0 +1,100 @@
+type phase = Send | Echo | Ready
+
+let phase_to_string = function
+  | Send -> "send"
+  | Echo -> "echo"
+  | Ready -> "ready"
+
+type action = Broadcast of phase * Coding.Bitvec.t | Deliver of Coding.Bitvec.t
+
+(* Votes for one value: how many distinct senders echoed / readied it.
+   Values are keyed by their packed bit rendering; payloads are small
+   (a board message), so the string key costs nothing measurable. *)
+type votes = { value : Coding.Bitvec.t; mutable echoes : int; mutable readies : int }
+
+type t = {
+  n : int;
+  f : int;
+  votes : (string, votes) Hashtbl.t;
+  echoed_from : bool array;  (* sender already cast its one ECHO vote *)
+  readied_from : bool array;
+  mutable sent_echo : bool;
+  mutable sent_ready : bool;
+  mutable delivered : Coding.Bitvec.t option;
+}
+
+let echo_threshold ~n ~f = ((n + f) / 2) + 1
+let ready_amplify ~f = f + 1
+let deliver_threshold ~f = (2 * f) + 1
+
+let create ~n ~f () =
+  if f < 0 then invalid_arg "Rbc.create: negative f";
+  if n <= 3 * f then invalid_arg "Rbc.create: need n > 3f";
+  {
+    n;
+    f;
+    votes = Hashtbl.create 4;
+    echoed_from = Array.make n false;
+    readied_from = Array.make n false;
+    sent_echo = false;
+    sent_ready = false;
+    delivered = None;
+  }
+
+let votes_for t value =
+  let key = Coding.Bitvec.to_string value in
+  match Hashtbl.find_opt t.votes key with
+  | Some v -> v
+  | None ->
+      let v = { value; echoes = 0; readies = 0 } in
+      Hashtbl.add t.votes key v;
+      v
+
+let delivered t = t.delivered
+
+(* Threshold reactions shared by the ECHO and READY counting paths:
+   turning READY is one-shot, delivery is one-shot, and an enabling
+   READY is emitted before the Deliver it makes possible. *)
+let react t v =
+  let acts = ref [] in
+  if
+    (not t.sent_ready)
+    && (v.echoes >= echo_threshold ~n:t.n ~f:t.f
+       || v.readies >= ready_amplify ~f:t.f)
+  then begin
+    t.sent_ready <- true;
+    acts := Broadcast (Ready, v.value) :: !acts
+  end;
+  if t.delivered = None && v.readies >= deliver_threshold ~f:t.f then begin
+    t.delivered <- Some v.value;
+    acts := Deliver v.value :: !acts
+  end;
+  List.rev !acts
+
+let handle t ~from phase value =
+  if from < 0 || from >= t.n then invalid_arg "Rbc.handle: bad sender";
+  match phase with
+  | Send ->
+      (* Only the first SEND triggers the echo; an equivocator's second
+         value reaches us only through other players' echoes. *)
+      if t.sent_echo then []
+      else begin
+        t.sent_echo <- true;
+        [ Broadcast (Echo, value) ]
+      end
+  | Echo ->
+      if t.echoed_from.(from) then []
+      else begin
+        t.echoed_from.(from) <- true;
+        let v = votes_for t value in
+        v.echoes <- v.echoes + 1;
+        react t v
+      end
+  | Ready ->
+      if t.readied_from.(from) then []
+      else begin
+        t.readied_from.(from) <- true;
+        let v = votes_for t value in
+        v.readies <- v.readies + 1;
+        react t v
+      end

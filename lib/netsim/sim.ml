@@ -1,0 +1,119 @@
+type 'a envelope = { src : int; dst : int; payload : 'a; bits : int }
+
+(* Pending message: delivery time, then send sequence as the
+   deterministic tie-break. *)
+type 'a pending = { time : int; seq : int; env : 'a envelope }
+
+type 'a t = {
+  rng : Prob.Rng.t;
+  drop_prob : float;
+  max_jitter : int;
+  mutable heap : 'a pending array;  (* binary min-heap in [0, size) *)
+  mutable size : int;
+  mutable now : int;
+  mutable next_seq : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable bits_sent : int;
+}
+
+let create ?(drop_prob = 0.) ?(max_jitter = 0) ~seed () =
+  if drop_prob < 0. || drop_prob > 1. then
+    invalid_arg "Sim.create: drop_prob outside [0, 1]";
+  if max_jitter < 0 then invalid_arg "Sim.create: negative max_jitter";
+  {
+    rng = Prob.Rng.of_int_seed seed;
+    drop_prob;
+    max_jitter;
+    heap = [||];
+    size = 0;
+    now = 0;
+    next_seq = 0;
+    sent = 0;
+    dropped = 0;
+    delivered = 0;
+    bits_sent = 0;
+  }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t p =
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * Array.length t.heap) in
+    let heap = Array.make cap p in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  t.heap.(t.size) <- p;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+    done
+  end;
+  top
+
+let send t ~src ~dst ~bits payload =
+  if t.drop_prob > 0. && Prob.Rng.bernoulli t.rng t.drop_prob then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    let jitter =
+      if t.max_jitter = 0 then 0 else Prob.Rng.int t.rng (t.max_jitter + 1)
+    in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.sent <- t.sent + 1;
+    t.bits_sent <- t.bits_sent + bits;
+    push t
+      { time = t.now + 1 + jitter; seq; env = { src; dst; payload; bits } };
+    true
+  end
+
+let run t ~deliver =
+  while t.size > 0 do
+    let p = pop t in
+    t.now <- max t.now p.time;
+    t.delivered <- t.delivered + 1;
+    deliver p.env
+  done
+
+let now t = t.now
+let sent t = t.sent
+let dropped t = t.dropped
+let delivered t = t.delivered
+let bits_sent t = t.bits_sent

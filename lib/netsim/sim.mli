@@ -1,0 +1,48 @@
+(** Deterministic seeded discrete-event network simulator.
+
+    The asynchronous counterpart of the free-read blackboard: players
+    exchange explicit point-to-point messages through a pending-message
+    queue. Delivery order is {e adversarial but fair}: each message's
+    delivery time is its (causal) send time plus one plus a seeded
+    uniform jitter, ties broken by send sequence — so orderings are
+    arbitrary within the jitter window, every queued message is
+    eventually delivered, and the whole execution (including the drop
+    fault) replays exactly from the creation seed.
+
+    The simulator is payload-generic and knows nothing about RBC or
+    faults beyond message drop/delay; crash and equivocation are
+    semantics of the {e senders} and live in {!Board_emu}. *)
+
+type 'a t
+
+type 'a envelope = { src : int; dst : int; payload : 'a; bits : int }
+
+val create : ?drop_prob:float -> ?max_jitter:int -> seed:int -> unit -> 'a t
+(** A fresh empty network. [drop_prob] (default 0) is the independent
+    per-message loss probability; [max_jitter] (default 0) bounds the
+    extra delivery delay drawn per message.
+    @raise Invalid_argument on [drop_prob] outside [0, 1] or negative
+    [max_jitter]. *)
+
+val send : 'a t -> src:int -> dst:int -> bits:int -> 'a -> bool
+(** Enqueue a message ([bits] is its exact wire length, accounted by the
+    caller's encoder). Returns [false] when the drop fault eats it —
+    the message is counted as dropped and never delivered. *)
+
+val run : 'a t -> deliver:('a envelope -> unit) -> unit
+(** Drain to quiescence: repeatedly pop the pending message with the
+    smallest (delivery time, sequence) and hand it to [deliver], which
+    may {!send} more. Terminates when the queue is empty (fairness:
+    jitter is bounded, so nothing starves). *)
+
+val now : 'a t -> int
+(** Virtual time of the last delivery. *)
+
+val sent : 'a t -> int
+(** Messages accepted into the queue (drops excluded). *)
+
+val dropped : 'a t -> int
+val delivered : 'a t -> int
+
+val bits_sent : 'a t -> int
+(** Total wire bits of accepted messages. *)

@@ -10,6 +10,11 @@ type payload =
   | Span_start of { name : string }
   | Span_end of { name : string; seconds : float }
   | Mark of { name : string }
+  | Rbc_send of { slot : int; src : int; dst : int; bits : int }
+  | Rbc_echo of { slot : int; src : int; dst : int; bits : int }
+  | Rbc_ready of { slot : int; src : int; dst : int; bits : int }
+  | Rbc_deliver of { slot : int; player : int; bits : int }
+  | Net_drop of { slot : int; src : int; dst : int }
 
 type t = { seq : int; payload : payload }
 
@@ -25,6 +30,11 @@ let kind = function
   | Span_start _ -> "span-start"
   | Span_end _ -> "span-end"
   | Mark _ -> "mark"
+  | Rbc_send _ -> "rbc-send"
+  | Rbc_echo _ -> "rbc-echo"
+  | Rbc_ready _ -> "rbc-ready"
+  | Rbc_deliver _ -> "rbc-deliver"
+  | Net_drop _ -> "net-drop"
 
 let board_bits = function
   | Broadcast { bits; _ } -> bits
@@ -53,6 +63,23 @@ let fields = function
   | Span_end { name; seconds } ->
       [ ("name", Jsonw.String name); ("seconds", Jsonw.Float seconds) ]
   | Mark { name } -> [ ("name", Jsonw.String name) ]
+  | Rbc_send { slot; src; dst; bits }
+  | Rbc_echo { slot; src; dst; bits }
+  | Rbc_ready { slot; src; dst; bits } ->
+      [
+        ("slot", Jsonw.Int slot);
+        ("src", Jsonw.Int src);
+        ("dst", Jsonw.Int dst);
+        ("bits", Jsonw.Int bits);
+      ]
+  | Rbc_deliver { slot; player; bits } ->
+      [
+        ("slot", Jsonw.Int slot);
+        ("player", Jsonw.Int player);
+        ("bits", Jsonw.Int bits);
+      ]
+  | Net_drop { slot; src; dst } ->
+      [ ("slot", Jsonw.Int slot); ("src", Jsonw.Int src); ("dst", Jsonw.Int dst) ]
 
 let to_json { seq; payload } =
   Jsonw.Obj

@@ -27,6 +27,14 @@ type payload =
   | Span_end of { name : string; seconds : float }
       (** [seconds]: CPU seconds elapsed since the matching start *)
   | Mark of { name : string }
+  | Rbc_send of { slot : int; src : int; dst : int; bits : int }
+      (** one point-to-point SEND of a reliable-broadcast slot *)
+  | Rbc_echo of { slot : int; src : int; dst : int; bits : int }
+  | Rbc_ready of { slot : int; src : int; dst : int; bits : int }
+  | Rbc_deliver of { slot : int; player : int; bits : int }
+      (** [player] delivered the slot's value ([bits] = payload bits) *)
+  | Net_drop of { slot : int; src : int; dst : int }
+      (** a message eaten by the injected drop fault *)
 
 type t = { seq : int; payload : payload }
 

@@ -185,6 +185,99 @@ let run_on_board (Entry { name; players; domain; tree; _ }) ~seed =
   end;
   { output; board; input_indices; msg_rounds = !rounds }
 
+(* ------------------------------------------------------------------ *)
+(* Engine-hosted form: the entry's tree as a board-driven schedule and *)
+(* speak/observe players, so registry protocols run under             *)
+(* Blackboard.Engine.run — or any other driver with the same shape,   *)
+(* such as the Netsim asynchronous board emulation — unchanged.       *)
+(* ------------------------------------------------------------------ *)
+
+type hosted = {
+  k : int;
+  schedule : Blackboard.Board.t -> int option;
+  players : Blackboard.Engine.player array;
+  input_indices : int array;
+  output_of : Blackboard.Board.t -> int option;
+}
+
+let spec_output (Entry { domain; spec; _ }) ~input_indices =
+  Option.map
+    (fun f -> f (Array.map (fun i -> domain.(i)) input_indices))
+    spec
+
+(** [hosted entry ~seed] draws inputs exactly as {!run_on_board} does
+    (the first [players] draws from [Rng.of_int_seed seed]), then turns
+    the tree into engine players. The schedule carries no mutable
+    state: it replays the board through the tree — consuming one write
+    per [Speak] node via the same fixed-width code the speaker used,
+    resolving every [Chance] coin from a fresh public stream drawn in
+    walk order, hence identically on every replay — and reports the
+    current node's speaker. Message sampling lives in the speakers'
+    private streams and happens exactly once per scheduled write, so
+    any driver that calls [speak] in schedule order (the sync engine,
+    the async emulation, any fault-free delivery order) produces the
+    same board, byte for byte. *)
+let hosted (Entry { players = k; domain; tree; _ }) ~seed =
+  let rng = Prob.Rng.of_int_seed seed in
+  let input_indices =
+    Array.init k (fun _ -> Prob.Rng.int rng (Array.length domain))
+  in
+  let inputs = Array.map (fun i -> domain.(i)) input_indices in
+  let tree = Lazy.force tree in
+  let replay board =
+    let coins = Blackboard.Runtime.public_rng ~seed in
+    let sample law =
+      Prob.Sampler.draw
+        (Prob.Sampler.create (Prob.Dist_exact.to_float_dist law))
+        coins
+    in
+    let rec go node writes =
+      match (node, writes) with
+      | Proto.Tree.Chance { coin; children }, _ ->
+          go children.(sample coin) writes
+      | Proto.Tree.Output _, _ | Proto.Tree.Speak _, [] -> node
+      | Proto.Tree.Speak { children; _ }, w :: rest ->
+          let msg =
+            Coding.Intcode.read_fixed
+              (Blackboard.Board.reader_of_write w)
+              ~bound:(Array.length children)
+          in
+          go children.(msg) rest
+    in
+    go tree (Blackboard.Board.writes board)
+  in
+  let schedule board =
+    match replay board with
+    | Proto.Tree.Speak { speaker; _ } -> Some speaker
+    | Proto.Tree.Output _ -> None
+    | Proto.Tree.Chance _ -> assert false (* replay resolves coins *)
+  in
+  let priv = Blackboard.Runtime.private_rngs ~seed ~k in
+  let speak p board =
+    match replay board with
+    | Proto.Tree.Speak { speaker; emit; children } when speaker = p ->
+        let msg =
+          Prob.Sampler.draw
+            (Prob.Sampler.create
+               (Prob.Dist_exact.to_float_dist (emit inputs.(p))))
+            priv.(p)
+        in
+        let w = Coding.Bitbuf.Writer.create () in
+        Coding.Intcode.write_fixed w ~bound:(Array.length children) msg;
+        w
+    | _ -> invalid_arg "Registry.hosted: speak called out of turn"
+  in
+  let players =
+    Array.init k (fun p ->
+        { Blackboard.Engine.speak = speak p; observe = (fun _ -> ()) })
+  in
+  let output_of board =
+    match replay board with
+    | Proto.Tree.Output v -> Some v
+    | _ -> None
+  in
+  { k; schedule; players; input_indices; output_of }
+
 let registered : entry list ref = ref []
 
 let register e =

@@ -56,6 +56,40 @@ val run_on_board : entry -> seed:int -> run
     event bits equal [Blackboard.Runtime.stats_of_board] of the
     returned board. *)
 
+type hosted = {
+  k : int;
+  schedule : Blackboard.Board.t -> int option;
+      (** board-driven: replays the tree through the writes so far *)
+  players : Blackboard.Engine.player array;
+  input_indices : int array;
+      (** the drawn per-player indices into the entry's domain — the
+          same draws {!run_on_board} makes from the same seed *)
+  output_of : Blackboard.Board.t -> int option;
+      (** the tree's output once the board holds a complete transcript;
+          [None] while the run is unfinished (e.g. a stalled async
+          emulation) *)
+}
+
+val hosted : entry -> seed:int -> hosted
+(** Engine-hosted form: the same protocol as a board-driven [schedule]
+    plus [speak]/[observe] players, runnable unchanged under
+    {!Blackboard.Engine.run} or the asynchronous [Netsim] board
+    emulation. The schedule is stateless — it recomputes the current
+    tree node by replaying the board — so it is safe to call it any
+    number of times per write; all chance coins resolve from a public
+    stream derived from [seed], all message sampling from per-player
+    private streams, so a run is a pure function of [(entry, seed)]
+    and two runtimes that call [speak] in the same order produce
+    byte-identical boards.
+
+    The players hold mutable private-randomness state: one hosted value
+    drives {e one} run. For a differential comparison, build a fresh
+    hosted (same entry, same seed) per runtime. *)
+
+val spec_output : entry -> input_indices:int array -> int option
+(** The entry's declared reference output on the input profile named by
+    domain indices, when a spec is declared. *)
+
 val register : entry -> unit
 (** Add a protocol to the sweep.
     @raise Invalid_argument on a duplicate name. *)

@@ -105,6 +105,51 @@ let t_engine_size_mismatch () =
     (Invalid_argument "Engine.run: player array size mismatch") (fun () ->
       ignore (E.run ~k:2 ~schedule:(fun _ -> None) ~players:[||] ()))
 
+(* The same three conditions as typed data: run_result reports what run
+   raises, so drivers can turn schedule bugs into clean diagnostics. *)
+let t_engine_run_result_errors () =
+  let players =
+    [| { E.speak = (fun _ -> bit_writer true); observe = (fun _ -> ()) } |]
+  in
+  (match E.run_result ~k:1 ~schedule:(fun _ -> Some 0) ~players ~max_writes:10 () with
+  | Error (E.Runaway { max_writes }) ->
+      Alcotest.(check int) "runaway budget" 10 max_writes
+  | _ -> Alcotest.fail "expected Runaway");
+  (match E.run_result ~k:1 ~schedule:(fun _ -> Some 5) ~players () with
+  | Error (E.Bad_speaker { index; k; at_write }) ->
+      Alcotest.(check int) "index" 5 index;
+      Alcotest.(check int) "k" 1 k;
+      Alcotest.(check int) "at first write" 0 at_write
+  | _ -> Alcotest.fail "expected Bad_speaker");
+  (match E.run_result ~k:2 ~schedule:(fun _ -> None) ~players:[||] () with
+  | Error (E.Size_mismatch { expected; got }) ->
+      Alcotest.(check int) "expected" 2 expected;
+      Alcotest.(check int) "got" 0 got
+  | _ -> Alcotest.fail "expected Size_mismatch");
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("diagnostic non-empty: " ^ E.error_message e)
+        true
+        (String.length (E.error_message e) > 0))
+    [
+      E.Runaway { max_writes = 10 };
+      E.Bad_speaker { index = 5; k = 1; at_write = 0 };
+      E.Size_mismatch { expected = 2; got = 0 };
+    ]
+
+let t_engine_run_result_ok_matches_run () =
+  let mk () =
+    Array.init 3 (fun _ ->
+        { E.speak = (fun _ -> bit_writer true); observe = (fun _ -> ()) })
+  in
+  let a = E.run ~k:3 ~schedule:(E.one_pass ~k:3) ~players:(mk ()) () in
+  match E.run_result ~k:3 ~schedule:(E.one_pass ~k:3) ~players:(mk ()) () with
+  | Ok b ->
+      Alcotest.(check int) "same writes" a.E.writes b.E.writes;
+      Alcotest.(check bool) "same board" true (B.equal a.E.board b.E.board)
+  | Error e -> Alcotest.fail (E.error_message e)
+
 (* Naive DISJ reimplemented on the engine: schedule-driven one pass,
    each player writes its new zeros; everyone tracks covered via
    observe. Checked against the direct implementation. *)
@@ -173,5 +218,7 @@ let suite =
     quick "runaway protection" t_engine_runaway_protection;
     quick "bad speaker rejected" t_engine_bad_speaker;
     quick "player array size checked" t_engine_size_mismatch;
+    quick "run_result: typed errors" t_engine_run_result_errors;
+    quick "run_result: Ok agrees with run" t_engine_run_result_ok_matches_run;
     quick "engine naive DISJ matches direct" t_engine_disj_matches_direct;
   ]

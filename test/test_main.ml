@@ -12,6 +12,7 @@ let () =
       ("huffman", Test_huffman.suite);
       ("board", Test_board.suite);
       ("engine", Test_engine.suite);
+      ("netsim", Test_netsim.suite);
       ("proto", Test_proto.suite);
       ("hard-dist", Test_hard_dist.suite);
       ("disjointness", Test_disj.suite);

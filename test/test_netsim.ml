@@ -1,0 +1,399 @@
+(** Tests for the asynchronous faulty-broadcast runtime: the seeded
+    discrete-event simulator, the Bracha RBC state machine, the fault
+    plans, and — the totality contract — the differential check that
+    the fault-free board emulation is byte-identical to the synchronous
+    engine for every registry protocol under arbitrary delivery
+    orders. *)
+
+module Sim = Netsim.Sim
+module Rbc = Netsim.Rbc
+module Fault = Netsim.Fault
+module Emu = Netsim.Board_emu
+module Reg = Protocols.Registry
+module B = Blackboard.Board
+open Test_util
+
+let vec_of_string = Coding.Bitvec.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Flood the network, record the delivery order, and replay. *)
+let delivery_order ~seed ~jitter n =
+  let sim = Sim.create ~max_jitter:jitter ~seed () in
+  for i = 0 to n - 1 do
+    ignore (Sim.send sim ~src:0 ~dst:1 ~bits:8 i)
+  done;
+  let order = ref [] in
+  Sim.run sim ~deliver:(fun env -> order := env.Sim.payload :: !order);
+  List.rev !order
+
+let t_sim_replays_from_seed () =
+  let a = delivery_order ~seed:42 ~jitter:16 64 in
+  let b = delivery_order ~seed:42 ~jitter:16 64 in
+  Alcotest.(check (list int)) "same seed, same order" a b;
+  let c = delivery_order ~seed:43 ~jitter:16 64 in
+  Alcotest.(check bool) "jitter actually reorders" true
+    (a <> c || a <> List.init 64 Fun.id)
+
+let t_sim_delivers_everything () =
+  let sim = Sim.create ~max_jitter:9 ~seed:7 () in
+  let n = 100 in
+  for i = 0 to n - 1 do
+    ignore (Sim.send sim ~src:(i mod 3) ~dst:((i + 1) mod 3) ~bits:i i)
+  done;
+  let seen = Array.make n false in
+  Sim.run sim ~deliver:(fun env -> seen.(env.Sim.payload) <- true);
+  Alcotest.(check bool) "every message delivered" true
+    (Array.for_all Fun.id seen);
+  Alcotest.(check int) "sent" n (Sim.sent sim);
+  Alcotest.(check int) "delivered" n (Sim.delivered sim);
+  Alcotest.(check int) "dropped" 0 (Sim.dropped sim)
+
+let t_sim_drop_everything () =
+  let sim = Sim.create ~drop_prob:1.0 ~seed:1 () in
+  for i = 0 to 9 do
+    Alcotest.(check bool) "send reports the drop" false
+      (Sim.send sim ~src:0 ~dst:1 ~bits:4 i)
+  done;
+  let delivered = ref 0 in
+  Sim.run sim ~deliver:(fun _ -> incr delivered);
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "all dropped" 10 (Sim.dropped sim)
+
+let t_sim_causal_sends () =
+  (* A delivery handler may send; those messages are delivered too. *)
+  let sim = Sim.create ~seed:3 () in
+  ignore (Sim.send sim ~src:0 ~dst:1 ~bits:1 0);
+  let hops = ref 0 in
+  Sim.run sim ~deliver:(fun env ->
+      incr hops;
+      if env.Sim.payload < 4 then
+        ignore
+          (Sim.send sim ~src:env.Sim.dst ~dst:env.Sim.src ~bits:1
+             (env.Sim.payload + 1)));
+  Alcotest.(check int) "ping-pong chain ran to quiescence" 5 !hops
+
+(* ------------------------------------------------------------------ *)
+(* Rbc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let t_rbc_thresholds () =
+  Alcotest.(check int) "echo n=4 f=1" 3 (Rbc.echo_threshold ~n:4 ~f:1);
+  Alcotest.(check int) "echo n=7 f=2" 5 (Rbc.echo_threshold ~n:7 ~f:2);
+  Alcotest.(check int) "amplify f=2" 3 (Rbc.ready_amplify ~f:2);
+  Alcotest.(check int) "deliver f=1" 3 (Rbc.deliver_threshold ~f:1);
+  Alcotest.check_raises "n <= 3f refused"
+    (Invalid_argument "Rbc.create: need n > 3f") (fun () ->
+      ignore (Rbc.create ~n:3 ~f:1 ()))
+
+let t_rbc_happy_path () =
+  (* One player's machine in an n=4, f=1 instance, fed by hand. *)
+  let m = Rbc.create ~n:4 ~f:1 () in
+  let v = vec_of_string "1011" in
+  (match Rbc.handle m ~from:0 Rbc.Send v with
+  | [ Rbc.Broadcast (Rbc.Echo, v') ] ->
+      Alcotest.(check bool) "echoes the payload" true (Coding.Bitvec.equal v v')
+  | _ -> Alcotest.fail "SEND must trigger exactly one ECHO");
+  (* Echo quorum is 3: two more echoes after our own... we never fed our
+     own echo back, so feed three distinct echoers. *)
+  Alcotest.(check (list bool)) "echo 1 of 3: silent" []
+    (List.map (fun _ -> true) (Rbc.handle m ~from:1 Rbc.Echo v));
+  Alcotest.(check (list bool)) "echo 2 of 3: silent" []
+    (List.map (fun _ -> true) (Rbc.handle m ~from:2 Rbc.Echo v));
+  (match Rbc.handle m ~from:3 Rbc.Echo v with
+  | [ Rbc.Broadcast (Rbc.Ready, _) ] -> ()
+  | _ -> Alcotest.fail "echo quorum must trigger READY");
+  Alcotest.(check bool) "not delivered yet" true (Rbc.delivered m = None);
+  ignore (Rbc.handle m ~from:1 Rbc.Ready v);
+  ignore (Rbc.handle m ~from:2 Rbc.Ready v);
+  (match Rbc.handle m ~from:3 Rbc.Ready v with
+  | [ Rbc.Deliver v' ] ->
+      Alcotest.(check bool) "delivers the value" true (Coding.Bitvec.equal v v')
+  | _ -> Alcotest.fail "2f+1 READYs must deliver");
+  match Rbc.delivered m with
+  | Some v' -> Alcotest.(check bool) "sticky" true (Coding.Bitvec.equal v v')
+  | None -> Alcotest.fail "delivered lost"
+
+let t_rbc_dedup_and_equivocation () =
+  let m = Rbc.create ~n:4 ~f:1 () in
+  let a = vec_of_string "0000" and b = vec_of_string "1111" in
+  ignore (Rbc.handle m ~from:0 Rbc.Send a);
+  (* The same sender echoing twice counts once; a conflicting later
+     vote from the same sender is inert. *)
+  ignore (Rbc.handle m ~from:1 Rbc.Echo a);
+  Alcotest.(check (list bool)) "duplicate echo ignored" []
+    (List.map (fun _ -> true) (Rbc.handle m ~from:1 Rbc.Echo a));
+  Alcotest.(check (list bool)) "conflicting echo from same sender inert" []
+    (List.map (fun _ -> true) (Rbc.handle m ~from:1 Rbc.Echo b));
+  (* Split echoes 2/2 between two values: neither reaches quorum 3. *)
+  ignore (Rbc.handle m ~from:2 Rbc.Echo b);
+  ignore (Rbc.handle m ~from:3 Rbc.Echo b);
+  Alcotest.(check bool) "no delivery under a split" true
+    (Rbc.delivered m = None)
+
+let t_rbc_ready_amplification () =
+  (* f+1 READYs force READY even with no echo quorum at all. *)
+  let m = Rbc.create ~n:4 ~f:1 () in
+  let v = vec_of_string "10" in
+  ignore (Rbc.handle m ~from:1 Rbc.Ready v);
+  match Rbc.handle m ~from:2 Rbc.Ready v with
+  | [ Rbc.Broadcast (Rbc.Ready, _); Rbc.Deliver _ ] ->
+      (* 2 readies = f+1 amplification; with ours that's 2f+1 → the
+         amplified READY precedes the Deliver it enables. *)
+      ()
+  | [ Rbc.Broadcast (Rbc.Ready, _) ] -> ()
+  | _ -> Alcotest.fail "f+1 READYs must amplify"
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let t_fault_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      match Fault.parse s with
+      | Ok p -> Alcotest.(check string) ("canonical " ^ s) s (Fault.to_string p)
+      | Error e -> Alcotest.failf "parse %S: %s" s e)
+    [ ""; "crash:2"; "crash:0@5"; "drop:0.25"; "delay:8"; "equiv:1";
+      "crash:1,drop:0.5,delay:3,equiv:0" ];
+  List.iter
+    (fun s ->
+      match Fault.parse s with
+      | Ok _ -> Alcotest.failf "parse %S should fail" s
+      | Error _ -> ())
+    [ "crash"; "crash:x"; "drop:1.5"; "drop:-0.1"; "delay:-1"; "bogus:3" ]
+
+let t_fault_budgets () =
+  let plan =
+    match Fault.parse "crash:1@4,equiv:2" with Ok p -> p | Error e -> failwith e
+  in
+  let budget = Fault.crash_budget plan ~k:4 in
+  Alcotest.(check int) "healthy budget" max_int budget.(0);
+  Alcotest.(check int) "crash budget" 4 budget.(1);
+  let eq = Fault.equivocators plan ~k:4 in
+  Alcotest.(check (list bool)) "equivocators" [ false; false; true; false ]
+    (Array.to_list eq);
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Fault.crash_budget plan ~k:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Board_emu: the totality contract                                    *)
+(* ------------------------------------------------------------------ *)
+
+let f_for_entry e = if Reg.players e > 3 then 1 else 0
+
+let run_sync e ~seed =
+  let h = Reg.hosted e ~seed in
+  match
+    Blackboard.Engine.run_result ~k:h.Reg.k ~schedule:h.Reg.schedule
+      ~players:h.Reg.players ()
+  with
+  | Ok o -> (o.Blackboard.Engine.board, h)
+  | Error err -> Alcotest.failf "sync engine: %s" (Blackboard.Engine.error_message err)
+
+let run_async e ~seed ~net_seed ~faults ~f =
+  let h = Reg.hosted e ~seed in
+  (Emu.run ~k:h.Reg.k ~schedule:h.Reg.schedule ~players:h.Reg.players
+     ~config:{ Emu.f; seed = net_seed; faults }
+     (),
+   h)
+
+(* The headline qcheck property: for every registry entry, any input
+   seed and any delivery-order seed, the fault-free emulation delivers
+   a board byte-identical to the sync engine's, and the replayed output
+   matches. *)
+let t_faultfree_byte_identical =
+  qtest ~count:60 "fault-free emulation is byte-identical to the engine"
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (seed, net_seed) ->
+      List.for_all
+        (fun e ->
+          let sync_board, _ = run_sync e ~seed in
+          match
+            run_async e ~seed ~net_seed ~faults:Fault.none ~f:(f_for_entry e)
+          with
+          | Ok (Emu.Delivered { board; _ }), h ->
+              B.equal sync_board board
+              && h.Reg.output_of board = h.Reg.output_of sync_board
+          | Ok (Emu.Stalled _), _ ->
+              QCheck.Test.fail_reportf "%s stalled fault-free" (Reg.name e)
+          | Error err, _ ->
+              QCheck.Test.fail_reportf "%s: %s" (Reg.name e)
+                (Emu.error_message err))
+        (Reg.all ()))
+
+(* Delivery jitter shuffles the network hard; the delivered board must
+   not notice. *)
+let t_jitter_invariance =
+  qtest ~count:40 "delivery order never changes the delivered board"
+    QCheck.(pair (int_range 0 1000) (int_range 0 64))
+    (fun (net_seed, jitter) ->
+      let e = Option.get (Reg.find "and/broadcast-all") in
+      let faults =
+        match Fault.parse (Printf.sprintf "delay:%d" jitter) with
+        | Ok p -> p
+        | Error err -> failwith err
+      in
+      let sync_board, _ = run_sync e ~seed:5 in
+      match run_async e ~seed:5 ~net_seed ~faults ~f:1 with
+      | Ok (Emu.Delivered { board; _ }), _ -> B.equal sync_board board
+      | _ -> false)
+
+let t_crash_of_bystander_still_delivers () =
+  (* and/truncated: only players 0..2 of k=5 speak. Crashing the silent
+     player 4 leaves 4 live players — above every Bracha threshold for
+     f=1 — so the run completes and matches the sync board exactly. *)
+  let e = Option.get (Reg.find "and/truncated") in
+  let faults = match Fault.parse "crash:4" with Ok p -> p | Error e -> failwith e in
+  for seed = 0 to 9 do
+    let sync_board, _ = run_sync e ~seed in
+    match run_async e ~seed ~net_seed:(97 * seed) ~faults ~f:1 with
+    | Ok (Emu.Delivered { board; stats; _ }), h ->
+        Alcotest.(check bool) "board identical despite the crash" true
+          (B.equal sync_board board);
+        Alcotest.(check int) "one crashed player" 1 stats.Emu.crashed;
+        Alcotest.(check bool) "output recovered" true
+          (h.Reg.output_of board
+          = Reg.spec_output e ~input_indices:h.Reg.input_indices)
+    | Ok (Emu.Stalled _), _ -> Alcotest.failf "seed %d stalled" seed
+    | Error err, _ -> Alcotest.fail (Emu.error_message err)
+  done
+
+let t_crashed_speaker_stalls () =
+  let e = Option.get (Reg.find "and/sequential") in
+  let faults = match Fault.parse "crash:0" with Ok p -> p | Error e -> failwith e in
+  match run_async e ~seed:1 ~net_seed:1 ~faults ~f:1 with
+  | Ok (Emu.Stalled { delivered_slots; speaker; reason; _ }), _ ->
+      Alcotest.(check int) "stalls at slot 0" 0 delivered_slots;
+      Alcotest.(check int) "on the dead speaker" 0 speaker;
+      Alcotest.(check bool) "speaker-crashed reason" true
+        (reason = Emu.Speaker_crashed)
+  | _ -> Alcotest.fail "expected a stall"
+
+let t_insufficient_honest_refused () =
+  let e = Option.get (Reg.find "disj/naive-tree") in
+  match run_async e ~seed:1 ~net_seed:1 ~faults:Fault.none ~f:1 with
+  | Error (Emu.Insufficient_honest { k; f }), _ ->
+      Alcotest.(check int) "k" 3 k;
+      Alcotest.(check int) "f" 1 f;
+      Alcotest.(check bool) "message mentions the bound" true
+        (let m = Emu.error_message (Emu.Insufficient_honest { k; f }) in
+         String.length m > 0)
+  | _ -> Alcotest.fail "k <= 3f must be refused, typed"
+
+let t_equivocation_preserves_agreement =
+  (* A Byzantine speaker splits its SEND between two values. Whatever
+     the delivery order, honest players never deliver two different
+     values: the run either completes (one value won) or stalls — it
+     must not raise the agreement-violation failure. *)
+  qtest ~count:60 "equivocation never splits the honest players"
+    QCheck.(int_range 0 5000)
+    (fun net_seed ->
+      let e = Option.get (Reg.find "and/broadcast-all") in
+      let faults =
+        match Fault.parse "equiv:0" with Ok p -> p | Error e -> failwith e
+      in
+      match run_async e ~seed:3 ~net_seed ~faults ~f:1 with
+      | Ok _, _ -> true
+      | Error err, _ -> failwith (Emu.error_message err))
+
+let t_runaway_maps_to_typed_error () =
+  let e = Option.get (Reg.find "and/sequential") in
+  let h = Reg.hosted e ~seed:1 in
+  (match
+     Emu.run ~k:h.Reg.k ~schedule:h.Reg.schedule ~players:h.Reg.players
+       ~max_writes:0
+       ~config:{ Emu.f = 1; seed = 1; faults = Fault.none }
+       ()
+   with
+  | Error (Emu.Engine_error (Blackboard.Engine.Runaway { max_writes })) ->
+      Alcotest.(check int) "budget surfaced" 0 max_writes
+  | _ -> Alcotest.fail "async runaway must be typed");
+  let h = Reg.hosted e ~seed:1 in
+  match
+    Blackboard.Engine.run_result ~k:h.Reg.k ~schedule:h.Reg.schedule
+      ~players:h.Reg.players ~max_writes:0 ()
+  with
+  | Error (Blackboard.Engine.Runaway _) -> ()
+  | _ -> Alcotest.fail "sync runaway must be typed"
+
+(* ------------------------------------------------------------------ *)
+(* Obs accounting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let t_obs_event_accounting () =
+  (* With a trace sink installed, the per-message events reproduce the
+     run's aggregate stats exactly: summed send/echo/ready bits equal
+     net_bits, drop events equal the drop count, and every live player
+     delivers every slot. *)
+  let e = Option.get (Reg.find "and/broadcast-all") in
+  let faults =
+    match Fault.parse "drop:0.15,delay:4" with Ok p -> p | Error e -> failwith e
+  in
+  let wire_bits = ref 0 and msgs = ref 0 and drops = ref 0 and delivers = ref 0 in
+  let sink =
+    Obs.Sink.custom (fun ev ->
+        match ev.Obs.Event.payload with
+        | Obs.Event.Rbc_send { bits; _ }
+        | Obs.Event.Rbc_echo { bits; _ }
+        | Obs.Event.Rbc_ready { bits; _ } ->
+            incr msgs;
+            wire_bits := !wire_bits + bits
+        | Obs.Event.Net_drop _ -> incr drops
+        | Obs.Event.Rbc_deliver _ -> incr delivers
+        | _ -> ())
+  in
+  let result =
+    Obs.Trace.with_sink sink (fun () ->
+        run_async e ~seed:2 ~net_seed:11 ~faults ~f:1)
+  in
+  match result with
+  | Ok (Emu.Delivered { board; stats; _ }), _ ->
+      Alcotest.(check int) "event bits = net_bits" stats.Emu.net_bits !wire_bits;
+      Alcotest.(check int) "event count = net_messages" stats.Emu.net_messages
+        !msgs;
+      Alcotest.(check int) "drop events = drops" stats.Emu.drops !drops;
+      Alcotest.(check int) "k delivers per slot"
+        (B.players board * B.write_count board)
+        !delivers
+  | Ok (Emu.Stalled _), _ -> Alcotest.fail "unexpected stall"
+  | Error err, _ -> Alcotest.fail (Emu.error_message err)
+
+let t_obs_silent_when_disabled () =
+  (* No sink, no metrics: a faulty run emits nothing and still works. *)
+  let e = Option.get (Reg.find "and/sequential") in
+  let faults = match Fault.parse "drop:0.1" with Ok p -> p | Error e -> failwith e in
+  match run_async e ~seed:4 ~net_seed:9 ~faults ~f:1 with
+  | Ok _, _ -> ()
+  | Error err, _ -> Alcotest.fail (Emu.error_message err)
+
+let suite =
+  [
+    quick "sim: replays exactly from its seed" t_sim_replays_from_seed;
+    quick "sim: fair — every message delivered" t_sim_delivers_everything;
+    quick "sim: drop_prob 1 eats everything" t_sim_drop_everything;
+    quick "sim: deliveries may send (causal chains)" t_sim_causal_sends;
+    quick "rbc: thresholds" t_rbc_thresholds;
+    quick "rbc: SEND -> ECHO -> READY -> deliver" t_rbc_happy_path;
+    quick "rbc: dedup and split votes" t_rbc_dedup_and_equivocation;
+    quick "rbc: f+1 READY amplification" t_rbc_ready_amplification;
+    quick "fault: parse/to_string round trip" t_fault_parse_roundtrip;
+    quick "fault: budgets and equivocators" t_fault_budgets;
+    t_faultfree_byte_identical;
+    t_jitter_invariance;
+    quick "crash of a silent player still delivers"
+      t_crash_of_bystander_still_delivers;
+    quick "crashed speaker stalls cleanly" t_crashed_speaker_stalls;
+    quick "k <= 3f is refused, typed" t_insufficient_honest_refused;
+    t_equivocation_preserves_agreement;
+    quick "runaway maps to a typed error on both runtimes"
+      t_runaway_maps_to_typed_error;
+    quick "obs: per-message events reproduce the stats"
+      t_obs_event_accounting;
+    quick "obs: silent when disabled" t_obs_silent_when_disabled;
+  ]
