@@ -1,0 +1,153 @@
+(** E15_PIPE: what the pipelining certificate buys on the network.
+
+    The slot-dependency analysis ([Analysis.Depgraph]) proves which
+    broadcast slots can go in flight concurrently; the async emulation
+    consumes the resulting certificate by running whole waves over one
+    shared network with quiescence barriers only between waves. This
+    experiment measures the reduction — barriers paid (the simulated
+    network-depth measure in [stats.waves]) and wall-clock — against
+    the sequential one-barrier-per-slot emulation, for every registry
+    entry and for the n=2 DISJ trees across k, and cross-checks that
+    both modes stay byte-identical to the synchronous engine. The
+    adaptive halt-at-first-zero chains certify as fully sequential
+    (every slot decides whether its successor exists) — an honest
+    static-analysis result, reported as waves = slots. *)
+
+module Reg = Protocols.Registry
+module Emu = Netsim.Board_emu
+module Dg = Analysis.Depgraph
+module B = Blackboard.Board
+
+let seed = 7
+let net_seed ~i = (37 * i) + 11
+
+let f_for ~k = if k > 3 then 1 else 0
+
+let run_sync entry =
+  let h = Reg.hosted entry ~seed in
+  match
+    Blackboard.Engine.run_result ~k:h.Reg.k ~schedule:h.Reg.schedule
+      ~players:h.Reg.players ()
+  with
+  | Ok o -> o.Blackboard.Engine.board
+  | Error e -> failwith (Blackboard.Engine.error_message e)
+
+(* One async run, sequential or pipelined; returns the delivered board,
+   the barrier count, and the wall time. *)
+let run_async entry ~f ~net_seed ~cert =
+  let h = Reg.hosted entry ~seed in
+  let t0 = Unix.gettimeofday () in
+  match
+    Emu.run ~k:h.Reg.k ~schedule:h.Reg.schedule ~players:h.Reg.players ?cert
+      ~config:{ Emu.f; seed = net_seed; faults = Netsim.Fault.none }
+      ()
+  with
+  | Ok (Emu.Delivered { board; stats; _ }) ->
+      (board, stats.Emu.waves, Unix.gettimeofday () -. t0)
+  | Ok (Emu.Stalled _) -> failwith (Reg.name entry ^ ": stalled fault-free")
+  | Error e -> failwith (Emu.error_message e)
+
+let analyze (Reg.Entry e) =
+  Dg.analyze ~players:e.players ~domain:e.domain (Lazy.force e.tree)
+
+(* One measured row for one entry. *)
+let measure entry ~i =
+  let name = Reg.name entry in
+  let k = Reg.players entry in
+  let f = f_for ~k in
+  let dg = analyze entry in
+  let cert = Protocols.Verify_registry.sched_cert dg in
+  if cert = None then failwith (name ^ ": no pipelining certificate");
+  let sync_board = run_sync entry in
+  let b_seq, barriers_seq, wall_seq =
+    run_async entry ~f ~net_seed:(net_seed ~i) ~cert:None
+  in
+  let b_pipe, barriers_pipe, wall_pipe =
+    run_async entry ~f ~net_seed:(net_seed ~i) ~cert
+  in
+  let identical = B.equal sync_board b_seq && B.equal sync_board b_pipe in
+  let row =
+    Exp_util.
+      [
+        S name; I k; I dg.Dg.slots; I (Dg.wave_count dg); I barriers_seq;
+        I barriers_pipe; F2 (wall_seq *. 1e3); F2 (wall_pipe *. 1e3);
+        B identical;
+      ]
+  in
+  let json =
+    Obs.Jsonw.
+      [
+        ("protocol", String name); ("k", Int k); ("slots", Int dg.Dg.slots);
+        ("waves", Int (Dg.wave_count dg));
+        ("barriers_sequential", Int barriers_seq);
+        ("barriers_pipelined", Int barriers_pipe);
+        ("wall_sequential_ms", Float (wall_seq *. 1e3));
+        ("wall_pipelined_ms", Float (wall_pipe *. 1e3));
+        ("identical", Bool identical);
+      ]
+  in
+  (row, json, identical, dg.Dg.slots, Dg.wave_count dg)
+
+let run () =
+  Exp_util.heading "E15_PIPE"
+    "network-depth reduction from pipelining certificates";
+  Exp_util.note
+    "sequential = one quiescence barrier per slot; pipelined = one per \
+     certificate wave; input seed %d."
+    seed;
+
+  (* ---- the registry: every shipped protocol, both modes ---- *)
+  let all_identical = ref true and reduced = ref 0 in
+  let rows = ref [] and json = ref [] in
+  List.iteri
+    (fun i entry ->
+      let row, j, identical, slots, waves = measure entry ~i in
+      all_identical := !all_identical && identical;
+      if waves < slots then incr reduced;
+      rows := row :: !rows;
+      json := j :: !json)
+    (Reg.all ());
+  Exp_util.table
+    ~header:
+      [ "protocol"; "k"; "slots"; "waves"; "seq barriers"; "pipe barriers";
+        "seq ms"; "pipe ms"; "identical" ]
+    (List.rev !rows);
+  Exp_util.record_rows "registry" (List.rev !json);
+  Exp_util.record_i "identical_all" (if !all_identical then 1 else 0);
+  Exp_util.record_i "wave_reduction_entries" !reduced;
+  Exp_util.note
+    "%d registry entries pipeline below their slot count; the \
+     halt-at-first-zero chains certify as fully sequential (waves = \
+     slots) — provably, not for lack of analysis."
+    !reduced;
+
+  (* ---- DISJ trees across k: depth 1 vs depth k, measured ---- *)
+  let domain2 = Array.of_list (Proto.Semantics.all_bit_inputs 2) in
+  let rows = ref [] and json = ref [] in
+  List.iter
+    (fun (pname, mk_tree) ->
+      for k = 3 to 6 do
+        let entry =
+          Reg.entry ~name:pname ~players:k ~spec:Protocols.Hard_dist.disj_fn
+            ~domain:domain2
+            (lazy (mk_tree k))
+        in
+        let row, j, identical, _, _ = measure entry ~i:(100 + k) in
+        if not identical then failwith (pname ^ ": divergence in scaling run");
+        rows := row :: !rows;
+        json := j :: !json
+      done)
+    [
+      ("disj/bcast", fun k -> Protocols.Disj_trees.broadcast_all ~n:2 ~k);
+      ("disj/seq", fun k -> Protocols.Disj_trees.sequential ~n:2 ~k);
+    ];
+  Exp_util.note "";
+  Exp_util.note
+    "n=2 DISJ trees: the one-shot broadcast tree collapses to one wave \
+     at every k, the adaptive chain to none:";
+  Exp_util.table
+    ~header:
+      [ "protocol"; "k"; "slots"; "waves"; "seq barriers"; "pipe barriers";
+        "seq ms"; "pipe ms"; "identical" ]
+    (List.rev !rows);
+  Exp_util.record_rows "scaling" (List.rev !json)

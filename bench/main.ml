@@ -27,6 +27,7 @@ let experiments =
     ("E12", E12_oneshot.run);
     ("E13", E13_oneway_baseline.run);
     ("E14_FAULT", E14_fault.run);
+    ("E15_PIPE", E15_pipe.run);
     ("VERIFY", Verify_bench.run);
     ("IC_STATIC", Ic_static.run);
     ("MICRO", Micro.run);

@@ -524,7 +524,8 @@ let oneshot_cmd =
 let run_protocol_cmd =
   let module Reg = Protocols.Registry in
   let module Emu = Netsim.Board_emu in
-  let run name runtime seed net_seed f faults max_writes check metrics =
+  let run name runtime seed net_seed f faults max_writes check pipeline
+      metrics =
     let entry =
       match Reg.find name with
       | Some e -> e
@@ -545,6 +546,38 @@ let run_protocol_cmd =
         "run: --check compares the fault-free emulation; drop --faults\n";
       exit 2
     end;
+    if pipeline && runtime <> `Async then begin
+      Printf.eprintf "run: --pipeline requires --runtime async\n";
+      exit 2
+    end;
+    (* The pipelining certificate, when the slot-dependency analysis can
+       grant one; without it the emulation stays sequential (a warning,
+       not an error — the analysis declining is a legitimate result). *)
+    let cert =
+      if not pipeline then None
+      else
+        match entry with
+        | Reg.Entry e -> (
+            let dg =
+              Analysis.Depgraph.analyze ~players:e.players ~domain:e.domain
+                (Lazy.force e.tree)
+            in
+            match Protocols.Verify_registry.sched_cert dg with
+            | Some c ->
+                Printf.printf
+                  "pipeline: certificate grants %d slots in %d waves\n"
+                  c.Netsim.Hbcheck.slots
+                  (Array.length c.Netsim.Hbcheck.waves);
+                Some c
+            | None ->
+                Printf.eprintf
+                  "run: no pipelining certificate for %s (analysis %s); \
+                   running sequentially\n"
+                  name
+                  (if dg.Analysis.Depgraph.widened then "widened"
+                   else "saw misbehaving emit laws");
+                None)
+    in
     let net_seed = Option.value net_seed ~default:seed in
     let h = Reg.hosted entry ~seed in
     let spec_check board =
@@ -582,7 +615,7 @@ let run_protocol_cmd =
       let config = { Emu.f; seed = net_seed; faults } in
       match
         Emu.run ~k:h.Reg.k ~schedule:h.Reg.schedule ~players:h.Reg.players
-          ~max_writes ~config ()
+          ~max_writes ?cert ~config ()
       with
       | Error (Emu.Insufficient_honest _ as e) ->
           Printf.eprintf "run: %s\n" (Emu.error_message e);
@@ -595,9 +628,9 @@ let run_protocol_cmd =
     let print_net_stats (s : Emu.stats) ~board_bits =
       Printf.printf
         "network: %d messages (%d send / %d echo / %d ready), %d wire \
-         bits, %d dropped, %d crashed\n"
+         bits, %d dropped, %d crashed, %d barrier(s)\n"
         s.Emu.net_messages s.Emu.sends s.Emu.echoes s.Emu.readies
-        s.Emu.net_bits s.Emu.drops s.Emu.crashed;
+        s.Emu.net_bits s.Emu.drops s.Emu.crashed s.Emu.waves;
       if board_bits > 0 then
         Printf.printf "emulation overhead: %.1fx (%d wire / %d board bits)\n"
           (float_of_int s.Emu.net_bits /. float_of_int board_bits)
@@ -705,13 +738,24 @@ let run_protocol_cmd =
                    verify the delivered board is byte-identical (exit 1 \
                    if not). Fault-free only.")
   in
+  let pipeline =
+    Arg.(value & flag
+         & info [ "pipeline" ]
+             ~doc:"Run the async emulation in pipelined mode: all RBC \
+                   instances of a certificate wave go in flight \
+                   concurrently, with network barriers only between waves. \
+                   The certificate comes from the slot-dependency analysis \
+                   (see $(b,broadcast_cli analyze)); when the analysis \
+                   withholds it the run falls back to the sequential mode \
+                   with a warning. Requires $(b,--runtime async).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a registry protocol on the sync engine or the \
              asynchronous faulty-broadcast emulation.")
     Term.(
       const run $ proto_arg $ runtime $ seed $ net_seed $ f $ faults
-      $ max_writes $ chk $ metrics_flag)
+      $ max_writes $ chk $ pipeline $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
@@ -868,6 +912,121 @@ let lint_cmd =
       $ protocols)
 
 (* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let module Reg = Protocols.Registry in
+  let module Dg = Analysis.Depgraph in
+  let run deps json budget protocols =
+    let entries =
+      match protocols with
+      | [] -> Reg.all ()
+      | names ->
+          List.map
+            (fun n ->
+              match Reg.find n with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "analyze: unknown protocol %S; known: %s\n" n
+                    (String.concat ", " (Reg.names ()));
+                  exit 2)
+            names
+    in
+    let analyzed =
+      List.map
+        (fun (Reg.Entry e as entry) ->
+          ( entry,
+            Dg.analyze ?budget ~players:e.players ~domain:e.domain
+              (Lazy.force e.tree) ))
+        entries
+    in
+    if json then
+      print_endline
+        (Obs.Jsonw.to_string ~pretty:true
+           (Obs.Jsonw.obj
+              [
+                ("schema", Obs.Jsonw.String "broadcast-ic/analyze/v1");
+                ("version", Obs.Jsonw.String Core.version);
+                ( "protocols",
+                  Obs.Jsonw.list
+                    (List.map
+                       (fun (e, dg) ->
+                         Obs.Jsonw.obj
+                           [
+                             ("name", Obs.Jsonw.String (Reg.name e));
+                             ("depgraph", Dg.to_json dg);
+                           ])
+                       analyzed) );
+              ]))
+    else begin
+      Printf.printf "%-28s %7s %5s %5s %9s  %s\n" "protocol" "players" "slots"
+        "waves" "certified" "shape";
+      List.iter
+        (fun (e, dg) ->
+          Printf.printf "%-28s %7d %5d %5d %9b  %s\n" (Reg.name e)
+            (Reg.players e) dg.Dg.slots (Dg.wave_count dg)
+            (Dg.certificate dg <> None)
+            (if dg.Dg.widened then "widened"
+             else if dg.Dg.law_failures > 0 then "law failures"
+             else if dg.Dg.slots = 0 then "leaf"
+             else if Dg.wave_count dg = 1 then "fully parallel"
+             else if Dg.wave_count dg = dg.Dg.slots then "fully sequential"
+             else "pipelined"))
+        analyzed;
+      if deps then
+        List.iter
+          (fun (e, dg) ->
+            Format.printf "@.%s:@.%a@." (Reg.name e) Dg.pp dg)
+          analyzed
+    end
+  in
+  let deps =
+    Arg.(value & flag
+         & info [ "deps" ]
+             ~doc:"Also print the per-slot dependency table: wave index, \
+                   possible speakers, read-set, output relevance.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the full analysis (schema broadcast-ic/depgraph/v1 \
+                   per protocol) as JSON instead of a table.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ]
+             ~doc:"Node budget for the exact-reachability walk; past it the \
+                   analysis widens and withholds the pipelining certificate.")
+  in
+  let protocols =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"PROTOCOL" ~doc:"Analyze only the named protocols.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Slot-dependency analysis: read-sets, happens-before DAG, and \
+             pipelining certificates."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Computes, for every registered protocol tree, which earlier \
+              broadcast slots each slot depends on (speaker identity, \
+              message laws, slot existence, or the output), using the same \
+              exact input-rectangle reachability as proto-lint — \
+              proven-dead dependencies are pruned. The derived wave \
+              partition is the pipelining certificate consumed by \
+              $(b,broadcast_cli run --runtime async --pipeline): all slots \
+              of a wave go in flight concurrently, with network barriers \
+              only between waves.";
+           `P
+             "Exit status: 0 on success (including widened or uncertified \
+              analyses — those are results, not errors); 2 on usage errors.";
+         ])
+    Term.(const run $ deps $ json $ budget $ protocols)
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -876,7 +1035,7 @@ let verify_cmd =
   let module V = Protocols.Verify_registry in
   let module Rep = Analysis.Report in
   let module Ab = Analysis.Absint in
-  let run budget seed baseline ic json out jobs protocols metrics =
+  let run budget seed baseline ic sched json out jobs protocols metrics =
     let entries =
       match protocols with
       | [] -> Reg.all ()
@@ -905,7 +1064,7 @@ let verify_cmd =
       with_metrics metrics (fun () ->
           Par.parallel_map ?domains:jobs
             (fun e ->
-              V.verify_entry ?budget ~seed ~baseline ~ic
+              V.verify_entry ?budget ~seed ~baseline ~ic ~sched
                 ~ic_engine:(fun ~zero_error_spec flow ->
                   Lowerbound.Discrepancy.engine ~zero_error_spec flow)
                 e)
@@ -948,6 +1107,21 @@ let verify_cmd =
                 | _ -> false);
           ]
       in
+      let sched_counts =
+        if not sched then []
+        else
+          [
+            count "sched_certified" (fun r ->
+                match r.V.sched with
+                | Some s ->
+                    Analysis.Depgraph.certificate s.V.depgraph <> None
+                | None -> false);
+            count "sched_identical" (fun r ->
+                match r.V.sched with
+                | Some { V.pipelined_identical = Some true; _ } -> true
+                | _ -> false);
+          ]
+      in
       line
         (Obs.Jsonw.obj
            ([
@@ -957,7 +1131,7 @@ let verify_cmd =
               count "inconclusive" (outcome_is "inconclusive");
               count "no_spec" (outcome_is "no-spec");
             ]
-           @ ic_counts
+           @ ic_counts @ sched_counts
            @ [
                ( "suppressed",
                  Obs.Jsonw.Int
@@ -996,6 +1170,27 @@ let verify_cmd =
                      (List.map fst c.Analysis.Certify.lower_bounds))
             | Some (Analysis.Certify.Ic_inconclusive { reason; _ }) ->
                 Printf.printf "%-28s  inconclusive: %s\n" e.name reason
+            | None -> ())
+          results
+      end;
+      if sched then begin
+        Printf.printf "\n%-28s %5s %5s %9s  %s\n" "protocol" "slots" "waves"
+          "certified" "pipelined run";
+        List.iter
+          (fun r ->
+            let (Reg.Entry e) = r.V.entry in
+            match r.V.sched with
+            | Some s ->
+                let dg = s.V.depgraph in
+                Printf.printf "%-28s %5d %5d %9b  %s\n" e.name
+                  dg.Analysis.Depgraph.slots
+                  (Analysis.Depgraph.wave_count dg)
+                  (Analysis.Depgraph.certificate dg <> None)
+                  (match (s.V.pipelined_identical, s.V.race) with
+                  | _, Some m -> "RACE: " ^ m
+                  | Some true, None -> "byte-identical"
+                  | Some false, None -> "DIVERGED"
+                  | None, None -> "not attempted (no certificate)")
             | None -> ())
           results
       end;
@@ -1048,6 +1243,17 @@ let verify_cmd =
                    ride the same severity and baseline machinery; the exit \
                    contract is unchanged.")
   in
+  let sched =
+    Arg.(value & flag
+         & info [ "sched" ]
+             ~doc:"Additionally run the slot-dependency analysis per entry \
+                   and, when it grants a pipelining certificate, a \
+                   fault-free pipelined async run differenced byte-for-byte \
+                   against the sync engine with the happens-before race \
+                   oracle armed. Divergence or a race is an error; a \
+                   withheld certificate is a warning. Findings ride the \
+                   same severity and baseline machinery.")
+  in
   let json =
     Arg.(value & flag
          & info [ "json" ]
@@ -1090,7 +1296,7 @@ let verify_cmd =
               convention).";
          ])
     Term.(
-      const run $ budget $ seed $ baseline $ ic $ json $ out $ jobs
+      const run $ budget $ seed $ baseline $ ic $ sched $ json $ out $ jobs
       $ protocols $ metrics_flag)
 
 let () =
@@ -1100,4 +1306,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ disj_cmd; info_cmd; compress_cmd; sample_cmd; trace_cmd; or_cmd;
-            oneshot_cmd; run_protocol_cmd; lint_cmd; verify_cmd ]))
+            oneshot_cmd; run_protocol_cmd; lint_cmd; analyze_cmd; verify_cmd ]))

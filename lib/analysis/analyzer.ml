@@ -41,6 +41,7 @@ let analyze_with config ~domain tree =
       Rules.bit_accounting ?declared_cost:config.declared_cost tree;
       Rules.state_space ~budget:config.state_budget ~players ~domain tree;
       Rules.unreachable_output ?players:config.players ~domain tree;
+      Rules.redundant_slot ?players:config.players ~domain tree;
     ]
 
 let analyze ?players ?declared_cost ?state_budget ~domain tree =

@@ -1,0 +1,70 @@
+(** Slot-dependency analysis: per-slot read-sets, the happens-before
+    DAG, and the pipelining certificate consumed by
+    [Netsim.Board_emu]'s pipelined mode.
+
+    Slot [t] {e reads} slot [s] when the value posted at [s] can change
+    anything observable about the schedule at [t] (speaker, arity, a
+    later emit or coin law, the existence of slot [t]) or the protocol's
+    output. Read-sets are an over-approximation computed with the same
+    exact reachability rectangles as {!Absint} — proven-dead
+    dependencies are pruned, and any divergence the matched descent
+    cannot track is closed off conservatively. The wave partition
+    derived from them is sound by construction: every slot's reads lie
+    strictly before its own wave, so running a whole wave's reliable
+    broadcasts concurrently (barriers only between waves) cannot let a
+    slot be spoken before everything it reads was delivered. *)
+
+type t = {
+  slots : int;  (** reachable slot positions (0 when the tree is a leaf) *)
+  reads : int list array;
+      (** per slot, the sorted earlier slots it may read (the
+          happens-before DAG: edge [s -> t] iff [s] in [reads.(t)]) *)
+  speakers : int list array;
+      (** per slot, the sorted set of players that can speak there *)
+  output_relevant : bool array;
+      (** per slot, whether the posted value can influence the output;
+          conservatively [true] on any closed-off divergence. A slot
+          with no outgoing edge and [output_relevant = false] is
+          provably redundant (lint rule [redundant-slot]). *)
+  waves : int array;
+      (** ascending wave-start boundaries; [waves.(0) = 0] when
+          [slots > 0], empty otherwise *)
+  nodes : int;  (** walk + matched-descent steps before any widening *)
+  widened : bool;  (** the node budget ran out somewhere *)
+  law_failures : int;
+      (** emit-law evaluations that raised or placed mass outside the
+          arity; either withholds the certificate *)
+  players : int;
+  domain_size : int;
+}
+
+val default_budget : int
+(** Same default node budget as {!Absint.default_budget}. *)
+
+val analyze : ?budget:int -> ?players:int -> domain:'a array -> 'a Proto.Tree.t -> t
+(** [analyze ~domain tree] computes read-sets, speakers, output
+    relevance and the wave partition. [players] defaults to the
+    inferred count; [budget] bounds walk plus matched-descent steps
+    (default {!default_budget}) — past it the result is [widened] and
+    the certificate is withheld. Reports [depgraph.nodes] /
+    [depgraph.runs] to the installed {!Obs.Metrics} registry and runs
+    in a [depgraph/analyze] span when tracing is enabled.
+    @raise Invalid_argument on an empty domain or non-positive budget. *)
+
+val certificate : t -> int array option
+(** The wave-start boundaries, or [None] when the analysis widened or
+    saw a misbehaving emit law (the read-sets may then be incomplete,
+    so no pipelining claim is made and consumers must stay
+    sequential). *)
+
+val wave_count : t -> int
+
+val wave_of_slot : int array -> int -> int
+(** [wave_of_slot waves slot] is the index of the wave containing
+    [slot] (the number of boundaries at or before it, minus one). *)
+
+val to_json : t -> Obs.Jsonw.t
+(** Schema [broadcast-ic/depgraph/v1]: summary fields plus a per-slot
+    table of speakers, reads, wave index and output relevance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -28,6 +28,7 @@ let id_dead_branch = "dead-branch"
 let id_bit_accounting = "bit-accounting"
 let id_state_space = "state-space-budget"
 let id_unreachable_output = "unreachable-output"
+let id_redundant_slot = "redundant-slot"
 
 let all_ids =
   [
@@ -39,6 +40,7 @@ let all_ids =
     id_bit_accounting;
     id_state_space;
     id_unreachable_output;
+    id_redundant_slot;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -499,6 +501,41 @@ let unreachable_output ?budget ?players ~domain tree =
                       leaf producing it"
                      v)))
     |> Report.of_list
+  end
+
+(* ------------------------------------------------------------------ *)
+(* (9) redundant-slot                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** A board slot whose posted value no later emit law or branch can
+    observe and that cannot influence the output is pure waste: the
+    protocol would compute the same function without charging for it.
+    Derived from the {!Depgraph} read-sets, so proven-dead readers do
+    not keep a slot alive; silent when the dependency analysis widened
+    or laws failed, since the read-sets are then incomplete. *)
+let redundant_slot ?budget ?players ~domain tree =
+  let rule = id_redundant_slot in
+  let dg = Depgraph.analyze ?budget ?players ~domain tree in
+  if dg.Depgraph.widened || dg.Depgraph.law_failures > 0 then Report.empty
+  else begin
+    let read = Array.make (max dg.Depgraph.slots 1) false in
+    Array.iter
+      (fun rs -> List.iter (fun s -> read.(s) <- true) rs)
+      dg.Depgraph.reads;
+    let ds = ref [] in
+    for s = dg.Depgraph.slots - 1 downto 0 do
+      if (not read.(s)) && not dg.Depgraph.output_relevant.(s) then
+        ds :=
+          warn ~rule ~path:Path.root
+            (Printf.sprintf
+               "slot %d (speakers {%s}) is redundant: no later emit law or \
+                branch reads it and it cannot influence the output"
+               s
+               (String.concat ","
+                  (List.map string_of_int dg.Depgraph.speakers.(s))))
+          :: !ds
+    done;
+    Report.of_list !ds
   end
 
 (* ------------------------------------------------------------------ *)

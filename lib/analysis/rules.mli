@@ -14,6 +14,7 @@ val id_dead_branch : string
 val id_bit_accounting : string
 val id_state_space : string
 val id_unreachable_output : string
+val id_redundant_slot : string
 
 val all_ids : string list
 (** All eight, in catalog order. *)
@@ -73,6 +74,15 @@ val unreachable_output :
     declaring leaf; silent when the abstract interpretation widened
     ([budget], default {!Absint.default_budget}) or laws failed, since
     reachability is then unknown. *)
+
+val redundant_slot :
+  ?budget:int -> ?players:int -> domain:'a array -> 'a Proto.Tree.t -> Report.t
+(** (9) Board slots whose value no later emit law or branch can observe
+    and that cannot influence the output — pure charged waste, derived
+    from the {!Depgraph} read-sets (proven-dead readers pruned).
+    Warnings, one per redundant slot; silent when the dependency
+    analysis widened ([budget], default {!Depgraph.default_budget}) or
+    laws failed, since the read-sets are then incomplete. *)
 
 (** {1 Helpers} *)
 

@@ -39,6 +39,10 @@ type stats = {
   readies : int;
   drops : int;  (** messages eaten by the drop fault *)
   crashed : int;  (** players dead by the end of the run *)
+  waves : int;
+      (** network barriers paid: quiescence waits, one per slot
+          sequentially, one per wave when pipelined — the
+          simulated-network-depth measure E15 reports *)
 }
 
 type stall_reason =
@@ -73,6 +77,7 @@ val run :
   schedule:(Blackboard.Board.t -> int option) ->
   players:Blackboard.Engine.player array ->
   ?max_writes:int ->
+  ?cert:Hbcheck.cert ->
   config:config ->
   unit ->
   (outcome, error) result
@@ -82,4 +87,23 @@ val run :
     length of a real encoding, not a formula. With a trace sink
     installed, typed [Rbc_send]/[Rbc_echo]/[Rbc_ready]/[Rbc_deliver]/
     [Net_drop] events stream out per message, and metrics land under the
-    ["netsim.*"] prefix — both zero-cost when disabled. *)
+    ["netsim.*"] prefix — both zero-cost when disabled.
+
+    [cert] switches on the {e pipelined} mode: all RBC instances of a
+    certificate wave go in flight concurrently over one shared network,
+    with a quiescence barrier only between waves (slots past the
+    analyzed range run as singleton waves; no certificate = the
+    sequential per-slot path). Payloads are still computed in slot
+    order, one [speak] per slot, against a scratch replay of the
+    committed board, so {e fault-free} pipelined runs stay
+    byte-identical to {!Blackboard.Engine.run}; the {!Hbcheck} oracle
+    watches the actual launch/deliver order and the run hard-errors
+    ([Failure]) if the certificate let a slot launch before a slot it
+    reads was delivered at its speaker. A crashed speaker stalls its
+    wave at its slot with the same typed [Stalled] outcome as the
+    sequential mode; slots of the wave before it are still committed.
+    Under fault injection the two modes may diverge (crash budgets and
+    drops hit a different interleaving); byte-identity is only
+    contracted fault-free. With tracing on, [Wave_start]/[Wave_end]
+    events bracket each wave.
+    @raise Invalid_argument if [cert] fails {!Hbcheck.validate_cert}. *)

@@ -47,6 +47,22 @@ let parse_item item =
                "unknown fault kind %S (expected crash, drop, delay, equiv)"
                other))
 
+(* Two crash (or two equivocation) specs naming the same player have no
+   single sensible meaning — min-budget, last-wins and first-wins are
+   all defensible — so the DSL rejects the ambiguity outright instead
+   of silently picking one. *)
+let duplicate_player plan spec =
+  match spec with
+  | Crash { player = p; _ } ->
+      if List.exists (function Crash { player; _ } -> player = p | _ -> false) plan
+      then Some (Printf.sprintf "duplicate crash spec for player %d" p)
+      else None
+  | Equivocate { player = p } ->
+      if List.exists (function Equivocate { player } -> player = p | _ -> false) plan
+      then Some (Printf.sprintf "duplicate equiv spec for player %d" p)
+      else None
+  | Drop _ | Delay _ -> None
+
 let parse s =
   if String.trim s = "" then Ok []
   else
@@ -57,7 +73,10 @@ let parse s =
            match (acc, parse_item item) with
            | Error e, _ -> Error e
            | Ok _, Error e -> Error e
-           | Ok plan, Ok spec -> Ok (spec :: plan))
+           | Ok plan, Ok spec -> (
+               match duplicate_player plan spec with
+               | Some e -> Error e
+               | None -> Ok (spec :: plan)))
          (Ok [])
     |> Result.map List.rev
 

@@ -35,7 +35,11 @@ val parse : string -> (plan, string) result
 (** Parse a comma-separated spec string: [crash:P] (dead from the
     start), [crash:P@S] (crash after [S] sends), [drop:F] with
     [0 <= F <= 1], [delay:J], [equiv:P]. The empty string is the empty
-    plan. [Error] carries a usage message naming the offending item. *)
+    plan. Two [crash] specs (or two [equiv] specs) naming the same
+    player are rejected as ambiguous — there is no single sensible
+    merge — while repeated [drop]/[delay] specs stay legal (the last
+    one wins, see {!drop_prob}/{!max_jitter}). [Error] carries a usage
+    message naming the offending item or duplicated player. *)
 
 val to_string : plan -> string
 (** Inverse of {!parse} (canonical form). *)

@@ -15,6 +15,8 @@ type payload =
   | Rbc_ready of { slot : int; src : int; dst : int; bits : int }
   | Rbc_deliver of { slot : int; player : int; bits : int }
   | Net_drop of { slot : int; src : int; dst : int }
+  | Wave_start of { wave : int; first_slot : int; slots : int }
+  | Wave_end of { wave : int; first_slot : int; delivered : int }
 
 type t = { seq : int; payload : payload }
 
@@ -35,6 +37,8 @@ let kind = function
   | Rbc_ready _ -> "rbc-ready"
   | Rbc_deliver _ -> "rbc-deliver"
   | Net_drop _ -> "net-drop"
+  | Wave_start _ -> "wave-start"
+  | Wave_end _ -> "wave-end"
 
 let board_bits = function
   | Broadcast { bits; _ } -> bits
@@ -80,6 +84,18 @@ let fields = function
       ]
   | Net_drop { slot; src; dst } ->
       [ ("slot", Jsonw.Int slot); ("src", Jsonw.Int src); ("dst", Jsonw.Int dst) ]
+  | Wave_start { wave; first_slot; slots } ->
+      [
+        ("wave", Jsonw.Int wave);
+        ("first_slot", Jsonw.Int first_slot);
+        ("slots", Jsonw.Int slots);
+      ]
+  | Wave_end { wave; first_slot; delivered } ->
+      [
+        ("wave", Jsonw.Int wave);
+        ("first_slot", Jsonw.Int first_slot);
+        ("delivered", Jsonw.Int delivered);
+      ]
 
 let to_json { seq; payload } =
   Jsonw.Obj

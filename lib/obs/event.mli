@@ -35,6 +35,11 @@ type payload =
       (** [player] delivered the slot's value ([bits] = payload bits) *)
   | Net_drop of { slot : int; src : int; dst : int }
       (** a message eaten by the injected drop fault *)
+  | Wave_start of { wave : int; first_slot : int; slots : int }
+      (** a pipelined batch of [slots] concurrent RBC instances starting
+          at board slot [first_slot] goes in flight *)
+  | Wave_end of { wave : int; first_slot : int; delivered : int }
+      (** the wave's barrier: [delivered] of its slots were committed *)
 
 type t = { seq : int; payload : payload }
 

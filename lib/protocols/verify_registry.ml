@@ -36,6 +36,10 @@ let id_no_spec = "verify-no-spec"
 let id_ic_interval = "verify-ic-interval"
 let id_ic_inconclusive = "verify-ic-inconclusive"
 let id_ic_unsound = "verify-ic-unsound"
+let id_sched_waves = "verify-sched-waves"
+let id_sched_divergence = "verify-sched-divergence"
+let id_sched_race = "verify-sched-race"
+let id_sched_inconclusive = "verify-sched-inconclusive"
 
 let all_rule_ids =
   [
@@ -48,6 +52,10 @@ let all_rule_ids =
     id_ic_interval;
     id_ic_inconclusive;
     id_ic_unsound;
+    id_sched_waves;
+    id_sched_divergence;
+    id_sched_race;
+    id_sched_inconclusive;
   ]
 
 type ic_engine =
@@ -55,11 +63,20 @@ type ic_engine =
   An.Infoflow.t ->
   (string * Exact.Rational.t) list
 
+type sched_result = {
+  depgraph : An.Depgraph.t;
+  pipelined_identical : bool option;
+      (** fault-free pipelined async board byte-equal to [Engine.run];
+          [None] when no certificate exists (nothing to pipeline) *)
+  race : string option;  (** the {!Netsim.Hbcheck} failure, if any *)
+}
+
 type result = {
   entry : Registry.entry;
   summary : An.Absint.t;
   outcome : An.Certify.outcome option;  (** [None] when no spec *)
   ic : An.Certify.ic_outcome option;  (** [None] unless [~ic:true] *)
+  sched : sched_result option;  (** [None] unless [~sched:true] *)
   checked_profiles : int;
   static_cc : int;
   observed_bits : int;
@@ -139,11 +156,70 @@ let apply_baseline baseline ~protocol report =
   (Rep.of_list report', !suppressed)
 
 (* ------------------------------------------------------------------ *)
+(* Scheduling: pipelining certificate + differential oracle            *)
+(* ------------------------------------------------------------------ *)
+
+(** The {!Analysis.Depgraph} wave partition as the plain-array
+    certificate {!Netsim.Board_emu} consumes (netsim does not depend on
+    the analysis library, so this conversion lives here, where both are
+    visible). [None] exactly when the analysis withholds it. *)
+let sched_cert dg =
+  Option.map
+    (fun waves ->
+      {
+        Netsim.Hbcheck.slots = dg.An.Depgraph.slots;
+        reads = Array.map Array.of_list dg.An.Depgraph.reads;
+        waves;
+      })
+    (An.Depgraph.certificate dg)
+
+(* The differential oracle behind [verify-sched-divergence]: a
+   fault-free pipelined async run must rebuild the sync engine's board
+   byte for byte, with the happens-before checker silent. *)
+let sched_differential (Registry.Entry e as entry) ~seed ~cert =
+  let f = if e.players > 3 then 1 else 0 in
+  let sync_board =
+    let h = Registry.hosted entry ~seed in
+    match
+      Blackboard.Engine.run_result ~k:h.Registry.k ~schedule:h.Registry.schedule
+        ~players:h.Registry.players ()
+    with
+    | Ok o -> Ok o.Blackboard.Engine.board
+    | Error err -> Error (Blackboard.Engine.error_message err)
+  in
+  let async_board =
+    let h = Registry.hosted entry ~seed in
+    match
+      Netsim.Board_emu.run ~k:h.Registry.k ~schedule:h.Registry.schedule
+        ~players:h.Registry.players ~cert
+        ~config:
+          { Netsim.Board_emu.f; seed = (31 * seed) + 7; faults = Netsim.Fault.none }
+        ()
+    with
+    | Ok (Netsim.Board_emu.Delivered { board; _ }) -> Ok board
+    | Ok (Netsim.Board_emu.Stalled { reason; delivered_slots; _ }) ->
+        Error
+          (Printf.sprintf "pipelined run stalled fault-free at slot %d (%s)"
+             delivered_slots
+             (match reason with
+             | Netsim.Board_emu.Speaker_crashed -> "speaker-crashed"
+             | Netsim.Board_emu.No_quorum -> "no-quorum"))
+    | Error err -> Error (Netsim.Board_emu.error_message err)
+    | exception Failure msg -> Error msg
+  in
+  match (sync_board, async_board) with
+  | Ok sb, Ok ab ->
+      if Blackboard.Board.equal sb ab then `Identical else `Divergent
+  | _, Error msg when String.length msg >= 7 && String.sub msg 0 7 = "hbcheck" ->
+      `Race msg
+  | Error msg, _ | _, Error msg -> `Failed msg
+
+(* ------------------------------------------------------------------ *)
 (* Per-entry verification                                              *)
 (* ------------------------------------------------------------------ *)
 
 let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline) ?(ic = false)
-    ?ic_engine (Registry.Entry e as entry) =
+    ?(sched = false) ?ic_engine (Registry.Entry e as entry) =
   let tree = Lazy.force e.tree in
   let static_cc = Proto.Tree.communication_cost tree in
   let outcome, summary, checked_profiles =
@@ -274,6 +350,61 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline) ?(ic = false)
       push
         (warn id_ic_inconclusive
            ("information-cost certification inconclusive: " ^ reason)));
+  let sched_outcome =
+    if not sched then None
+    else begin
+      let dg =
+        An.Depgraph.analyze ?budget ~players:e.players ~domain:e.domain tree
+      in
+      let pipelined_identical, race =
+        match sched_cert dg with
+        | None ->
+            push
+              (warn id_sched_inconclusive
+                 (Printf.sprintf
+                    "no pipelining certificate: dependency analysis %s \
+                     (%d law failures); async runtime stays sequential"
+                    (if dg.An.Depgraph.widened then "widened" else "saw bad laws")
+                    dg.An.Depgraph.law_failures));
+            (None, None)
+        | Some cert -> (
+            (match Netsim.Hbcheck.validate_cert cert with
+            | Ok () -> ()
+            | Error msg ->
+                push
+                  (err id_sched_race
+                     ("certificate fails structural validation: " ^ msg)));
+            match sched_differential entry ~seed ~cert with
+            | `Identical -> (Some true, None)
+            | `Divergent ->
+                push
+                  (err id_sched_divergence
+                     (Printf.sprintf
+                        "fault-free pipelined async run (seed %d) is not \
+                         byte-identical to the sync engine's board"
+                        seed));
+                (Some false, None)
+            | `Race msg ->
+                push (err id_sched_race msg);
+                (Some false, Some msg)
+            | `Failed msg ->
+                push
+                  (err id_sched_divergence
+                     ("pipelined differential failed: " ^ msg));
+                (Some false, None))
+      in
+      push
+        (info id_sched_waves
+           (Printf.sprintf
+              "slot-dependency analysis: %d slots in %d waves%s"
+              dg.An.Depgraph.slots
+              (An.Depgraph.wave_count dg)
+              (match pipelined_identical with
+              | Some true -> "; pipelined run byte-identical"
+              | _ -> "")));
+      Some { depgraph = dg; pipelined_identical; race }
+    end
+  in
   let report, suppressed =
     apply_baseline baseline ~protocol:e.name (Rep.of_list (List.rev !diags))
   in
@@ -282,6 +413,7 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline) ?(ic = false)
     summary;
     outcome;
     ic = ic_outcome;
+    sched = sched_outcome;
     checked_profiles;
     static_cc;
     observed_bits;
@@ -294,9 +426,9 @@ let verify_entry ?budget ?(seed = 1) ?(baseline = empty_baseline) ?(ic = false)
    (sequential when only one domain is available). Results keep registry
    order; the shared state each entry touches — Obs metrics, Bitbuf
    counters — is thread-safe. *)
-let verify_all ?budget ?seed ?baseline ?ic ?ic_engine ?domains () =
+let verify_all ?budget ?seed ?baseline ?ic ?sched ?ic_engine ?domains () =
   Par.parallel_map ?domains
-    (fun e -> verify_entry ?budget ?seed ?baseline ?ic ?ic_engine e)
+    (fun e -> verify_entry ?budget ?seed ?baseline ?ic ?sched ?ic_engine e)
     (Registry.all ())
 
 (* ------------------------------------------------------------------ *)
@@ -377,5 +509,21 @@ let result_to_json r =
         match r.ic with
         | None -> J.Null
         | Some o -> ic_outcome_to_json o );
+      ( "sched",
+        match r.sched with
+        | None -> J.Null
+        | Some s ->
+            J.obj
+              [
+                ("slots", J.Int s.depgraph.An.Depgraph.slots);
+                ("waves", J.Int (An.Depgraph.wave_count s.depgraph));
+                ("certified", J.Bool (sched_cert s.depgraph <> None));
+                ( "pipelined_identical",
+                  match s.pipelined_identical with
+                  | None -> J.Null
+                  | Some b -> J.Bool b );
+                ( "race",
+                  match s.race with None -> J.Null | Some m -> J.String m );
+              ] );
       ("diagnostics", Rep.to_json r.report);
     ]

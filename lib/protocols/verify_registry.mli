@@ -19,6 +19,10 @@ val id_no_spec : string
 val id_ic_interval : string
 val id_ic_inconclusive : string
 val id_ic_unsound : string
+val id_sched_waves : string
+val id_sched_divergence : string
+val id_sched_race : string
+val id_sched_inconclusive : string
 val all_rule_ids : string list
 
 type ic_engine =
@@ -31,6 +35,15 @@ type ic_engine =
     passed by the sweep only for entries whose spec this very run
     certified, so rectangle-based bounds stay sound. *)
 
+type sched_result = {
+  depgraph : Analysis.Depgraph.t;
+  pipelined_identical : bool option;
+      (** fault-free pipelined async board byte-equal to [Engine.run];
+          [None] when no certificate exists (nothing to pipeline) *)
+  race : string option;
+      (** the {!Netsim.Hbcheck} hard error, if the oracle fired *)
+}
+
 type result = {
   entry : Registry.entry;
   summary : Analysis.Absint.t;
@@ -38,6 +51,7 @@ type result = {
   ic : Analysis.Certify.ic_outcome option;
       (** the static information-cost certificate; [None] unless the
           sweep ran with [~ic:true] *)
+  sched : sched_result option;  (** [None] unless [~sched:true] *)
   checked_profiles : int;
   static_cc : int;  (** structural [Tree.communication_cost] *)
   observed_bits : int;  (** blackboard bits of the seeded run *)
@@ -74,11 +88,17 @@ val apply_baseline :
 
 (** {1 Verification} *)
 
+val sched_cert : Analysis.Depgraph.t -> Netsim.Hbcheck.cert option
+(** The analysis wave partition as the plain-array certificate
+    {!Netsim.Board_emu.run} consumes; [None] exactly when
+    {!Analysis.Depgraph.certificate} withholds it. *)
+
 val verify_entry :
   ?budget:int ->
   ?seed:int ->
   ?baseline:baseline ->
   ?ic:bool ->
+  ?sched:bool ->
   ?ic_engine:ic_engine ->
   Registry.entry ->
   result
@@ -89,13 +109,22 @@ val verify_entry :
     [verify-ic-interval] (Info) / [verify-ic-inconclusive] (Warning) /
     [verify-ic-unsound] (Error, a lower bound crossed the sound upper
     bound) diagnostics — all baseline-suppressible; the exit contract
-    is unchanged. [ic_engine] injects extra sound lower bounds. *)
+    is unchanged. [ic_engine] injects extra sound lower bounds.
+
+    [sched] (default false) additionally runs the slot-dependency
+    analysis ({!Analysis.Depgraph}) and, when a pipelining certificate
+    exists, a fault-free pipelined async run differenced byte-for-byte
+    against the sync engine with the happens-before oracle armed:
+    [verify-sched-waves] (Info, the slots/waves summary),
+    [verify-sched-inconclusive] (Warning, no certificate),
+    [verify-sched-divergence] / [verify-sched-race] (Error). *)
 
 val verify_all :
   ?budget:int ->
   ?seed:int ->
   ?baseline:baseline ->
   ?ic:bool ->
+  ?sched:bool ->
   ?ic_engine:ic_engine ->
   ?domains:int ->
   unit ->

@@ -250,6 +250,21 @@ let t_unreachable_output_widened_silent () =
   check_silent ~msg:"budget 1 widens"
     (Ru.unreachable_output ~budget:1 ~domain:bit_domain (seq 4))
 
+(* --- (9) redundant-slot ------------------------------------------- *)
+
+(* The rule's own positive/negative/widened behavior is exercised in
+   [Test_depgraph]; here only the catalog wiring: the analyzer surfaces
+   the finding, and a protocol whose every slot matters stays silent. *)
+let t_redundant_slot_via_analyzer () =
+  let wasted =
+    T.speak_det ~speaker:0 ~f:(fun b -> b) [| T.output 7; T.output 7 |]
+  in
+  check_flags ~msg:"unread constant-output slot" Ru.id_redundant_slot
+    (An.analyze ~players:1 ~domain:bit_domain wasted);
+  let report = An.analyze ~players:3 ~domain:bit_domain (seq 3) in
+  Alcotest.(check bool) "sequential AND has no redundant slot" false
+    (has_rule Ru.id_redundant_slot report)
+
 (* --- analyzer-level policy ---------------------------------------- *)
 
 let t_analyze_clean_protocol () =
@@ -380,6 +395,8 @@ let suite =
     quick "unreachable-output: flags" t_unreachable_output_flags;
     quick "unreachable-output: silent under widening"
       t_unreachable_output_widened_silent;
+    quick "redundant-slot: surfaced by the analyzer catalog"
+      t_redundant_slot_via_analyzer;
     quick "analyze: clean protocol" t_analyze_clean_protocol;
     quick "analyze: malformed protocol" t_analyze_malformed_protocol;
     quick "report: ordering and exit policy" t_report_ordering;

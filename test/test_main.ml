@@ -24,6 +24,7 @@ let () =
       ("random-trees", Test_random_trees.suite);
       ("analysis", Test_analysis.suite);
       ("absint", Test_absint.suite);
+      ("depgraph", Test_depgraph.suite);
       ("infoflow", Test_infoflow.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);

@@ -165,6 +165,63 @@ let t_fault_parse_roundtrip () =
       | Error _ -> ())
     [ "crash"; "crash:x"; "drop:1.5"; "drop:-0.1"; "delay:-1"; "bogus:3" ]
 
+let t_fault_duplicates_rejected () =
+  List.iter
+    (fun s ->
+      match Fault.parse s with
+      | Ok _ -> Alcotest.failf "parse %S should reject the duplicate" s
+      | Error m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: error names the duplicate (%s)" s m)
+            true
+            (let has needle =
+               let n = String.length needle and l = String.length m in
+               let rec go i = i + n <= l && (String.sub m i n = needle || go (i + 1)) in
+               go 0
+             in
+             has "duplicate"))
+    [ "crash:1,crash:1"; "equiv:2,equiv:2"; "crash:1@3,crash:1@5";
+      "crash:0,drop:0.1,crash:0" ];
+  (* Same player, different kinds: legal (crash an equivocator). *)
+  (match Fault.parse "crash:1,equiv:1" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "crash+equiv on one player must parse: %s" m);
+  (* Repeated drop/delay stay last-wins, not rejected. *)
+  match Fault.parse "drop:0.1,drop:0.2,delay:3,delay:5" with
+  | Ok p ->
+      Alcotest.(check (float 1e-12)) "last drop wins" 0.2 (Fault.drop_prob p);
+      Alcotest.(check int) "last delay wins" 5 (Fault.max_jitter p)
+  | Error m -> Alcotest.failf "repeated drop/delay must stay legal: %s" m
+
+let t_fault_roundtrip_q =
+  qtest ~count:150 "random fault plans survive print/parse/print"
+    QCheck.(
+      quad
+        (option (pair (int_range 0 9) (int_range 0 20)))
+        (option (int_range 0 9))
+        (option (int_range 0 100))
+        (option (int_range 0 16)))
+    (fun (c, e, d, j) ->
+      let plan =
+        (match c with
+        | Some (p, s) -> [ Fault.Crash { player = p; after_sends = s } ]
+        | None -> [])
+        @ (match e with
+          | Some p -> [ Fault.Equivocate { player = p } ]
+          | None -> [])
+        @ (match d with
+          | Some k -> [ Fault.Drop { prob = float_of_int k /. 100. } ]
+          | None -> [])
+        @
+        match j with
+        | Some m -> [ Fault.Delay { max_jitter = m } ]
+        | None -> []
+      in
+      let s = Fault.to_string plan in
+      match Fault.parse s with
+      | Ok p -> Fault.to_string p = s
+      | Error m -> QCheck.Test.fail_reportf "parse %S: %s" s m)
+
 let t_fault_budgets () =
   let plan =
     match Fault.parse "crash:1@4,equiv:2" with Ok p -> p | Error e -> failwith e
@@ -323,6 +380,165 @@ let t_runaway_maps_to_typed_error () =
   | _ -> Alcotest.fail "sync runaway must be typed"
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined mode: certificate-driven wave batching                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The pipelining certificate the analysis computes for an entry, in
+   the plain-array form [Emu.run] consumes. *)
+let cert_for (Reg.Entry e) =
+  Protocols.Verify_registry.sched_cert
+    (Analysis.Depgraph.analyze ~players:e.players ~domain:e.domain
+       (Lazy.force e.tree))
+
+let run_async_pipe e ~seed ~net_seed ~faults ~f ~cert =
+  let h = Reg.hosted e ~seed in
+  ( Emu.run ~k:h.Reg.k ~schedule:h.Reg.schedule ~players:h.Reg.players ?cert
+      ~config:{ Emu.f; seed = net_seed; faults }
+      (),
+    h )
+
+(* The pipelined totality contract: for every registry entry the
+   certificate-driven wave batching delivers a board byte-identical to
+   the sync engine, for any input seed and delivery-order seed — and
+   since [Emu.run] hard-errors on a happens-before race, success also
+   means the oracle stayed silent throughout. *)
+let t_pipelined_byte_identical =
+  qtest ~count:40 "pipelined fault-free emulation is byte-identical too"
+    QCheck.(pair (int_range 0 10_000) (int_range 0 10_000))
+    (fun (seed, net_seed) ->
+      List.for_all
+        (fun e ->
+          let cert = cert_for e in
+          if cert = None then
+            QCheck.Test.fail_reportf "%s: no certificate" (Reg.name e);
+          let sync_board, _ = run_sync e ~seed in
+          match
+            run_async_pipe e ~seed ~net_seed ~faults:Fault.none
+              ~f:(f_for_entry e) ~cert
+          with
+          | Ok (Emu.Delivered { board; stats; _ }), h ->
+              B.equal sync_board board
+              && h.Reg.output_of board = h.Reg.output_of sync_board
+              && stats.Emu.waves <= B.write_count board
+          | Ok (Emu.Stalled _), _ ->
+              QCheck.Test.fail_reportf "%s stalled fault-free" (Reg.name e)
+          | Error err, _ ->
+              QCheck.Test.fail_reportf "%s: %s" (Reg.name e)
+                (Emu.error_message err))
+        (Reg.all ()))
+
+let t_pipelined_fewer_barriers () =
+  (* and/broadcast-all: 4 independent slots. Sequentially that is four
+     network-quiescence barriers; under its certificate, one. *)
+  let e = Option.get (Reg.find "and/broadcast-all") in
+  let cert = cert_for e in
+  (match
+     run_async e ~seed:3 ~net_seed:17 ~faults:Fault.none ~f:(f_for_entry e)
+   with
+  | Ok (Emu.Delivered { stats; _ }), _ ->
+      Alcotest.(check int) "sequential: one barrier per slot" 4
+        stats.Emu.waves
+  | _ -> Alcotest.fail "sequential run failed");
+  match
+    run_async_pipe e ~seed:3 ~net_seed:17 ~faults:Fault.none
+      ~f:(f_for_entry e) ~cert
+  with
+  | Ok (Emu.Delivered { stats; _ }), _ ->
+      Alcotest.(check int) "pipelined: one barrier total" 1 stats.Emu.waves
+  | _ -> Alcotest.fail "pipelined run failed"
+
+let t_pipelined_crash_stall_matches_sequential () =
+  (* Crash a mid-wave speaker: the pipelined run must stall with the
+     same typed outcome as the sequential mode — earlier slots of the
+     wave committed, same delivered_slots/speaker/reason — and the two
+     stalled boards must be byte-identical prefixes. *)
+  let e = Option.get (Reg.find "and/broadcast-all") in
+  let cert = cert_for e in
+  let faults =
+    match Fault.parse "crash:2" with Ok p -> p | Error m -> failwith m
+  in
+  let seq_board, seq_slots, seq_speaker, seq_reason =
+    match run_async e ~seed:7 ~net_seed:23 ~faults ~f:1 with
+    | Ok (Emu.Stalled { board; delivered_slots; speaker; reason; _ }), _ ->
+        (board, delivered_slots, speaker, reason)
+    | _ -> Alcotest.fail "sequential run must stall on the dead speaker"
+  in
+  match run_async_pipe e ~seed:7 ~net_seed:23 ~faults ~f:1 ~cert with
+  | Ok (Emu.Stalled { board; delivered_slots; speaker; reason; _ }), _ ->
+      Alcotest.(check int) "same delivered prefix" seq_slots delivered_slots;
+      Alcotest.(check int) "slots before the crash committed" 2
+        delivered_slots;
+      Alcotest.(check int) "same stalled speaker" 2 speaker;
+      Alcotest.(check int) "sequential agrees on the speaker" 2 seq_speaker;
+      Alcotest.(check bool) "same typed reason" true
+        (reason = Emu.Speaker_crashed && seq_reason = Emu.Speaker_crashed);
+      Alcotest.(check bool) "same committed board" true
+        (B.equal seq_board board)
+  | _ -> Alcotest.fail "pipelined run must stall on the dead speaker"
+
+let t_pipelined_invalid_cert_refused () =
+  (* Correct chain read-sets squeezed into a single wave: structurally
+     unsound (a read inside its reader's own wave), refused up front. *)
+  let e = Option.get (Reg.find "and/sequential") in
+  let bad =
+    {
+      Netsim.Hbcheck.slots = 3;
+      reads = [| [||]; [| 0 |]; [| 0; 1 |] |];
+      waves = [| 0 |];
+    }
+  in
+  Alcotest.(check bool) "validate_cert rejects" true
+    (Result.is_error (Netsim.Hbcheck.validate_cert bad));
+  match
+    run_async_pipe e ~seed:1 ~net_seed:1 ~faults:Fault.none ~f:0
+      ~cert:(Some bad)
+  with
+  | exception Invalid_argument m ->
+      Alcotest.(check bool) "message names the certificate" true
+        (let has needle =
+           let n = String.length needle and l = String.length m in
+           let rec go i = i + n <= l && (String.sub m i n = needle || go (i + 1)) in
+           go 0
+         in
+         has "certificate")
+  | _ -> Alcotest.fail "an unsound certificate must be refused up front"
+
+let t_hbcheck_observe_replay () =
+  (* Record a pipelined broadcast-all run and audit the event stream
+     post-hoc: under the true certificate the replay is clean; under a
+     certificate claiming chain dependencies the very same stream shows
+     races (all four launches precede every delivery), proving the
+     recorded events carry enough ordering to re-judge a run. *)
+  let e = Option.get (Reg.find "and/broadcast-all") in
+  let cert = Option.get (cert_for e) in
+  let events = ref [] and wave_starts = ref 0 in
+  let sink =
+    Obs.Sink.custom (fun ev ->
+        (match ev.Obs.Event.payload with
+        | Obs.Event.Wave_start _ -> incr wave_starts
+        | _ -> ());
+        events := ev.Obs.Event.payload :: !events)
+  in
+  (match
+     Obs.Trace.with_sink sink (fun () ->
+         run_async_pipe e ~seed:5 ~net_seed:41 ~faults:Fault.none ~f:1
+           ~cert:(Some cert))
+   with
+  | Ok (Emu.Delivered _), _ -> ()
+  | _ -> Alcotest.fail "traced pipelined run failed");
+  let events = List.rev !events in
+  Alcotest.(check int) "one wave traced" 1 !wave_starts;
+  let replay cert =
+    let hb = Netsim.Hbcheck.create cert ~k:4 in
+    List.iter (Netsim.Hbcheck.observe hb) events;
+    hb
+  in
+  Alcotest.(check bool) "true certificate: replay is clean" true
+    (Netsim.Hbcheck.ok (replay cert));
+  Alcotest.(check bool) "chain certificate: same stream shows races" false
+    (Netsim.Hbcheck.ok (replay (Netsim.Hbcheck.sequential_cert ~slots:4)))
+
+(* ------------------------------------------------------------------ *)
 (* Obs accounting                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -383,6 +599,9 @@ let suite =
     quick "rbc: dedup and split votes" t_rbc_dedup_and_equivocation;
     quick "rbc: f+1 READY amplification" t_rbc_ready_amplification;
     quick "fault: parse/to_string round trip" t_fault_parse_roundtrip;
+    quick "fault: duplicate crash/equiv specs rejected"
+      t_fault_duplicates_rejected;
+    t_fault_roundtrip_q;
     quick "fault: budgets and equivocators" t_fault_budgets;
     t_faultfree_byte_identical;
     t_jitter_invariance;
@@ -393,6 +612,14 @@ let suite =
     t_equivocation_preserves_agreement;
     quick "runaway maps to a typed error on both runtimes"
       t_runaway_maps_to_typed_error;
+    t_pipelined_byte_identical;
+    quick "pipelined: fewer network barriers" t_pipelined_fewer_barriers;
+    quick "pipelined: crash-stall matches the sequential mode"
+      t_pipelined_crash_stall_matches_sequential;
+    quick "pipelined: unsound certificate refused up front"
+      t_pipelined_invalid_cert_refused;
+    quick "hbcheck: recorded event streams replay and re-judge"
+      t_hbcheck_observe_replay;
     quick "obs: per-message events reproduce the stats"
       t_obs_event_accounting;
     quick "obs: silent when disabled" t_obs_silent_when_disabled;
