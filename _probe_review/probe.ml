@@ -1,0 +1,37 @@
+module T = Proto.Tree
+module D = Prob.Dist_exact
+module Dg = Analysis.Depgraph
+
+let bit_domain = [| 0; 1 |]
+
+(* slot0: player 0 posts its bit.
+   slot1: player 0 speaks again, const 0 in branch 0, const 1 in branch 1.
+   slot2: player 1 speaks, identity law in branch 0, NEGATED law in branch 1.
+   Player 1's slot-2 law depends on the branch -> it must read slot 0 or 1. *)
+let tree =
+  T.speak ~speaker:0 ~emit:D.return
+    [|
+      T.speak ~speaker:0 ~emit:(fun _ -> D.return 0)
+        [|
+          T.speak_det ~speaker:1 ~f:(fun b -> b) [| T.output 0; T.output 1 |];
+          T.output 9;
+        |];
+      T.speak ~speaker:0 ~emit:(fun _ -> D.return 1)
+        [|
+          T.output 9;
+          T.speak_det ~speaker:1 ~f:(fun b -> 1 - b) [| T.output 2; T.output 3 |];
+        |];
+    |]
+
+let () =
+  let dg = Dg.analyze ~domain:bit_domain tree in
+  Printf.printf "slots=%d waves=%d certified=%b widened=%b law_failures=%d\n"
+    dg.Dg.slots (Dg.wave_count dg) (Dg.certificate dg <> None)
+    dg.Dg.widened dg.Dg.law_failures;
+  Array.iteri
+    (fun t rs ->
+      Printf.printf "slot %d reads {%s} speakers {%s} out_rel=%b\n" t
+        (String.concat "," (List.map string_of_int rs))
+        (String.concat "," (List.map string_of_int dg.Dg.speakers.(t)))
+        dg.Dg.output_relevant.(t))
+    dg.Dg.reads
