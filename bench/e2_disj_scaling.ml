@@ -164,8 +164,29 @@ let run_small () =
              I tv.Protocols.Disj_common.bits;
            ])
        data);
+  (* Compiled-VM gate: every registry entry must produce a byte-identical
+     board under the flat-bytecode engine and the tree walker. CI asserts
+     this metric is 1 on every push (see .github/workflows/ci.yml). *)
+  let identical = ref true in
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun seed ->
+          let t = Protocols.Registry.run_on_board entry ~seed in
+          let c = Protocols.Registry.run_on_board_compiled entry ~seed in
+          if
+            not
+              (Blackboard.Board.equal t.Protocols.Registry.board
+                 c.Protocols.Registry.board
+              && t.Protocols.Registry.output = c.Protocols.Registry.output)
+          then identical := false)
+        [ 0; 1; 2 ])
+    (Protocols.Registry.all ());
+  Exp_util.record_i "compiled_identical_all" (if !identical then 1 else 0);
   Exp_util.note
-    "Expected: rows byte-identical to the committed full-run baseline."
+    "Expected: rows byte-identical to the committed full-run baseline;";
+  Exp_util.note
+    "compiled_identical_all = 1 (VM engine bit-exact vs tree walker)."
 
 let run_ablations () =
   Exp_util.heading "E2-abl1"

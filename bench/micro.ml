@@ -42,6 +42,15 @@ let tests () =
     done;
     Coding.Bitbuf.Writer.freeze w
   in
+  (* Flat-VM kernels (PR 9): tree -> bytecode compilation, the scalar
+     evaluator, and the 62-lane bit-sliced sweep over the full input
+     cube — the three stages of the compiled sweep pipeline. *)
+  let and6_compiled =
+    Proto.Compile.compile ~players:6 ~domain:[| 0; 1 |] and_tree6
+  in
+  let and6_profiles =
+    Array.init 64 (fun i -> Array.init 6 (fun j -> (i lsr j) land 1))
+  in
   [
     Test.make ~name:"bitvec-append-4096"
       (Staged.stage (fun () -> ignore (Coding.Bitvec.append vec_4096 vec_4096)));
@@ -105,6 +114,22 @@ let tests () =
     Test.make ~name:"transcript-dist-two-copy"
       (Staged.stage (fun () ->
            ignore (Proto.Semantics.transcript_dist two_copy two_copy_input)));
+    Test.make ~name:"compile-tree-and6"
+      (Staged.stage (fun () ->
+           ignore (Proto.Compile.compile ~players:6 ~domain:[| 0; 1 |] and_tree6)));
+    Test.make ~name:"compile-tree-exec-and6"
+      (Staged.stage
+         (let rng = Prob.Rng.of_int_seed 5 in
+          let sample s = Prob.Sampler.draw s rng in
+          fun () ->
+            ignore
+              (Proto.Compile.exec and6_compiled ~sample
+                 ~input_indices:[| 1; 1; 1; 1; 1; 1 |])));
+    Test.make ~name:"compile-tree-batch-sweep-and6-64"
+      (Staged.stage (fun () ->
+           ignore
+             (Proto.Compile.exec_sweep and6_compiled
+                ~input_indices:and6_profiles)));
   ]
 
 (* Spot check of the Obs overhead policy (DESIGN.md section 8): with the
@@ -152,6 +177,49 @@ let null_sink_alloc_check () =
   Exp_util.note "  guarded netsim Rbc_echo emit: %.5f   (expected: ~0)"
     guarded_netsim_emit
 
+(* Regression guard for the word-aligned Bitvec fast path (PR 9): the
+   56-bit [word_at] scan must beat the bit-at-a-time loop it replaced
+   in the disjointness solvers. Measured directly (not via bechamel)
+   so the ratio lands in BENCH.json as a single gateable metric. *)
+let bitvec_word_regression () =
+  let bits = 1 lsl 16 in
+  let v =
+    let w = Coding.Bitbuf.Writer.create () in
+    for i = 0 to (bits / 32) - 1 do
+      Coding.Bitbuf.Writer.add_bits w (i * 0x9e3779b1 land 0x3fffffff) 32
+    done;
+    Coding.Bitbuf.Writer.freeze w
+  in
+  let words = Coding.Bitvec.word_count v in
+  let sink = ref 0 in
+  let per_iter reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let word_t =
+    per_iter 2000 (fun () ->
+        for w = 0 to words - 1 do
+          sink := !sink lxor Coding.Bitvec.word_at v w
+        done)
+  in
+  let bit_t =
+    per_iter 50 (fun () ->
+        let acc = ref 0 in
+        for i = 0 to bits - 1 do
+          if Coding.Bitvec.get v i then incr acc
+        done;
+        sink := !sink lxor !acc)
+  in
+  let speedup = bit_t /. word_t in
+  assert (speedup > 1.0);
+  Exp_util.record_f "bitvec_word_speedup" speedup;
+  Exp_util.note
+    "bitvec word_at scan vs bit loop over %d bits: %.0fx faster (%.2f vs %.2f us/scan)"
+    bits speedup (word_t *. 1e6) (bit_t *. 1e6)
+
 let run () =
   Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run, OLS fit)";
   let cfg =
@@ -193,4 +261,5 @@ let run () =
        (fun (name, ns) ->
          Obs.Jsonw.[ ("kernel", String name); ("ns_per_run", Float ns) ])
        rows);
-  null_sink_alloc_check ()
+  null_sink_alloc_check ();
+  bitvec_word_regression ()

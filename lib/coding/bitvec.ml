@@ -26,6 +26,46 @@ let unsafe_of_bytes data ~len =
     invalid_arg "Bitvec.unsafe_of_bytes: bad length";
   { data; len }
 
+(* ------------------------------------------------------------------ *)
+(* Whole-word access.                                                  *)
+(*                                                                     *)
+(* 56-bit words (seven bytes) are the widest window that a single      *)
+(* unaligned [Bytes.get_int64_le] can serve while the result — and     *)
+(* every shifted intermediate — still fits OCaml's 63-bit native int.  *)
+(* Bit [i] of [word_at t w] is bit [56*w + i] of the vector, matching  *)
+(* the LSB-first byte layout, so whole-word consumers (the bit-sliced  *)
+(* VM, the trivial-protocol intersection) see the same bit order as    *)
+(* [get].                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let word_bits = 56
+let word_mask = (1 lsl word_bits) - 1
+let word_count t = (t.len + word_bits - 1) / word_bits
+
+let word_at t w =
+  let bit = w * word_bits in
+  if w < 0 || bit >= t.len then invalid_arg "Bitvec.word_at: out of bounds";
+  let byte = w * 7 in
+  let raw =
+    if byte + 8 <= Bytes.length t.data then
+      (* One unaligned load; [Int64.to_int] keeps the low 63 bits and
+         the mask below keeps 56, so the dropped sign bit is harmless. *)
+      Int64.to_int (Bytes.get_int64_le t.data byte) land word_mask
+    else begin
+      (* Tail of the buffer: gather the in-range bytes. *)
+      let hi = Stdlib.min 7 (Bytes.length t.data - byte) in
+      let u = ref 0 in
+      for i = hi - 1 downto 0 do
+        u := (!u lsl 8) lor Char.code (Bytes.unsafe_get t.data (byte + i))
+      done;
+      !u
+    end
+  in
+  (* Zero-pad past [len]: bytes beyond [bytes_needed len] are not
+     governed by the trailing-zero invariant. *)
+  let live = t.len - bit in
+  if live >= word_bits then raw else raw land ((1 lsl live) - 1)
+
 (* OR [len] bits of [src] starting at bit [spos] into [dst] starting at
    bit [dpos]. The destination bits must currently be zero (the callers
    below always blit into fresh zeroed buffers). Works a byte at a time:
@@ -50,7 +90,31 @@ let unsafe_blit src spos dst dpos len =
     end
     else begin
       let srclen = Bytes.length src in
+      let dstlen = Bytes.length dst in
       let i = ref 0 in
+      (* Whole-word path: 48 bits per iteration via unaligned 8-byte
+         loads/stores. 48 = the widest chunk whose shifted image
+         [u lsl d_o] (d_o <= 7) still fits a native int. Falls back to
+         the byte loop when either 8-byte window would run off a
+         buffer, and for the sub-word tail. *)
+      while
+        len - !i >= 48
+        && ((spos + !i) lsr 3) + 8 <= srclen
+        && ((dpos + !i) lsr 3) + 8 <= dstlen
+      do
+        let sp = spos + !i in
+        let sb = sp lsr 3 and so = sp land 7 in
+        let u =
+          Int64.to_int
+            (Int64.shift_right_logical (Bytes.get_int64_le src sb) so)
+          land 0xFFFF_FFFF_FFFF
+        in
+        let dp = dpos + !i in
+        let db = dp lsr 3 and d_o = dp land 7 in
+        Bytes.set_int64_le dst db
+          (Int64.logor (Bytes.get_int64_le dst db) (Int64.of_int (u lsl d_o)));
+        i := !i + 48
+      done;
       while !i < len do
         let chunk = min 8 (len - !i) in
         let sp = spos + !i in

@@ -26,6 +26,25 @@ val extract : t -> pos:int -> len:int -> t
 val equal : t -> t -> bool
 (** Byte-level comparison (lengths, then packed words). *)
 
+(** {1 Whole-word access}
+
+    56-bit windows onto the packed representation: the widest chunk a
+    single unaligned 8-byte load can serve within OCaml's 63-bit native
+    int. The bit-sliced protocol VM and the word-level intersection
+    scans consume vectors this way, ~56 bits per load instead of one
+    {!get} per bit. *)
+
+val word_bits : int
+(** Bits per word: 56. *)
+
+val word_count : t -> int
+(** [ceil (length t / word_bits)]. *)
+
+val word_at : t -> int -> int
+(** [word_at t w] is bits [56w, 56w+56) of [t] packed LSB-first into a
+    native int, zero-padded past [length t].
+    @raise Invalid_argument unless [0 <= 56w < length t]. *)
+
 val of_string : string -> t
 (** Parse a ['0'/'1'] string. @raise Invalid_argument on other chars. *)
 

@@ -80,9 +80,191 @@ let rank_reference ~z subset =
   in
   go 0 1 B.zero subset B.zero
 
+(* ------------------------------------------------------------------ *)
+(* Chunked fast paths.                                                 *)
+(*                                                                     *)
+(* The scans above pay three accumulator passes (one multiply, two     *)
+(* inside the exact division) per {e position} of [0, z). The chunked  *)
+(* variants batch each run of advance steps into two multi-limb        *)
+(* products — numerator [prod (c+1 .. c+g)] and denominator            *)
+(* [prod (c+1-j .. c+g-j)] — and pay one multiply and one exact        *)
+(* division per {e run}, cutting limb work by ~2.5x on the E2          *)
+(* combinatorial batches where the running binomial is ~20k bits.      *)
+(* Results are bit-identical: the same integers, computed through the  *)
+(* same algebraic identities, just regrouped.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Cap on factors per chunk: bounds the temporary product size (and the
+   float-drift window of the guided unrank) without hurting the common
+   short runs. *)
+let chunk_max = 256
+
+(* Certainty margin (in log2) for the float-guided unrank: the jump
+   estimator only skips a position when the approximate log-gap between
+   the running binomial and the remaining index exceeds this. The
+   accumulated float error per chunk is < 1e-11, so 1e-6 is sound by
+   five orders of magnitude; every selection is still decided by exact
+   comparison. *)
+let jump_eps = 1e-6
+
+let ntz x =
+  let n = ref 0 and v = ref x in
+  while !v land 1 = 0 do
+    incr n;
+    v := !v lsr 1
+  done;
+  !n
+
+(* Shared chunk state, so a whole scan reuses four buffers. *)
+type chunk_state = {
+  p1 : B.Acc.acc;  (* numerator product *)
+  p2 : B.Acc.acc;  (* odd part of the denominator product *)
+  scratch : B.Acc.acc;
+}
+
+let make_chunk_state () =
+  { p1 = B.Acc.create (); p2 = B.Acc.create (); scratch = B.Acc.create () }
+
+(* b <- b * prod_t num(t) / prod_t den(t) for t in [0, g): one multiply,
+   one shift, one odd exact division. All factors must be positive and
+   single-limb; the quotient must be integral (binomial identities
+   guarantee it at every call site). *)
+let chunk_apply st b ~g ~num ~den =
+  B.Acc.set_int st.p1 1;
+  B.Acc.set_int st.p2 1;
+  let twos = ref 0 in
+  for t = 0 to g - 1 do
+    B.Acc.mul_small st.p1 (num t);
+    let f = den t in
+    let s = ntz f in
+    twos := !twos + s;
+    B.Acc.mul_small st.p2 (f lsr s)
+  done;
+  B.Acc.mul_acc ~scratch:st.scratch b st.p1;
+  B.Acc.shift_right_exact b !twos;
+  B.Acc.div_exact_acc b st.p2
+
+let rank_chunked ~z subset =
+  check_sorted ~z subset;
+  let b = B.Acc.create () in
+  let rank = B.Acc.create () in
+  let st = make_chunk_state () in
+  (* State: b = C(c, j) with j = one more than the elements consumed;
+     b = 0 iff c < j, exactly as in {!rank_acc}. *)
+  let c = ref 0 and j = ref 1 in
+  let advance_to e =
+    if B.Acc.is_zero b then begin
+      (* c < j. If the target clears the diagonal, rebuild C(e, j) from
+         scratch (j small-factor steps); otherwise it is still 0. *)
+      if e >= !j then begin
+        B.Acc.set_int b 1;
+        for i = 0 to !j - 1 do
+          B.Acc.mul_small b (e - i);
+          B.Acc.div_exact_small b (i + 1)
+        done
+      end;
+      c := e
+    end
+    else
+      while !c < e do
+        let g = Stdlib.min (e - !c) chunk_max in
+        let c0 = !c and j0 = !j in
+        (* C(c+g, j) = C(c, j) * prod (c+1 .. c+g) / prod (c+1-j .. c+g-j);
+           all denominator factors are >= 1 because b <> 0 forces c >= j. *)
+        chunk_apply st b ~g
+          ~num:(fun t -> c0 + 1 + t)
+          ~den:(fun t -> c0 + 1 + t - j0);
+        c := c0 + g
+      done
+  in
+  List.iter
+    (fun e ->
+      advance_to e;
+      if not (B.Acc.is_zero b) then B.Acc.add_acc rank b;
+      if !c < !j + 1 then B.Acc.set_int b 0
+      else begin
+        B.Acc.mul_small b (!c - !j);
+        B.Acc.div_exact_small b (!j + 1)
+      end;
+      incr j)
+    subset;
+  B.Acc.to_t rank
+
+let unrank_chunked ~z ~m index =
+  if m = 0 then []
+  else begin
+    let b = B.Acc.of_t (B.binomial (z - 1) m) in
+    let rem = B.Acc.of_t index in
+    let st = make_chunk_state () in
+    let lb = ref (B.Acc.log2_approx b) in
+    let lr = ref (B.Acc.log2_approx rem) in
+    let c = ref (z - 1) and i = ref m in
+    let acc = ref [] in
+    let finished = ref false in
+    (* One exact greedy step: select c when C(c, i) <= rem, else step
+       down to C(c-1, i) — byte-for-byte the {!unrank_acc} recurrence. *)
+    let single_step () =
+      if B.Acc.compare_acc b rem <= 0 then begin
+        B.Acc.sub_acc rem b;
+        lr := B.Acc.log2_approx rem;
+        acc := !c :: !acc;
+        if !i = 1 then finished := true
+        else begin
+          B.Acc.mul_small b !i;
+          B.Acc.div_exact_small b !c (* C(c-1, i-1) *);
+          decr i;
+          decr c;
+          lb := B.Acc.log2_approx b
+        end
+      end
+      else begin
+        B.Acc.mul_small b (!c - !i);
+        B.Acc.div_exact_small b !c (* C(c-1, i) *);
+        decr c;
+        lb := B.Acc.log2_approx b
+      end
+    in
+    while not !finished do
+      if !lb > !lr +. jump_eps && !c > !i then begin
+        (* Certainly no selection here. Estimate how many descent steps
+           keep it certain, then take them as one chunk:
+           C(c-g, i) = C(c, i) * prod (c-i-t) / prod (c-t), t in [0, g). *)
+        let gmax = Stdlib.min chunk_max (!c - !i) in
+        let g = ref 0 and est = ref !lb in
+        let continue = ref true in
+        while !continue && !g < gmax do
+          let cc = !c - !g in
+          let next =
+            !est
+            +. Float.log2 (float_of_int (cc - !i))
+            -. Float.log2 (float_of_int cc)
+          in
+          if next > !lr +. jump_eps then begin
+            est := next;
+            incr g
+          end
+          else continue := false
+        done;
+        if !g > 0 then begin
+          let c0 = !c and i0 = !i and g = !g in
+          chunk_apply st b ~g
+            ~num:(fun t -> c0 - t - i0)
+            ~den:(fun t -> c0 - t);
+          c := c0 - g;
+          (* Re-anchor the estimate on the exact value: float drift
+             never accumulates across chunks. *)
+          lb := B.Acc.log2_approx b
+        end
+        else single_step ()
+      end
+      else single_step ()
+    done;
+    !acc
+  end
+
 let rank ~z subset =
   (* Acc factors must be single-limb; z in the billions falls back. *)
-  if z < 1 lsl 30 then rank_acc ~z subset else rank_reference ~z subset
+  if z < 1 lsl 30 then rank_chunked ~z subset else rank_reference ~z subset
 
 (* Greedy from the largest element down, maintaining the running
    binomial incrementally (each step is an in-place small-int
@@ -133,7 +315,7 @@ let unrank_reference ~z ~m index =
 
 let unrank ~z ~m index =
   if m < 0 || m > z then invalid_arg "Subset_codec.unrank: bad m";
-  if z < 1 lsl 30 then unrank_acc ~z ~m index
+  if z < 1 lsl 30 then unrank_chunked ~z ~m index
   else unrank_reference ~z ~m index
 
 (* One-slot memo: within a protocol cycle every batch shares (z, m) up
@@ -156,17 +338,36 @@ let code_bits ~z ~m =
     bits
   end
 
+(* One-slot decode memo. [unrank] is a pure function of the public
+   triple (z, m, index); in a protocol run every write is decoded right
+   back off the board by the listening players, so caching the last
+   (triple -> subset) pair at encode time turns those decodes into an
+   exact-match check (a limb compare) instead of a second full scan.
+   A miss — decoding a vector this process never encoded — falls
+   through to the real [unrank]. Atomic for the same reason as the
+   width memo above. *)
+let unrank_memo = Atomic.make None
+
 let write w ~z subset =
   let m = List.length subset in
   let bits = code_bits ~z ~m in
-  Bitbuf.Writer.add_bigint_bits w (rank ~z subset) bits
+  let index = rank ~z subset in
+  Bitbuf.Writer.add_bigint_bits w index bits;
+  Atomic.set unrank_memo (Some (z, m, index, subset))
 
 let read r ~z ~m =
   let bits = code_bits ~z ~m in
-  unrank ~z ~m (Bitbuf.Reader.read_bigint_bits r bits)
+  let index = Bitbuf.Reader.read_bigint_bits r bits in
+  match Atomic.get unrank_memo with
+  | Some (z', m', index', subset)
+    when z' = z && m' = m && Exact.Bigint.equal index' index ->
+      subset
+  | _ -> unrank ~z ~m index
 
 module For_testing = struct
   let rank_reference = rank_reference
   let unrank_reference = unrank_reference
+  let rank_acc = rank_acc
+  let unrank_acc = unrank_acc
   let code_bits_uncached = code_bits_uncached
 end

@@ -29,12 +29,21 @@ val read : Bitbuf.Reader.t -> z:int -> m:int -> int list
 
 (** {1 Testing hooks}
 
-    The pre-accumulator scans on the immutable bigint API, kept as
-    differential references for the in-place fast path. *)
+    Two reference tiers for the chunked fast path: the pre-accumulator
+    scans on the immutable bigint API, and the per-factor in-place
+    accumulator scans they were first replaced by. The production
+    dispatch uses chunked multi-limb scans; the differential suite
+    checks all three agree. *)
 
 module For_testing : sig
   val rank_reference : z:int -> int list -> Exact.Bigint.t
   val unrank_reference : z:int -> m:int -> Exact.Bigint.t -> int list
+
+  val rank_acc : z:int -> int list -> Exact.Bigint.t
+  (** Per-factor in-place scan (one [mul_small] + [div_exact_small] per
+      position of [\[0, z)]) — the mid-tier reference. *)
+
+  val unrank_acc : z:int -> m:int -> Exact.Bigint.t -> int list
 
   val code_bits_uncached : z:int -> m:int -> int
   (** {!code_bits} without the one-slot memo. *)

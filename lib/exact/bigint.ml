@@ -398,6 +398,18 @@ let to_int_exn x =
   | Some n -> n
   | None -> invalid_arg "Bigint.to_int_exn: out of range"
 
+let log2_approx x =
+  let l = Array.length x.mag in
+  if l = 0 then neg_infinity
+  else begin
+    let top = float_of_int x.mag.(l - 1) in
+    let v =
+      if l >= 2 then (top *. float_of_int base) +. float_of_int x.mag.(l - 2)
+      else top
+    in
+    Float.log2 v +. float_of_int (Stdlib.max 0 (l - 2) * base_bits)
+  end
+
 let to_float x =
   let f =
     Array.fold_right
@@ -520,14 +532,15 @@ module Acc = struct
     if m = 0 then a.len <- 0
     else if a.len > 0 then begin
       ensure a (a.len + 1);
+      let am = a.mag in
       let carry = ref 0 in
       for i = 0 to a.len - 1 do
-        let s = (a.mag.(i) * m) + !carry in
-        a.mag.(i) <- s land base_mask;
+        let s = (Array.unsafe_get am i * m) + !carry in
+        Array.unsafe_set am i (s land base_mask);
         carry := s lsr base_bits
       done;
       if !carry <> 0 then begin
-        a.mag.(a.len) <- !carry;
+        am.(a.len) <- !carry;
         a.len <- a.len + 1
       end
     end
@@ -548,16 +561,36 @@ module Acc = struct
     !x land base_mask
 
   let shift_right_exact a s =
-    if s > 0 then begin
-      if a.len > 0 && a.mag.(0) land ((1 lsl s) - 1) <> 0 then
-        invalid_arg "Bigint.Acc.div_exact_small: not divisible";
-      for i = 0 to a.len - 1 do
-        let hi = if i + 1 < a.len then a.mag.(i + 1) else 0 in
-        a.mag.(i) <- (a.mag.(i) lsr s) lor (hi lsl (base_bits - s) land base_mask)
-      done;
-      while a.len > 0 && a.mag.(a.len - 1) = 0 do
-        a.len <- a.len - 1
-      done
+    if s > 0 && a.len > 0 then begin
+      (* Whole limbs first (must be zero), then the sub-limb remainder. *)
+      let ls = s / base_bits and bs = s mod base_bits in
+      if ls > 0 then begin
+        if ls >= a.len then begin
+          let rec nz i = i < a.len && (a.mag.(i) <> 0 || nz (i + 1)) in
+          if nz 0 then invalid_arg "Bigint.Acc.shift_right_exact: not divisible";
+          a.len <- 0
+        end
+        else begin
+          for i = 0 to ls - 1 do
+            if a.mag.(i) <> 0 then
+              invalid_arg "Bigint.Acc.shift_right_exact: not divisible"
+          done;
+          Array.blit a.mag ls a.mag 0 (a.len - ls);
+          a.len <- a.len - ls
+        end
+      end;
+      if bs > 0 && a.len > 0 then begin
+        if a.mag.(0) land ((1 lsl bs) - 1) <> 0 then
+          invalid_arg "Bigint.Acc.shift_right_exact: not divisible";
+        for i = 0 to a.len - 1 do
+          let hi = if i + 1 < a.len then a.mag.(i + 1) else 0 in
+          a.mag.(i) <-
+            (a.mag.(i) lsr bs) lor (hi lsl (base_bits - bs) land base_mask)
+        done;
+        while a.len > 0 && a.mag.(a.len - 1) = 0 do
+          a.len <- a.len - 1
+        done
+      end
     end
 
   let div_exact_small a d =
@@ -567,21 +600,24 @@ module Acc = struct
       d_odd := !d_odd lsr 1;
       incr s
     done;
+    if !s > 0 && a.len > 0 && a.mag.(0) land ((1 lsl !s) - 1) <> 0 then
+      invalid_arg "Bigint.Acc.div_exact_small: not divisible";
     shift_right_exact a !s;
     let d = !d_odd in
     if d > 1 then begin
       let inv = inv_mod_base d in
+      let am = a.mag in
       let carry = ref 0 in
       for i = 0 to a.len - 1 do
-        let cur = a.mag.(i) - !carry in
+        let cur = Array.unsafe_get am i - !carry in
         let q = cur * inv land base_mask in
-        a.mag.(i) <- q;
+        Array.unsafe_set am i q;
         (* (q * d - cur) is a non-negative multiple of 2^30 *)
         carry := ((q * d) - cur) lsr base_bits
       done;
       if !carry <> 0 then
         invalid_arg "Bigint.Acc.div_exact_small: not divisible";
-      while a.len > 0 && a.mag.(a.len - 1) = 0 do
+      while a.len > 0 && am.(a.len - 1) = 0 do
         a.len <- a.len - 1
       done
     end
@@ -599,6 +635,176 @@ module Acc = struct
           else go (i - 1)
         in
         go (lx - 1)
+
+  (* ---------------------------------------------------------------- *)
+  (* Multi-limb extensions: one multiply and one exact division per   *)
+  (* factor *chunk* in the subset-codec scans, instead of per factor. *)
+  (* The inner loops use unsafe accesses — lengths are validated once *)
+  (* at entry, and these loops are the hottest code in the repo (the  *)
+  (* E2 combinatorial encoder spends its time here).                  *)
+  (* ---------------------------------------------------------------- *)
+
+  let compare_acc a b =
+    if a.len <> b.len then Stdlib.compare a.len b.len
+    else
+      let rec go i =
+        if i < 0 then 0
+        else if a.mag.(i) <> b.mag.(i) then Stdlib.compare a.mag.(i) b.mag.(i)
+        else go (i - 1)
+      in
+      go (a.len - 1)
+
+  let add_acc a b =
+    let n = Stdlib.max a.len b.len in
+    ensure a (n + 1);
+    let am = a.mag and bm = b.mag in
+    let carry = ref 0 in
+    for i = 0 to n - 1 do
+      let ai = if i < a.len then Array.unsafe_get am i else 0 in
+      let bi = if i < b.len then Array.unsafe_get bm i else 0 in
+      let s = ai + bi + !carry in
+      Array.unsafe_set am i (s land base_mask);
+      carry := s lsr base_bits
+    done;
+    if !carry <> 0 then begin
+      am.(n) <- !carry;
+      a.len <- n + 1
+    end
+    else begin
+      a.len <- n;
+      while a.len > 0 && am.(a.len - 1) = 0 do
+        a.len <- a.len - 1
+      done
+    end
+
+  let sub_acc a b =
+    if compare_acc a b < 0 then invalid_arg "Bigint.Acc.sub_acc: negative";
+    let am = a.mag and bm = b.mag in
+    let borrow = ref 0 in
+    for i = 0 to a.len - 1 do
+      let bi = if i < b.len then Array.unsafe_get bm i else 0 in
+      let d = Array.unsafe_get am i - bi - !borrow in
+      if d < 0 then begin
+        Array.unsafe_set am i (d + base);
+        borrow := 1
+      end
+      else begin
+        Array.unsafe_set am i d;
+        borrow := 0
+      end
+    done;
+    while a.len > 0 && am.(a.len - 1) = 0 do
+      a.len <- a.len - 1
+    done
+
+  let mul_acc ~scratch a p =
+    if scratch == a || scratch == p then
+      invalid_arg "Bigint.Acc.mul_acc: scratch aliases an operand";
+    if p.len = 0 then a.len <- 0
+    else if a.len <> 0 then begin
+      let la = a.len and lp = p.len in
+      let n = la + lp in
+      ensure scratch n;
+      let r = scratch.mag and am = a.mag and pm = p.mag in
+      Array.fill r 0 n 0;
+      for i = 0 to lp - 1 do
+        let pi = Array.unsafe_get pm i in
+        if pi <> 0 then begin
+          let carry = ref 0 in
+          for j = 0 to la - 1 do
+            let s =
+              Array.unsafe_get r (i + j)
+              + (pi * Array.unsafe_get am j)
+              + !carry
+            in
+            Array.unsafe_set r (i + j) (s land base_mask);
+            carry := s lsr base_bits
+          done;
+          let k = ref (i + la) in
+          while !carry <> 0 do
+            let s = r.(!k) + !carry in
+            r.(!k) <- s land base_mask;
+            carry := s lsr base_bits;
+            incr k
+          done
+        end
+      done;
+      let len = ref n in
+      while !len > 0 && r.(!len - 1) = 0 do
+        decr len
+      done;
+      (* Swap buffers: the product becomes [a], [a]'s old buffer becomes
+         the scratch for the next call. *)
+      scratch.mag <- am;
+      scratch.len <- 0;
+      a.mag <- r;
+      a.len <- !len
+    end
+
+  let div_exact_acc a d =
+    if d.len = 0 then raise Division_by_zero;
+    if d.mag.(0) land 1 = 0 then
+      invalid_arg "Bigint.Acc.div_exact_acc: even divisor";
+    if a.len <> 0 then begin
+      if d.len = 1 then div_exact_small a d.mag.(0)
+      else begin
+        let la = a.len and ld = d.len in
+        if la < ld then invalid_arg "Bigint.Acc.div_exact_acc: not divisible";
+        let inv = inv_mod_base d.mag.(0) in
+        let lq = la - ld + 1 in
+        let am = a.mag and dm = d.mag in
+        (* Jebelean exact division, LSB-first: each quotient limb is the
+           residual's low limb times the divisor's inverse mod 2^30; the
+           subtraction of [q * d] clears that limb exactly, so the
+           quotient can be stored in place as the residual shrinks. *)
+        for i = 0 to lq - 1 do
+          let cur = Array.unsafe_get am i in
+          let q = cur * inv land base_mask in
+          if q <> 0 then begin
+            let borrow = ref 0 in
+            for t = 0 to ld - 1 do
+              let s = (q * Array.unsafe_get dm t) + !borrow in
+              (* Branchless borrow: [diff] is in (-2^30, 2^30), so its
+                 low 30 bits are the limb either way and bit 62 (the
+                 sign, after [lsr]) is the extra borrow. *)
+              let diff = Array.unsafe_get am (i + t) - (s land base_mask) in
+              Array.unsafe_set am (i + t) (diff land base_mask);
+              borrow := (s lsr base_bits) + (diff lsr 62)
+            done;
+            let t = ref (i + ld) in
+            while !borrow <> 0 do
+              if !t >= la then
+                invalid_arg "Bigint.Acc.div_exact_acc: not divisible";
+              let diff = am.(!t) - (!borrow land base_mask) in
+              am.(!t) <- diff land base_mask;
+              borrow := (!borrow lsr base_bits) + (diff lsr 62);
+              incr t
+            done
+          end;
+          Array.unsafe_set am i q
+        done;
+        for t = lq to la - 1 do
+          if am.(t) <> 0 then
+            invalid_arg "Bigint.Acc.div_exact_acc: not divisible"
+        done;
+        a.len <- lq;
+        while a.len > 0 && am.(a.len - 1) = 0 do
+          a.len <- a.len - 1
+        done
+      end
+    end
+
+  let log2_approx a =
+    if a.len = 0 then neg_infinity
+    else begin
+      let top = float_of_int a.mag.(a.len - 1) in
+      let v =
+        if a.len >= 2 then
+          (top *. float_of_int base) +. float_of_int a.mag.(a.len - 2)
+        else top
+      in
+      Float.log2 v +. float_of_int ((Stdlib.max 0 (a.len - 2)) * base_bits)
+    end
 end
 
 let binomial_acc n k =

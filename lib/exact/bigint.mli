@@ -86,6 +86,12 @@ val num_bits : t -> int
 
 val testbit : t -> int -> bool
 
+val log2_approx : t -> float
+(** [log2] of the magnitude from its top two limbs: exact to within one
+    float ulp of the true logarithm, never overflows, [neg_infinity]
+    for zero. For the float-guided jump estimation in the subset codec
+    — never a substitute for exact comparison. *)
+
 (** {1 In-place accumulator}
 
     A mutable non-negative integer for multiply-small / divide-small
@@ -121,6 +127,40 @@ module Acc : sig
 
   val compare_t : acc -> t -> int
   (** Compare the accumulated value against an immutable {!t}. *)
+
+  (** {2 Multi-limb operations}
+
+      Chunked scan support: the subset codec batches runs of small
+      factors into one multi-limb multiplier/divisor and pays one pass
+      over the accumulator per {e chunk} instead of per factor. *)
+
+  val compare_acc : acc -> acc -> int
+
+  val add_acc : acc -> acc -> unit
+  (** [add_acc a b] is [a <- a + b], in place. *)
+
+  val sub_acc : acc -> acc -> unit
+  (** [a <- a - b]. @raise Invalid_argument if [a < b]. *)
+
+  val mul_acc : scratch:acc -> acc -> acc -> unit
+  (** [mul_acc ~scratch a p] is [a <- a * p]. The product is built in
+      [scratch]'s buffer and the two buffers are swapped, so a reused
+      scratch makes the whole scan allocation-free. [scratch] must not
+      alias either operand (checked). *)
+
+  val div_exact_acc : acc -> acc -> unit
+  (** [div_exact_acc a d] is [a <- a / d] for an {e odd} divisor that
+      divides [a] exactly (multi-limb Jebelean division, LSB first).
+      Strip factors of two with {!shift_right_exact} first.
+      @raise Invalid_argument on an even divisor or inexact division.
+      @raise Division_by_zero on zero. *)
+
+  val shift_right_exact : acc -> int -> unit
+  (** [a <- a / 2^s], any [s >= 0]. @raise Invalid_argument if a
+      nonzero bit is shifted out. *)
+
+  val log2_approx : acc -> float
+  (** As {!Exact.Bigint.log2_approx}, on the accumulated value. *)
 end
 
 (** {1 Testing hooks}

@@ -10,7 +10,10 @@
 module R := Exact.Rational
 
 val default_work_cap : int
-(** Cap on (rectangles x points) for the exact sweeps (10^7). *)
+(** Cap on (rectangles x points) for the exact sweeps (1.6 x 10^8; the
+    per-rectangle inner loops run off precomputed per-point color and
+    signed-mass tables, so a work unit is an int compare or a rational
+    addition, not an [f] call). *)
 
 val partition_bound : ?prec:int -> Analysis.Infoflow.t -> R.t option
 (** [log2 (1 / max leaf mass)]: sound for sound {e deterministic}

@@ -47,27 +47,75 @@ let solve ?(encoding = Combinatorial) ?threshold inst =
   let n = inst.n in
   let threshold = match threshold with Some t -> t | None -> default_threshold k in
   let board = Blackboard.Board.create ~k in
-  let covered = Array.make n false in
+  (* Word-sliced shared state: player zero sets and the covered set live
+     in 62-bit planes, so the per-player scans below are word AND-NOTs
+     and popcounts instead of O(n) boolean loops. The board encodings
+     (and hence every bit count) are untouched. *)
+  let zw = zero_planes inst in
+  let nw = plane_words n in
+  let cw = Array.make nw 0 in
   let covered_count = ref 0 in
   let trace = ref [] in
-  let mark j =
-    if not covered.(j) then begin
-      covered.(j) <- true;
+  let mark c =
+    let w = c / plane_bits and b = 1 lsl (c mod plane_bits) in
+    if cw.(w) land b = 0 then begin
+      cw.(w) <- cw.(w) lor b;
       incr covered_count
     end
   in
+  (* Coordinate -> position in the cycle-start uncovered list. Refilled
+     for exactly the live coordinates by [uncovered], and only ever read
+     for coordinates still uncovered, so stale entries are harmless. *)
+  let pos_of = Array.make n 0 in
   let uncovered () =
-    let rec go j acc = if j < 0 then acc else go (j - 1) (if covered.(j) then acc else j :: acc) in
-    Array.of_list (go (n - 1) [])
+    let z_list = Array.make (n - !covered_count) 0 in
+    let idx = ref 0 in
+    for w = 0 to nw - 1 do
+      let base = w * plane_bits in
+      let valid =
+        if n - base >= plane_bits then (1 lsl plane_bits) - 1
+        else (1 lsl (n - base)) - 1
+      in
+      let live = ref (lnot cw.(w) land valid) in
+      while !live <> 0 do
+        let c = base + ntz_word !live in
+        z_list.(!idx) <- c;
+        pos_of.(c) <- !idx;
+        incr idx;
+        live := !live land (!live - 1)
+      done
+    done;
+    z_list
   in
-  (* Player j's live new zeros among the cycle-start uncovered list,
-     returned as positions within [z_list]. *)
-  let live_new_zero_positions z_list j =
+  (* Player j's live new zeros (zero of [j], not yet covered), counted
+     and enumerated word-parallel. Enumeration yields positions within
+     the cycle-start [z_list], ascending — any coordinate still
+     uncovered mid-cycle was uncovered at cycle start, so [pos_of] is
+     current for it. *)
+  let live_count j =
+    let zj = zw.(j) in
+    let t = ref 0 in
+    for w = 0 to nw - 1 do
+      t := !t + popcount (zj.(w) land lnot cw.(w))
+    done;
+    !t
+  in
+  let live_first ~limit j =
+    let zj = zw.(j) in
     let acc = ref [] in
-    Array.iteri
-      (fun pos c ->
-        if (not inst.sets.(j).(c)) && not covered.(c) then acc := pos :: !acc)
-      z_list;
+    let taken = ref 0 in
+    let w = ref 0 in
+    while !w < nw && !taken < limit do
+      let base = !w * plane_bits in
+      let live = ref (zj.(!w) land lnot cw.(!w)) in
+      while !live <> 0 && !taken < limit do
+        let c = base + ntz_word !live in
+        acc := pos_of.(c) :: !acc;
+        incr taken;
+        live := !live land (!live - 1)
+      done;
+      incr w
+    done;
     List.rev !acc
   in
   let write_batch ~player ~z_list positions =
@@ -112,9 +160,8 @@ let solve ?(encoding = Combinatorial) ?threshold inst =
     let player = ref 0 in
     while !player < k && !covered_count < n do
       let j = !player in
-      let zeros = live_new_zero_positions z_list j in
-      if List.length zeros >= m then begin
-        let batch = List.filteri (fun idx _ -> idx < m) zeros in
+      if live_count j >= m then begin
+        let batch = live_first ~limit:m j in
         write_batch ~player:j ~z_list batch;
         incr contributions;
         (* the other players decode the write off the board *)
@@ -139,7 +186,7 @@ let solve ?(encoding = Combinatorial) ?threshold inst =
     let bits_before = Blackboard.Board.total_bits board in
     let contributions = ref 0 in
     for j = 0 to k - 1 do
-      let zeros = live_new_zero_positions z_list j in
+      let zeros = live_first ~limit:max_int j in
       let w = Coding.Bitbuf.Writer.create () in
       Coding.Intcode.write_gamma0 w (List.length zeros);
       List.iter (fun p -> Coding.Intcode.write_fixed w ~bound:z p) zeros;

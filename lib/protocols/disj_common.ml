@@ -131,3 +131,51 @@ let enumerate ~n ~k =
     exact protocol trees ([1] = member). *)
 let to_bit_vectors inst =
   Array.map (Array.map (fun b -> if b then 1 else 0)) inst.sets
+
+(** {1 Word-sliced coordinate planes}
+
+    The operational solvers spend their scans asking, for every
+    coordinate, "is this a zero of player [j] not yet covered?". Packing
+    each player's zero set into 62-bit machine words (and the covered
+    set likewise) turns those [O(n)] boolean scans into [O(n/62)] word
+    AND-NOTs — the encodings on the board are unchanged, only the local
+    computation is word-parallel. 62 bits leaves the native int's top
+    bit clear, so every plane word is non-negative. *)
+
+let plane_bits = 62
+
+(* 16-bit-slice popcount table: four lookups per plane word. *)
+let popcount_tab =
+  let t = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set t i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get t (i lsr 1)) + (i land 1)))
+  done;
+  t
+
+let popcount x =
+  Char.code (Bytes.unsafe_get popcount_tab (x land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount_tab ((x lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount_tab ((x lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get popcount_tab (x lsr 48))
+
+let ntz_word x = popcount ((x land -x) - 1)
+
+let plane_words n = (n + plane_bits - 1) / plane_bits
+
+(** [zero_planes inst] packs each player's {e zero} coordinates: bit
+    [c mod 62] of word [c / 62] of plane [j] is set iff
+    [not inst.sets.(j).(c)]. *)
+let zero_planes inst =
+  let nw = plane_words inst.n in
+  Array.map
+    (fun row ->
+      let p = Array.make nw 0 in
+      Array.iteri
+        (fun c m ->
+          if not m then
+            p.(c / plane_bits) <-
+              p.(c / plane_bits) lor (1 lsl (c mod plane_bits)))
+        row;
+      p)
+    inst.sets

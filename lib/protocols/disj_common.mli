@@ -51,3 +51,27 @@ val enumerate : n:int -> k:int -> instance list
 val to_bit_vectors : instance -> int array array
 (** Convert to the coordinate-vector shape of the exact protocol
     trees ([1] = member). *)
+
+(** {1 Word-sliced coordinate planes}
+
+    62-bit machine-word packing of per-player zero sets, shared by the
+    operational solvers: coordinate scans become word AND-NOTs plus
+    popcounts, with the board encodings untouched. *)
+
+val plane_bits : int
+(** Bits per plane word: 62 (the native int's top bit stays clear, so
+    plane words are always non-negative). *)
+
+val plane_words : int -> int
+(** Words needed for an [n]-coordinate plane. *)
+
+val zero_planes : instance -> int array array
+(** [zero_planes inst] is one plane per player; bit [c mod 62] of word
+    [c / 62] of plane [j] is set iff coordinate [c] is a {e zero} of
+    player [j]. *)
+
+val popcount : int -> int
+(** Set bits of a non-negative int (16-bit table slices). *)
+
+val ntz_word : int -> int
+(** Trailing zeros of a nonzero non-negative int. *)

@@ -13,24 +13,32 @@ let solve inst =
   let k = k_of inst in
   let n = inst.n in
   let board = Blackboard.Board.create ~k in
-  let covered = Array.make n false in
+  (* Word-sliced two-pass scan (count, then encode): the per-player
+     "zero and not yet covered" test is a plane AND-NOT, enumerated in
+     ascending coordinate order so the encoded stream is identical to
+     the per-coordinate loop it replaces. *)
+  let zw = zero_planes inst in
+  let nw = plane_words n in
+  let cw = Array.make nw 0 in
   let covered_count = ref 0 in
   for j = 0 to k - 1 do
-    (* Direct two-pass array scan (count, then encode): no intermediate
-       coordinate list, zero allocation per player. *)
-    let set = inst.sets.(j) in
+    let zj = zw.(j) in
     let zeros = ref 0 in
-    for c = 0 to n - 1 do
-      if (not set.(c)) && not covered.(c) then incr zeros
+    for w = 0 to nw - 1 do
+      zeros := !zeros + popcount (zj.(w) land lnot cw.(w))
     done;
     let w = Coding.Bitbuf.Writer.create () in
     (if !zeros = 0 then Coding.Bitbuf.Writer.add_bit w false
      else begin
        Coding.Bitbuf.Writer.add_bit w true;
        Coding.Intcode.write_gamma w !zeros;
-       for c = 0 to n - 1 do
-         if (not set.(c)) && not covered.(c) then
-           Coding.Intcode.write_fixed w ~bound:n c
+       for wi = 0 to nw - 1 do
+         let base = wi * plane_bits in
+         let live = ref (zj.(wi) land lnot cw.(wi)) in
+         while !live <> 0 do
+           Coding.Intcode.write_fixed w ~bound:n (base + ntz_word !live);
+           live := !live land (!live - 1)
+         done
        done
      end);
     Blackboard.Board.post board ~player:j ~label:"zeros" w;
@@ -43,8 +51,9 @@ let solve inst =
           let count = Coding.Intcode.read_gamma r in
           for _ = 1 to count do
             let c = Coding.Intcode.read_fixed r ~bound:n in
-            if not covered.(c) then begin
-              covered.(c) <- true;
+            let cword = c / plane_bits and cbit = 1 lsl (c mod plane_bits) in
+            if cw.(cword) land cbit = 0 then begin
+              cw.(cword) <- cw.(cword) lor cbit;
               incr covered_count
             end
           done

@@ -12,17 +12,21 @@ let solve inst =
     Coding.Bitbuf.Writer.add_bools w inst.sets.(j);
     Blackboard.Board.post board ~player:j ~label:"charvec" w
   done;
-  (* Decode all vectors from the board and intersect. *)
+  (* Decode all vectors from the board and intersect, a 56-bit word at
+     a time: the posted vectors are already the packed characteristic
+     vectors, so the intersection is a word-AND across players. *)
   let decoded =
-    List.map
-      (fun wr ->
-        let r = Blackboard.Board.reader_of_write wr in
-        Array.init n (fun _ -> Coding.Bitbuf.Reader.read_bit r))
-      (Blackboard.Board.writes board)
+    List.map (fun wr -> wr.Blackboard.Board.vec) (Blackboard.Board.writes board)
   in
   let intersect = ref false in
-  for j = 0 to n - 1 do
-    if List.for_all (fun v -> v.(j)) decoded then intersect := true
+  let nwords = (n + Coding.Bitvec.word_bits - 1) / Coding.Bitvec.word_bits in
+  for w = 0 to nwords - 1 do
+    let inter =
+      List.fold_left
+        (fun acc v -> acc land Coding.Bitvec.word_at v w)
+        (-1) decoded
+    in
+    if inter <> 0 then intersect := true
   done;
   {
     answer = not !intersect;

@@ -186,6 +186,67 @@ let run_on_board (Entry { name; players; domain; tree; _ }) ~seed =
   { output; board; input_indices; msg_rounds = !rounds }
 
 (* ------------------------------------------------------------------ *)
+(* Compiled VM run mode: the same observable run as [run_on_board],    *)
+(* but off the flat bytecode from [Proto.Compile] instead of the tree  *)
+(* walker. Programs are compiled once per entry and cached; the cache  *)
+(* key is the entry name, which [register] keeps unique.               *)
+(* ------------------------------------------------------------------ *)
+
+let compiled_cache : (string, Proto.Compile.t) Hashtbl.t = Hashtbl.create 16
+
+let compiled (Entry { name; players; domain; tree; _ }) =
+  match Hashtbl.find_opt compiled_cache name with
+  | Some p -> p
+  | None ->
+      let p = Proto.Compile.compile ~players ~domain (Lazy.force tree) in
+      Hashtbl.add compiled_cache name p;
+      p
+
+(** Byte-identical to {!run_on_board} on the same seed: the input draws
+    are the same, and each visited node draws from a sampler built from
+    the same float law ([Compile] interns laws up to exact-rational
+    equality, and [Prob.Sampler.create] is a pure function of the float
+    distribution), so the rng stream — and hence every message and the
+    board — is consumed identically. *)
+let run_on_board_compiled (Entry { name; players; domain; _ } as e) ~seed =
+  let p = compiled e in
+  let rng = Prob.Rng.of_int_seed seed in
+  let input_indices =
+    Array.init players (fun _ -> Prob.Rng.int rng (Array.length domain))
+  in
+  let board = Blackboard.Board.create ~k:players in
+  let traced = Obs.Trace.enabled () in
+  let rounds = ref 0 in
+  let on_msg ~speaker ~arity ~width:_ ~msg =
+    let round = !rounds in
+    incr rounds;
+    if traced then Obs.Trace.emit (Obs.Event.Round_start { round });
+    let w = Coding.Bitbuf.Writer.create () in
+    Coding.Intcode.write_fixed w ~bound:arity msg;
+    Blackboard.Board.post board ~player:speaker ~label:name w;
+    if traced then
+      Obs.Trace.emit
+        (Obs.Event.Round_end { round; bits = Coding.Intcode.fixed_width arity })
+  in
+  let sample s = Prob.Sampler.draw s rng in
+  let output =
+    Obs.Trace.with_span ("registry.compiled/" ^ name) (fun () ->
+        Proto.Compile.exec ~on_msg p ~sample ~input_indices)
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.bump "registry.compiled_runs" 1;
+    Obs.Metrics.bump "registry.msg_rounds" !rounds
+  end;
+  { output; board; input_indices; msg_rounds = !rounds }
+
+type engine = Tree_walk | Compiled
+
+let run ?(engine = Tree_walk) e ~seed =
+  match engine with
+  | Tree_walk -> run_on_board e ~seed
+  | Compiled -> run_on_board_compiled e ~seed
+
+(* ------------------------------------------------------------------ *)
 (* Engine-hosted form: the entry's tree as a board-driven schedule and *)
 (* speak/observe players, so registry protocols run under             *)
 (* Blackboard.Engine.run — or any other driver with the same shape,   *)

@@ -56,6 +56,25 @@ val run_on_board : entry -> seed:int -> run
     event bits equal [Blackboard.Runtime.stats_of_board] of the
     returned board. *)
 
+val compiled : entry -> Proto.Compile.t
+(** The entry's tree flattened by {!Proto.Compile.compile}, memoized
+    per entry name (names are unique, enforced by {!register}). *)
+
+val run_on_board_compiled : entry -> seed:int -> run
+(** Same observable run as {!run_on_board} — same input draws, same
+    board bytes, same trace events — executed on the compiled bytecode
+    instead of the tree walker. Laws are interned up to exact-rational
+    equality and [Prob.Sampler.create] is a pure function of the float
+    distribution, so the rng stream is consumed draw-for-draw
+    identically; the CI bench-smoke gate and [test_compile] check the
+    resulting boards with {!Blackboard.Board.equal}. *)
+
+type engine = Tree_walk | Compiled
+
+val run : ?engine:engine -> entry -> seed:int -> run
+(** [run ~engine e ~seed] dispatches to {!run_on_board} or
+    {!run_on_board_compiled}. Default [Tree_walk]. *)
+
 type hosted = {
   k : int;
   schedule : Blackboard.Board.t -> int option;

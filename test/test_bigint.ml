@@ -366,6 +366,72 @@ let t_acc_zero_and_set () =
     (B.div (B.pow (B.of_int 10) 50) (B.of_int (1 lsl 10)))
     (B.Acc.to_t a)
 
+(* Multi-limb accumulator ops vs the immutable API, on operands grown
+   well past one limb so carries, borrows and the Jebelean LSB-first
+   division all propagate across limb boundaries. *)
+let big_of x0 =
+  B.mul (B.of_int (abs x0))
+    (B.of_string "340282366920938463463374607431768211297")
+
+let prop_acc_add_sub_acc =
+  qtest "Acc.add_acc/sub_acc = add/sub" ~count:200 bigint_pair_gen
+    (fun (x0, y0) ->
+      let x = big_of x0 and y = big_of y0 in
+      let a = B.Acc.of_t x in
+      B.Acc.add_acc a (B.Acc.of_t y);
+      let sum_ok = B.equal (B.Acc.to_t a) (B.add x y) in
+      B.Acc.sub_acc a (B.Acc.of_t y);
+      sum_ok && B.equal (B.Acc.to_t a) x)
+
+let prop_acc_compare_acc =
+  qtest "Acc.compare_acc agrees with compare" ~count:200 bigint_pair_gen
+    (fun (x0, y0) ->
+      let x = big_of x0 and y = big_of y0 in
+      let c = B.Acc.compare_acc (B.Acc.of_t x) (B.Acc.of_t y) in
+      let r = B.compare x y in
+      (c = 0 && r = 0) || (c < 0 && r < 0) || (c > 0 && r > 0))
+
+let prop_acc_mul_acc =
+  qtest "Acc.mul_acc = mul on multi-limb operands" ~count:200
+    bigint_pair_gen (fun (x0, y0) ->
+      let x = big_of x0 and y = big_of y0 in
+      let a = B.Acc.of_t x in
+      B.Acc.mul_acc ~scratch:(B.Acc.create ()) a (B.Acc.of_t y);
+      B.equal (B.Acc.to_t a) (B.mul x y))
+
+let prop_acc_div_exact_acc =
+  qtest "Acc.div_exact_acc inverts mul_acc (odd divisors)" ~count:200
+    bigint_pair_gen (fun (x0, y0) ->
+      let x = big_of x0 in
+      (* odd multi-limb divisor, as div_exact_acc requires *)
+      let d = B.add (B.mul_int (big_of y0) 2) B.one in
+      let a = B.Acc.of_t x in
+      let da = B.Acc.of_t d in
+      B.Acc.mul_acc ~scratch:(B.Acc.create ()) a da;
+      B.Acc.div_exact_acc a da;
+      B.equal (B.Acc.to_t a) x)
+
+let prop_acc_shift_right_exact =
+  qtest "Acc.shift_right_exact = shift_right on planted powers"
+    ~count:200
+    (QCheck.pair (QCheck.int_range 0 1_000_000_000) (QCheck.int_range 0 130))
+    (fun (x0, s) ->
+      let x = B.shift_left (big_of x0) s in
+      let a = B.Acc.of_t x in
+      B.Acc.shift_right_exact a s;
+      B.equal (B.Acc.to_t a) (B.shift_right x s))
+
+let prop_log2_approx =
+  qtest "log2_approx within 1e-9 of num_bits window" ~count:200
+    (QCheck.pair (QCheck.int_range 1 1_000_000_000) (QCheck.int_range 0 200))
+    (fun (x0, s) ->
+      let x = B.shift_left (B.of_int x0) s in
+      let l = B.log2_approx x in
+      let bits = float_of_int (B.num_bits x) in
+      (* 2^(bits-1) <= x < 2^bits *)
+      bits -. 1. -. 1e-9 <= l && l <= bits +. 1e-9
+      && Float.abs (B.Acc.log2_approx (B.Acc.of_t x) -. l) < 1e-12)
+
 let prop_binomial_matches_reference =
   qtest "binomial (Acc path) = immutable iteration" ~count:100
     (QCheck.pair (QCheck.int_range 0 150) (QCheck.int_range 0 150))
@@ -409,5 +475,11 @@ let suite =
     prop_acc_compare_t;
     quick "Acc inexact division raises" t_acc_div_not_exact_raises;
     quick "Acc zero/set/shift paths" t_acc_zero_and_set;
+    prop_acc_add_sub_acc;
+    prop_acc_compare_acc;
+    prop_acc_mul_acc;
+    prop_acc_div_exact_acc;
+    prop_acc_shift_right_exact;
+    prop_log2_approx;
     prop_binomial_matches_reference;
   ]

@@ -50,6 +50,36 @@ let prop_extract_matches_slice =
         (V.extract (V.For_testing.of_bool_list bits) ~pos ~len)
       = slice)
 
+let prop_word_at_matches_gets =
+  qtest "word_at = 56 gets" bool_list_gen (fun bits ->
+      let v = V.For_testing.of_bool_list bits in
+      List.for_all
+        (fun w ->
+          let expect = ref 0 in
+          for b = min (V.length v - (w * V.word_bits)) V.word_bits - 1
+              downto 0 do
+            if V.get v ((w * V.word_bits) + b) then
+              expect := !expect lor (1 lsl b)
+          done;
+          V.word_at v w = !expect)
+        (List.init (V.word_count v) (fun w -> w)))
+
+(* The unaligned-append fast path (48-bit chunked blit) kicks in on
+   long appends at odd offsets; compare against the list model across
+   offsets that straddle its guard conditions. *)
+let prop_unaligned_long_append =
+  qtest "long unaligned append = list append" ~count:100
+    (QCheck.pair (QCheck.int_range 0 17)
+       (QCheck.int_range 0 1000))
+    (fun (off, seed) ->
+      let rng = Prob.Rng.of_int_seed seed in
+      let a = List.init off (fun _ -> Prob.Rng.bool rng) in
+      let b = List.init (200 + Prob.Rng.int rng 300)
+          (fun _ -> Prob.Rng.bool rng) in
+      V.For_testing.to_bool_list
+        (V.append (V.For_testing.of_bool_list a) (V.For_testing.of_bool_list b))
+      = a @ b)
+
 let prop_equal_iff_lists_equal =
   qtest "equal iff bool lists equal" (QCheck.pair bool_list_gen bool_list_gen)
     (fun (a, b) ->
@@ -234,6 +264,8 @@ let suite =
     prop_get_matches_nth;
     prop_append_matches_list_append;
     prop_extract_matches_slice;
+    prop_word_at_matches_gets;
+    prop_unaligned_long_append;
     prop_equal_iff_lists_equal;
     prop_string_roundtrip;
     prop_writer_matches_model;

@@ -224,6 +224,47 @@ let prop_unrank_matches_reference =
       S.unrank ~z ~m index = S.For_testing.unrank_reference ~z ~m index
       && S.unrank ~z ~m index = subset)
 
+let prop_rank_three_tiers =
+  qtest "rank: chunked = Acc scan = reference" ~count:120
+    (QCheck.pair (QCheck.int_range 1 400) (QCheck.int_range 0 100000))
+    (fun (z, seed) ->
+      let _, subset = random_subset (Prob.Rng.of_int_seed seed) z in
+      (* the public dispatcher picks the chunked path at these sizes *)
+      let r = S.rank ~z subset in
+      Exact.Bigint.equal r (S.For_testing.rank_acc ~z subset)
+      && Exact.Bigint.equal r (S.For_testing.rank_reference ~z subset))
+
+let prop_unrank_three_tiers =
+  qtest "unrank: chunked = Acc scan = reference" ~count:120
+    (QCheck.pair (QCheck.int_range 1 400) (QCheck.int_range 0 100000))
+    (fun (z, seed) ->
+      let m, subset = random_subset (Prob.Rng.of_int_seed seed) z in
+      let index = S.rank ~z subset in
+      S.unrank ~z ~m index = subset
+      && S.For_testing.unrank_acc ~z ~m index = subset
+      && S.For_testing.unrank_reference ~z ~m index = subset)
+
+(* Several subset codes in one stream: reading them back in write order
+   means every read but the last sees the write->read memo holding a
+   {e different} (later) write, so the decode fallback path is what's
+   exercised — plus the memo-hit path on the final read. *)
+let prop_stream_of_subsets =
+  qtest "subset stream roundtrip (stale memo falls back)" ~count:100
+    (QCheck.int_range 0 100000) (fun seed ->
+      let rng = Prob.Rng.of_int_seed seed in
+      let pairs =
+        List.init 5 (fun _ ->
+            let z = 10 + Prob.Rng.int rng 50 in
+            let _, s = random_subset rng z in
+            (z, s))
+      in
+      let w = W.create () in
+      List.iter (fun (z, s) -> S.write w ~z s) pairs;
+      let r = Rd.of_writer w in
+      List.for_all
+        (fun (z, s) -> S.read r ~z ~m:(List.length s) = s)
+        pairs)
+
 let prop_code_bits_memo =
   qtest "code_bits memo = uncached" ~count:150
     (QCheck.pair (QCheck.int_range 1 500) (QCheck.int_range 0 500))
@@ -280,6 +321,9 @@ let suite =
     prop_subset_roundtrip;
     prop_rank_matches_reference;
     prop_unrank_matches_reference;
+    prop_rank_three_tiers;
+    prop_unrank_three_tiers;
+    prop_stream_of_subsets;
     prop_code_bits_memo;
     prop_mixed_stream;
   ]
