@@ -51,7 +51,15 @@ let tests () =
   let and6_profiles =
     Array.init 64 (fun i -> Array.init 6 (fun j -> (i lsr j) land 1))
   in
+  (* Orbit-collapse kernel (PR 10): exact IC of sequential AND_12 via
+     the symmetry-reduced engine — 12 Hamming-weight classes instead of
+     a 4096-input sweep, fresh canonical-state table per run. *)
+  let and_tree12 = Protocols.And_protocols.sequential 12 in
+  let mu12_orbit = Protocols.Hard_dist.mu_and_orbit ~k:12 in
   [
+    Test.make ~name:"exact-ic-orbit-and12"
+      (Staged.stage (fun () ->
+           ignore (Proto.Information.external_ic_orbit and_tree12 mu12_orbit)));
     Test.make ~name:"bitvec-append-4096"
       (Staged.stage (fun () -> ignore (Coding.Bitvec.append vec_4096 vec_4096)));
     Test.make ~name:"writer-fill-freeze-4096"
@@ -220,6 +228,39 @@ let bitvec_word_regression () =
     "bitvec word_at scan vs bit loop over %d bits: %.0fx faster (%.2f vs %.2f us/scan)"
     bits speedup (word_t *. 1e6) (bit_t *. 1e6)
 
+(* Regression guard for the orbit-collapsed IC engine (PR 10): at
+   k = 10 the symmetry-reduced evaluation must beat the direct 2^k
+   enumeration it replaces for the large-k E1 sweep. Both paths
+   produce the same exact rationals (held equal by test_symmetry and
+   the E1 width-0 gate); this guards the speed claim itself. *)
+let orbit_ic_regression () =
+  let k = 10 in
+  let tree = Protocols.And_protocols.sequential k in
+  let mu = Protocols.Hard_dist.mu_and ~k in
+  let mu_orbit = Protocols.Hard_dist.mu_and_orbit ~k in
+  let sink = ref 0.0 in
+  let per_iter reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let direct_t =
+    per_iter 3 (fun () -> sink := Proto.Information.external_ic tree mu)
+  in
+  let orbit_t =
+    per_iter 20 (fun () ->
+        sink := Proto.Information.external_ic_orbit tree mu_orbit)
+  in
+  let speedup = direct_t /. orbit_t in
+  assert (speedup > 1.0);
+  Exp_util.record_f "orbit_ic_speedup" speedup;
+  Exp_util.note
+    "orbit-collapsed vs direct external_ic at k=%d: %.0fx faster (%.2f vs %.2f ms/run)"
+    k speedup (orbit_t *. 1e3) (direct_t *. 1e3);
+  ignore !sink
+
 let run () =
   Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run, OLS fit)";
   let cfg =
@@ -262,4 +303,5 @@ let run () =
          Obs.Jsonw.[ ("kernel", String name); ("ns_per_run", Float ns) ])
        rows);
   null_sink_alloc_check ();
-  bitvec_word_regression ()
+  bitvec_word_regression ();
+  orbit_ic_regression ()

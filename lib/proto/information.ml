@@ -31,6 +31,22 @@ let conditional_ic ?memo tree mu_xd =
 let transcript_entropy ?memo tree mu =
   M.entropy (Semantics.transcript_law ?memo tree mu)
 
+(** {2 Orbit-engine entry points}
+
+    The same three measures over the orbit-collapsed law ({!Orbit}):
+    identical rational terms, regrouped by symmetry cells, so the
+    exponential input sweep becomes polynomial for block-exchangeable
+    input laws. The differential suite holds the two paths to exact
+    rational equality of the collapsed joints. *)
+
+let external_ic_orbit ?memo tree sym = Orbit.external_ic ?memo tree sym
+
+let conditional_ic_orbit ?memo tree slices =
+  Orbit.conditional_ic ?memo tree slices
+
+let transcript_entropy_orbit ?memo tree sym =
+  Orbit.transcript_entropy ?memo tree sym
+
 (** Two-party internal information cost,
     [I(T ; X_0 | X_1) + I(T ; X_1 | X_0)] — what each player learns about
     the other's input. The paper compresses to {e external} information
@@ -64,72 +80,58 @@ let internal_ic_two_party ?memo tree mu =
     expected KL divergence between the speaker's true next-message law
     and the external observer's prediction, which is exactly the quantity
     the Lemma-7 compressor pays for. *)
-let per_round_information tree mu =
+let per_round_information ?memo tree mu =
   let module R = Exact.Rational in
-  (* Walk the tree; at each Speak node reached with a set of weighted
-     inputs (posterior over X given the path), the round's contribution
-     is  sum_x w(x) * D( emit(x) || sum_x' w(x') emit(x') ). *)
-  let contributions = ref [] in
-  let rec go tree weighted depth prefix_prob =
-    (* [weighted]: assoc list of (input, prob) — the joint restricted to
-       this path, NOT normalized; [prefix_prob] is its total mass. *)
-    if R.is_zero prefix_prob then ()
-    else
-      match tree with
-      | Tree.Output _ -> ()
-      | Tree.Chance { coin; children } ->
-          List.iter
-            (fun (c, wc) ->
-              let weighted' =
-                List.map (fun (x, w) -> (x, R.mul w wc)) weighted
-              in
-              go children.(c) weighted' depth (R.mul prefix_prob wc))
-            (D.to_alist coin)
-      | Tree.Speak { speaker; emit; children } ->
-          (* Observer's prediction: mixture of emit over the posterior. *)
-          let arity = Array.length children in
-          let mix = Array.make arity R.zero in
-          List.iter
-            (fun (x, w) ->
-              List.iter
-                (fun (m, p) -> mix.(m) <- R.add mix.(m) (R.mul w p))
-                (D.to_alist (emit x.(speaker))))
-            weighted;
-          (* Contribution of this node to round [depth]:
-             sum_x w(x) sum_m emit(x)(m) log (emit(x)(m) * mass / mix(m)) *)
-          let contrib = ref 0. in
-          List.iter
-            (fun (x, w) ->
-              List.iter
-                (fun (m, p) ->
-                  let num = R.mul p prefix_prob in
-                  let den = mix.(m) in
-                  if not (R.is_zero num) then
-                    contrib :=
-                      !contrib
-                      +. R.to_float (R.mul w p)
-                         *. Exact.Rational.log2 (R.div num den))
-                (D.to_alist (emit x.(speaker))))
-            weighted;
-          contributions := (depth, !contrib) :: !contributions;
-          for m = 0 to arity - 1 do
-            let weighted' =
-              List.filter_map
-                (fun (x, w) ->
-                  let p = D.prob_of (emit x.(speaker)) m in
-                  if R.is_zero p then None else Some (x, R.mul w p))
-                weighted
-            in
-            go children.(m) weighted' (depth + 1) mix.(m)
-          done
+  (* Derived from the shared joint law: the round-j term
+       I(M_j ; X | M_<j)
+         = sum_{x,p,m} P(x,p,m) log2 (P(x,p,m) P(p) / (P(x,p) P(p,m)))
+     where p ranges over board prefixes ending just before the j-th
+     message (public coins included in p, not counted as rounds) and m
+     over the message written next. All four masses are marginals of
+     [Semantics.joint], so with [memo] this measure now shares the
+     per-(node, inputs) transcript laws every other measure uses instead
+     of re-evaluating emit closures along its own walk. Each term equals
+     the old posterior-walk term [w(x) p log2 (p * P(p) / mix m)]. *)
+  let joint = Semantics.joint ?memo tree mu in
+  let bump tbl key w =
+    Hashtbl.replace tbl key
+      (R.add w (Option.value ~default:R.zero (Hashtbl.find_opt tbl key)))
   in
-  go tree (D.to_alist mu) 0 Exact.Rational.one;
-  (* Collapse contributions by round index. *)
-  let tbl = Hashtbl.create 16 in
+  (* Prefixes keyed in reversed order (cheap to extend); a prefix
+     determines its round index, recorded alongside the (x, p, m) mass. *)
+  let xp = Hashtbl.create 256 (* P(x, p) *)
+  and p_ = Hashtbl.create 256 (* P(p) *)
+  and pm = Hashtbl.create 256 (* P(p, m) *)
+  and xpm = Hashtbl.create 256 (* (x, p, m) -> round, P(x, p, m) *) in
   List.iter
-    (fun (d, c) ->
-      Hashtbl.replace tbl d (c +. Option.value ~default:0. (Hashtbl.find_opt tbl d)))
-    !contributions;
-  let max_round = Hashtbl.fold (fun d _ acc -> max d acc) tbl (-1) in
-  Array.init (max_round + 1) (fun d ->
-      Option.value ~default:0. (Hashtbl.find_opt tbl d))
+    (fun ((x, t), w) ->
+      let rec go prefix_rev round = function
+        | [] -> ()
+        | (Tree.Coin _ as e) :: rest -> go (e :: prefix_rev) round rest
+        | (Tree.Msg _ as e) :: rest ->
+            bump xp (x, prefix_rev) w;
+            bump p_ prefix_rev w;
+            bump pm (prefix_rev, e) w;
+            let key = (x, prefix_rev, e) in
+            let _, acc =
+              Option.value ~default:(round, R.zero) (Hashtbl.find_opt xpm key)
+            in
+            Hashtbl.replace xpm key (round, R.add acc w);
+            go (e :: prefix_rev) (round + 1) rest
+      in
+      go [] 0 t)
+    (D.to_alist joint);
+  let max_round = Hashtbl.fold (fun _ (r, _) acc -> max r acc) xpm (-1) in
+  let out = Array.make (max_round + 1) 0. in
+  Hashtbl.iter
+    (fun (x, p, m) (round, w_xpm) ->
+      let w_p = Hashtbl.find p_ p
+      and w_xp = Hashtbl.find xp (x, p)
+      and w_pm = Hashtbl.find pm (p, m) in
+      out.(round) <-
+        out.(round)
+        +. R.to_float w_xpm
+           *. Exact.Rational.log2
+                (R.div (R.mul w_xpm w_p) (R.mul w_xp w_pm)))
+    xpm;
+  out

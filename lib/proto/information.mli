@@ -32,10 +32,36 @@ val internal_ic_two_party :
     distributions). @raise Invalid_argument unless inputs are pairs. *)
 
 val per_round_information :
+  ?memo:Semantics.memo ->
   'a Tree.t -> 'a array Prob.Dist_exact.t -> float array
 (** The chain-rule decomposition of Section 6:
     [IC(Pi) = sum_j I(M_j ; X | M_<j)], returned per round. Each term is
-    computed as the expected KL divergence between the speaker's true
-    next-message law and the external observer's prediction — exactly
-    the quantity the Lemma-7 compressor pays per round. Sums to
-    {!external_ic} up to float rounding. *)
+    the expected KL divergence between the speaker's true next-message
+    law and the external observer's prediction — exactly the quantity
+    the Lemma-7 compressor pays per round. Sums to {!external_ic} up to
+    float rounding. Computed from {!Semantics.joint}, so [memo] shares
+    the transcript laws with the other measures. *)
+
+(** {2 Orbit engine}
+
+    The same measures over the orbit-collapsed joint law ({!Orbit}):
+    exact regrouping of the rational sum by symmetry cells, polynomial
+    instead of exponential in the player count for block-exchangeable
+    input laws ({!Prob.Symdist}). *)
+
+val external_ic_orbit :
+  ?memo:Orbit.memo -> 'a Tree.t -> 'a Prob.Symdist.t -> float
+(** [I(T ; X)] via the orbit engine. *)
+
+val conditional_ic_orbit :
+  ?memo:Orbit.memo ->
+  'a Tree.t ->
+  (Exact.Rational.t * 'a Prob.Symdist.t) list ->
+  float
+(** [I(T ; X | D)] from the conditional input law per value of [D]
+    (e.g. {!Protocols.Hard_dist} orbit slices, one per special
+    player). *)
+
+val transcript_entropy_orbit :
+  ?memo:Orbit.memo -> 'a Tree.t -> 'a Prob.Symdist.t -> float
+(** [H(T)] via the orbit engine. *)

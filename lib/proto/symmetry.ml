@@ -1,0 +1,208 @@
+(** Player-permutation symmetry declarations.
+
+    A protocol entry may declare that its {e task} is invariant under a
+    group of player permutations: the full symmetric group [S_k], a
+    block product [S_{B_0} x S_{B_1} x ...] over a declared partition of
+    the players, or the trivial group. The declaration is semantic —
+    {e output-law} invariance, [output_dist (sigma x) = output_dist x]
+    exactly for every permutation [sigma] in the group — not syntactic
+    invariance of the transcript: the canonical sequential AND protocol
+    produces different transcripts on permuted inputs yet computes a
+    symmetric function, and it is precisely such protocols the orbit
+    engine ({!Orbit}) accelerates.
+
+    Soundness of the orbit-collapsed {e input} sweep needs only the
+    input distribution's exchangeability, which {!Prob.Symdist} enforces
+    on construction; the declaration here additionally licenses quoting
+    a single orbit representative's output statistics for the whole
+    orbit. {!check_tree} verifies a declaration against the tree by
+    exhaustive sweep (small [k]) and returns a concrete witness pair on
+    violation. *)
+
+module R = Exact.Rational
+
+type t =
+  | Trivial
+  | Blocks of int list list
+      (** [S_{B_0} x S_{B_1} x ...]: players within a block are
+          interchangeable. Must partition [0 .. k-1]. *)
+  | Full  (** The full symmetric group [S_k]. *)
+
+let pp ppf = function
+  | Trivial -> Format.fprintf ppf "trivial"
+  | Full -> Format.fprintf ppf "full"
+  | Blocks bs ->
+      Format.fprintf ppf "blocks{%s}"
+        (String.concat ";"
+           (List.map
+              (fun b -> String.concat "," (List.map string_of_int b))
+              bs))
+
+(** Player index to block id. Trivial puts each player in a singleton
+    block; Full puts every player in block 0.
+    @raise Invalid_argument if a [Blocks] declaration is not a partition
+    of [0 .. players-1]. *)
+let blocks_array sym ~players =
+  match sym with
+  | Trivial -> Array.init players (fun i -> i)
+  | Full -> Array.make players 0
+  | Blocks bs ->
+      let arr = Array.make players (-1) in
+      List.iteri
+        (fun b members ->
+          if members = [] then
+            invalid_arg "Symmetry.blocks_array: empty block";
+          List.iter
+            (fun i ->
+              if i < 0 || i >= players then
+                invalid_arg
+                  (Printf.sprintf
+                     "Symmetry.blocks_array: player %d out of range" i);
+              if arr.(i) <> -1 then
+                invalid_arg
+                  (Printf.sprintf
+                     "Symmetry.blocks_array: player %d in two blocks" i);
+              arr.(i) <- b)
+            members)
+        bs;
+      Array.iteri
+        (fun i b ->
+          if b = -1 then
+            invalid_arg
+              (Printf.sprintf "Symmetry.blocks_array: player %d unassigned" i))
+        arr;
+      arr
+
+let block_members blocks =
+  let n_blocks = Array.fold_left (fun a b -> max a (b + 1)) 0 blocks in
+  let members = Array.make n_blocks [] in
+  Array.iteri (fun i b -> members.(b) <- i :: members.(b)) blocks;
+  (* reversed accumulation: restore increasing player order *)
+  Array.map List.rev members
+
+(** Canonical orbit representative: values sorted (by [Stdlib.compare])
+    within each block, players otherwise untouched. Two profiles are in
+    the same orbit iff their canonical forms are equal. *)
+let canonical sym ~players x =
+  if Array.length x <> players then
+    invalid_arg "Symmetry.canonical: wrong profile length";
+  let blocks = blocks_array sym ~players in
+  let out = Array.copy x in
+  Array.iter
+    (fun members ->
+      let vals = List.map (fun i -> x.(i)) members in
+      let sorted = List.sort Stdlib.compare vals in
+      List.iter2 (fun i v -> out.(i) <- v) members sorted)
+    (block_members blocks);
+  out
+
+(** Exact orbit cardinality of a profile: the product over blocks of the
+    multinomial of its within-block value multiset. *)
+let orbit_size sym ~players x =
+  if Array.length x <> players then
+    invalid_arg "Symmetry.orbit_size: wrong profile length";
+  let blocks = blocks_array sym ~players in
+  let acc = ref R.one in
+  Array.iter
+    (fun members ->
+      let vals = List.sort Stdlib.compare (List.map (fun i -> x.(i)) members) in
+      let n = List.length vals in
+      let counts =
+        let rec group = function
+          | [] -> []
+          | v :: rest ->
+              let same, other = List.partition (fun u -> Stdlib.compare u v = 0) rest in
+              (1 + List.length same) :: group other
+        in
+        Array.of_list (group vals)
+      in
+      acc := R.mul !acc (Prob.Symdist.multinomial n counts))
+    (block_members blocks);
+  !acc
+
+(** One canonical representative per orbit of [domain^players], with its
+    exact orbit size. Representative count is the product of per-block
+    composition counts — polynomial in [players] for fixed domain. *)
+let orbit_reps sym ~players ~domain =
+  let blocks = blocks_array sym ~players in
+  let members = block_members blocks in
+  let block_sizes = Array.map List.length members in
+  let n_values = Array.length domain in
+  List.map
+    (fun comp ->
+      let x = Array.make players domain.(0) in
+      Array.iteri
+        (fun b counts ->
+          let vals =
+            List.concat
+              (List.init n_values (fun v ->
+                   List.init counts.(v) (fun _ -> domain.(v))))
+          in
+          List.iter2 (fun i v -> x.(i) <- v) members.(b) vals)
+        comp;
+      (x, Prob.Symdist.comp_orbit_size block_sizes comp))
+    (Prob.Symdist.all_comps ~block_sizes ~n_values)
+
+(** Adjacent transpositions within each block — a generating set of the
+    declared group. *)
+let generators sym ~players =
+  let blocks = blocks_array sym ~players in
+  Array.to_list (block_members blocks)
+  |> List.concat_map (fun members ->
+         let rec pairs = function
+           | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+           | _ -> []
+         in
+         pairs members)
+
+let swap x i j =
+  let y = Array.copy x in
+  y.(i) <- x.(j);
+  y.(j) <- x.(i);
+  y
+
+let same_int_dist d d' =
+  let sort l = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) l in
+  let la = sort (Prob.Dist_exact.to_alist d)
+  and lb = sort (Prob.Dist_exact.to_alist d') in
+  List.length la = List.length lb
+  && List.for_all2
+       (fun (a, wa) (b, wb) -> a = b && R.equal wa wb)
+       la lb
+
+(** Verify a declaration against a tree by exhaustive sweep: for every
+    input profile and every group generator [sigma], the output law on
+    [sigma x] must equal the output law on [x] exactly. Invariance under
+    the generators extends to the whole group. Returns a concrete
+    witness pair [Some (x, sigma x)] whose output laws differ, [None] if
+    the declaration is sound. Exponential in [players] — lint/test use
+    at small [k]. *)
+let check_tree sym ~players ~domain tree =
+  let gens = generators sym ~players in
+  if gens = [] then None
+  else begin
+    let n = Array.length domain in
+    let rec sweep x i =
+      if i = players then
+        List.find_map
+          (fun (a, b) ->
+            let x' = swap x a b in
+            if same_int_dist (Semantics.output_dist tree x)
+                 (Semantics.output_dist tree x')
+            then None
+            else Some (Array.copy x, x'))
+          gens
+      else
+        let rec try_v v =
+          if v = n then None
+          else begin
+            x.(i) <- domain.(v);
+            match sweep x (i + 1) with
+            | Some _ as w -> w
+            | None -> try_v (v + 1)
+          end
+        in
+        try_v 0
+    in
+    sweep (Array.make players domain.(0)) 0
+  end

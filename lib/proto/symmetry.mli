@@ -1,0 +1,51 @@
+(** Player-permutation symmetry declarations.
+
+    Groups of player permutations under which a protocol's {e output
+    law} is invariant: [output_dist (sigma x) = output_dist x] exactly
+    for every [sigma] in the group. Deliberately about the task, not the
+    transcript — sequential AND produces different transcripts on
+    permuted inputs yet is fully symmetric in this sense, and such
+    protocols are exactly what the orbit engine ({!Orbit}) accelerates.
+    {!check_tree} validates a declaration exhaustively at small [k] and
+    returns a concrete witness input pair on violation. *)
+
+type t =
+  | Trivial  (** No declared symmetry (the safe default). *)
+  | Blocks of int list list
+      (** [S_{B_0} x S_{B_1} x ...]: players within each listed block
+          are interchangeable. The blocks must partition [0 .. k-1]. *)
+  | Full  (** The full symmetric group [S_k]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val blocks_array : t -> players:int -> int array
+(** Player index to block id. Trivial: singleton blocks; Full: one
+    block.
+    @raise Invalid_argument if a [Blocks] value is not a partition of
+    [0 .. players-1]. *)
+
+val canonical : t -> players:int -> 'a array -> 'a array
+(** Canonical orbit representative: values sorted within each block.
+    Two profiles are in the same orbit iff their canonical forms are
+    equal. *)
+
+val orbit_size : t -> players:int -> 'a array -> Exact.Rational.t
+(** Exact cardinality of the profile's orbit (product of per-block
+    multinomials). *)
+
+val orbit_reps :
+  t -> players:int -> domain:'a array -> ('a array * Exact.Rational.t) list
+(** One canonical representative per orbit of [domain^players] with its
+    orbit size; polynomially many for fixed domain. *)
+
+val generators : t -> players:int -> (int * int) list
+(** Adjacent within-block transpositions — a generating set of the
+    group. Empty for [Trivial]. *)
+
+val check_tree :
+  t -> players:int -> domain:'a array -> 'a Tree.t ->
+  ('a array * 'a array) option
+(** Exhaustive soundness check of a declaration: [Some (x, sigma x)]
+    gives a witness pair whose exact output laws differ; [None] means
+    the output law is invariant under the whole declared group.
+    Exponential in [players] — intended for lint/tests at small [k]. *)

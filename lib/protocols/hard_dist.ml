@@ -74,6 +74,59 @@ let slice_mass ~k ~c =
   D.prob (mu_and ~k) (fun x ->
       Array.fold_left (fun acc b -> acc + (1 - b)) 0 x = c)
 
+(* ------------------------------------------------------------------ *)
+(* Orbit-collapsed forms of the Section 4.1 laws. [mu] is fully        *)
+(* exchangeable, so its marginal is k weighted Hamming-weight classes  *)
+(* instead of 2^k atoms; conditioned on Z = z it is a product law that *)
+(* is exchangeable over the non-special block. These feed the orbit    *)
+(* evaluation engine (Proto.Orbit) for the large-k E1 sweeps.          *)
+(* ------------------------------------------------------------------ *)
+
+let bit_domain = [| 0; 1 |]
+
+(** Orbit form of the [mu_and_with_aux_p] marginal: an input with
+    [c >= 1] zeros has mass [(c/k) p_zero^(c-1) (1-p_zero)^(k-c)] — each
+    of its zero positions can be the special player, the remaining
+    [c - 1] zeros are spontaneous. Exactly [mu_and]'s law collapsed to
+    Hamming-weight classes; the test suite holds {!Prob.Symdist.to_dist}
+    of this equal to {!mu_and}. *)
+let mu_and_orbit_p ~k ~p_zero =
+  if k < 2 then invalid_arg "Hard_dist.mu_and_orbit_p: need k >= 2";
+  if R.sign p_zero < 0 || R.compare p_zero R.one > 0 then
+    invalid_arg "Hard_dist.mu_and_orbit_p: p_zero out of range";
+  let p_one = R.sub R.one p_zero in
+  let classes =
+    List.init k (fun i ->
+        let c = i + 1 in
+        let w =
+          R.mul (R.of_ints c k)
+            (R.mul (R.pow p_zero (c - 1)) (R.pow p_one (k - c)))
+        in
+        ([| [| c; k - c |] |], w))
+  in
+  Prob.Symdist.of_classes ~domain:bit_domain ~blocks:(Array.make k 0) classes
+
+let mu_and_orbit ~k = mu_and_orbit_p ~k ~p_zero:(R.of_ints 1 k)
+
+(** Orbit form of [mu_and_with_aux_p] as conditional slices: one
+    [(P(Z = z), law of X | Z = z)] pair per special player. Conditioned
+    on [Z = z] the law is a product — [X_z = 0] deterministically, the
+    others iid zero w.p. [p_zero] — hence block-exchangeable over
+    [{z}] and the rest. This is the shape {!Proto.Orbit.conditional_ic}
+    consumes. *)
+let mu_and_aux_slices_p ~k ~p_zero =
+  if k < 2 then invalid_arg "Hard_dist.mu_and_aux_slices_p: need k >= 2";
+  if R.sign p_zero < 0 || R.compare p_zero R.one > 0 then
+    invalid_arg "Hard_dist.mu_and_aux_slices_p: p_zero out of range";
+  let p_one = R.sub R.one p_zero in
+  List.init k (fun z ->
+      let blocks = Array.init k (fun i -> if i = z then 0 else 1) in
+      let weights = [| [| R.one; R.zero |]; [| p_zero; p_one |] |] in
+      ( R.of_ints 1 k,
+        Prob.Symdist.iid_blocks ~domain:bit_domain ~blocks weights ))
+
+let mu_and_aux_slices ~k = mu_and_aux_slices_p ~k ~p_zero:(R.of_ints 1 k)
+
 (** The Lemma 6 distribution: all-ones w.p. [eps'], else one uniformly
     random player gets 0. [eps'] is given as an exact rational. *)
 let mu_lemma6 ~k ~eps' =

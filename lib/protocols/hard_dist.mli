@@ -35,6 +35,33 @@ val mu_on_slice : k:int -> c:int -> int array Prob.Dist_exact.t
 val slice_mass : k:int -> c:int -> Exact.Rational.t
 (** [Pr_mu[X in X_c]], exactly. *)
 
+(** {2 Orbit-collapsed forms}
+
+    The same Section 4.1 laws in the collapsed representation the orbit
+    engine ({!Proto.Orbit}) consumes: [mu] is fully exchangeable, so the
+    marginal is [k] Hamming-weight classes instead of [2^k] atoms, and
+    each conditional slice [X | Z = z] is a product law exchangeable
+    over the non-special block. The test suite holds their
+    {!Prob.Symdist.to_dist} expansions equal to the explicit laws. *)
+
+val mu_and_orbit : k:int -> int Prob.Symdist.t
+(** Collapsed {!mu_and}. @raise Invalid_argument if [k < 2]. *)
+
+val mu_and_orbit_p : k:int -> p_zero:Exact.Rational.t -> int Prob.Symdist.t
+(** Collapsed marginal of {!mu_and_with_aux_p}: an input with [c >= 1]
+    zeros has mass [(c/k) p_zero^(c-1) (1-p_zero)^(k-c)]. *)
+
+val mu_and_aux_slices :
+  k:int -> (Exact.Rational.t * int Prob.Symdist.t) list
+(** Conditional slices of {!mu_and_with_aux}: one
+    [(P(Z = z), law of X | Z = z)] per special player — the shape
+    {!Proto.Orbit.conditional_ic} consumes. *)
+
+val mu_and_aux_slices_p :
+  k:int ->
+  p_zero:Exact.Rational.t ->
+  (Exact.Rational.t * int Prob.Symdist.t) list
+
 val mu_lemma6 : k:int -> eps':Exact.Rational.t -> int array Prob.Dist_exact.t
 (** The Lemma-6 distribution: all-ones w.p. [eps'], else one uniformly
     random player gets 0. *)

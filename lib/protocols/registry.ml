@@ -28,6 +28,11 @@ type entry =
           (** reference function on input profiles; deterministic
               entries that declare one are zero-error certified against
               it by proto-verify *)
+      symmetry : Proto.Symmetry.t;
+          (** declared player-permutation invariance of the {e output
+              law} (not the transcript); licenses the orbit engine and
+              is soundness-checked by {!symmetry_witness} in the test
+              sweep. Defaults to trivial. *)
       note : string;
     }
       -> entry
@@ -37,9 +42,30 @@ let players (Entry e) = e.players
 let note (Entry e) = e.note
 let declared_cost (Entry e) = e.declared_cost
 let has_spec (Entry e) = Option.is_some e.spec
+let symmetry (Entry e) = e.symmetry
 
-let entry ~name ~players ?declared_cost ?spec ?(note = "") ~domain tree =
-  Entry { name; players; domain; tree; declared_cost; spec; note }
+let entry ~name ~players ?declared_cost ?spec ?(symmetry = Proto.Symmetry.Trivial)
+    ?(note = "") ~domain tree =
+  Entry { name; players; domain; tree; declared_cost; spec; symmetry; note }
+
+(** Soundness check of the declared symmetry: [None] when the entry's
+    output law is invariant under the whole declared group; otherwise a
+    concrete witness input pair whose exact output laws differ, reported
+    as per-player indices into the entry's domain (the inputs themselves
+    are existentially typed). Exhaustive in the entry's domain —
+    registry entries are small by construction. *)
+let symmetry_witness (Entry { players; domain; tree; symmetry; _ }) =
+  let index_of v =
+    let n = Array.length domain in
+    let rec go i =
+      if i = n then -1
+      else if Stdlib.compare domain.(i) v = 0 then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Proto.Symmetry.check_tree symmetry ~players ~domain (Lazy.force tree)
+  |> Option.map (fun (x, x') -> (Array.map index_of x, Array.map index_of x'))
 
 (* Per-player input domains. *)
 let bit_domain = [| 0; 1 |]
@@ -60,20 +86,22 @@ let builtins =
   lazy
     [
       entry ~name:"and/sequential" ~players:5 ~declared_cost:5
-        ~spec:Hard_dist.and_fn
+        ~spec:Hard_dist.and_fn ~symmetry:Proto.Symmetry.Full
         ~note:"halt at the first zero; CC = k" ~domain:bit_domain
         (lazy (And_protocols.sequential 5));
       entry ~name:"and/broadcast-all" ~players:4 ~declared_cost:4
-        ~spec:Hard_dist.and_fn
+        ~spec:Hard_dist.and_fn ~symmetry:Proto.Symmetry.Full
         ~note:"everyone speaks; the maximally leaky baseline"
         ~domain:bit_domain
         (lazy (And_protocols.broadcast_all 4));
       entry ~name:"and/truncated" ~players:5 ~declared_cost:3
         ~spec:(fun x -> x.(0) land x.(1) land x.(2))
+        ~symmetry:(Proto.Symmetry.Blocks [ [ 0; 1; 2 ]; [ 3; 4 ] ])
         ~note:"only the first m = 3 of k = 5 players speak (Lemma 6)"
         ~domain:bit_domain
         (lazy (And_protocols.truncated_sequential ~k:5 ~m:3));
       entry ~name:"and/noisy" ~players:4 ~declared_cost:4
+        ~symmetry:Proto.Symmetry.Full
         ~note:"players lie with probability 1/10 (private randomness)"
         ~domain:bit_domain
         (lazy
@@ -81,43 +109,47 @@ let builtins =
              ~noise:(Exact.Rational.of_ints 1 10)));
       entry ~name:"and/two-copy" ~players:3 ~declared_cost:6
         ~spec:(fun xs -> (2 * and_of_coord 0 xs) + and_of_coord 1 xs)
+        ~symmetry:Proto.Symmetry.Full
         ~note:"two independent sequential copies (Theorem 4 witness)"
         ~domain:(vector_domain 2)
         (lazy (And_protocols.two_copy_sequential 3));
       entry ~name:"and/constant" ~players:4 ~declared_cost:0
-        ~spec:(fun _ -> 1)
+        ~spec:(fun _ -> 1) ~symmetry:Proto.Symmetry.Full
         ~note:"ignores inputs; the zero-information point"
         ~domain:bit_domain
         (lazy (And_protocols.constant ~k:4 1));
       entry ~name:"compress/xor-coin-sequential" ~players:4 ~declared_cost:4
+        ~symmetry:Proto.Symmetry.Full
         ~note:"output XORed with a free public coin (compression fixture)"
         ~domain:bit_domain
         (lazy (Proto.Combinators.xor_output_with_coin (And_protocols.sequential 4)));
       entry ~name:"compress/parallel-copies" ~players:3 ~declared_cost:6
         ~spec:(fun xs -> and_of_coord 0 xs lor (and_of_coord 1 xs lsl 1))
+        ~symmetry:Proto.Symmetry.Full
         ~note:"Combinators.parallel_copies of sequential AND_3, 2 copies"
         ~domain:(vector_domain 2)
         (lazy
           (Proto.Combinators.parallel_copies (And_protocols.sequential 3)
              ~copies:2));
       entry ~name:"disj/trivial-tree" ~players:3 ~declared_cost:6
-        ~spec:Hard_dist.disj_fn
+        ~spec:Hard_dist.disj_fn ~symmetry:Proto.Symmetry.Full
         ~note:"tree model of Disj_trivial: everyone announces its set"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.broadcast_all ~n:2 ~k:3));
       entry ~name:"disj/naive-tree" ~players:3 ~declared_cost:6
-        ~spec:Hard_dist.disj_fn
+        ~spec:Hard_dist.disj_fn ~symmetry:Proto.Symmetry.Full
         ~note:"tree model of Disj_naive: coordinate-by-coordinate"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.sequential ~n:2 ~k:3));
       entry ~name:"disj/batched-tree" ~players:3 ~declared_cost:6
-        ~spec:Hard_dist.disj_fn
+        ~spec:Hard_dist.disj_fn ~symmetry:Proto.Symmetry.Full
         ~note:"tree model of Disj_batched: shrinking-alphabet batches"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.batched ~n:2 ~k:3));
       entry ~name:"or/pointwise-tree" ~players:3 ~declared_cost:6
         ~spec:(fun xs ->
           Array.fold_left (fun acc x -> acc lor pack_vector x) 0 xs)
+        ~symmetry:Proto.Symmetry.Full
         ~note:"pointwise-OR broadcast tree (output-entropy floor witness)"
         ~domain:(vector_domain 2)
         (lazy (Disj_trees.pointwise_or_broadcast ~n:2 ~k:3));

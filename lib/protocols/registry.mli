@@ -19,6 +19,11 @@ type entry =
           (** reference function on input profiles; deterministic
               entries that declare one are zero-error certified against
               it by proto-verify ({!Verify_registry}) *)
+      symmetry : Proto.Symmetry.t;
+          (** declared player-permutation invariance of the {e output
+              law} (not the transcript); licenses the orbit engine and
+              is soundness-checked by {!symmetry_witness} in the test
+              sweep. Defaults to trivial. *)
       note : string;
     }
       -> entry
@@ -28,6 +33,7 @@ val entry :
   players:int ->
   ?declared_cost:int ->
   ?spec:('a array -> int) ->
+  ?symmetry:Proto.Symmetry.t ->
   ?note:string ->
   domain:'a array ->
   'a Proto.Tree.t Lazy.t ->
@@ -38,6 +44,17 @@ val players : entry -> int
 val note : entry -> string
 val declared_cost : entry -> int option
 val has_spec : entry -> bool
+
+val symmetry : entry -> Proto.Symmetry.t
+(** The declared output-law invariance group (default
+    {!Proto.Symmetry.Trivial}). *)
+
+val symmetry_witness : entry -> (int array * int array) option
+(** Soundness check of the declared symmetry: [None] when the entry's
+    exact output law is invariant under the whole declared group;
+    otherwise a concrete witness pair of input profiles (as per-player
+    indices into the entry's domain) whose output laws differ.
+    Exhaustive in the entry's domain. *)
 
 type run = {
   output : int;
